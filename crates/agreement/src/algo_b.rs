@@ -1,0 +1,551 @@
+//! Algorithm B (Lemma 12): k-set agreement from any lock-free
+//! strongly-linearizable implementation of a k-ordering object with
+//! readable base objects.
+//!
+//! Process `p_i` with input `x`:
+//!
+//! 1. write `M[i] := x`;
+//! 2. execute every invocation of `prop_i` on the shared
+//!    implementation `A`, writing `T[i] := t+1` **before every step**
+//!    of `A`;
+//! 3. repeat { `t1 := collect(T)`; `r := collect(R)`;
+//!    `t2 := collect(T)` } until `t1 = t2` — the states in `r` are then
+//!    a snapshot of `A`'s base objects (Claim 13);
+//! 4. starting from `r`, locally simulate `dec_i` to completion;
+//! 5. return `M[d(i, resps)]`.
+//!
+//! Everything here drives the implementation through its step-machine
+//! form: one base-object operation per scheduler step, with the
+//! collects performed cell by cell (the paper's "readable base
+//! objects" assumption — every [`sl2_exec::mem::Cell`] supports
+//! `read`). The local simulation runs on a memory rebuilt from the
+//! collected cell values, which is exactly the paper's "starting from
+//! the states of base objects in `r`".
+//!
+//! Used positively (E9: consensus from the strongly-linearizable CAS
+//! queue) and negatively (E10: agreement violations from the
+//! linearizable-but-not-SL AGM stack — the executable content of
+//! Theorem 17).
+
+use std::fmt;
+
+use sl2_exec::machine::{run_solo, Algorithm, OpMachine, Step};
+use sl2_exec::mem::{Cell, Loc, SimMemory};
+use sl2_exec::sched::Scheduler;
+use sl2_spec::Spec;
+
+use crate::ordering::KOrdering;
+
+/// Sentinel for "no input written yet" in `M` (inputs are stored +1).
+const NO_INPUT: u64 = 0;
+
+/// The shared set-agreement protocol instance.
+#[derive(Debug, Clone)]
+pub struct AlgoB<A, O> {
+    alg: A,
+    ordering: O,
+    n: usize,
+    m: Vec<Loc>,
+    t: Vec<Loc>,
+}
+
+impl<A, O> AlgoB<A, O>
+where
+    A: Algorithm,
+    O: KOrdering<Spec = A::Spec>,
+{
+    /// Wires Algorithm B around an implementation `alg` whose base
+    /// objects already live in `mem`. Allocates the `M` and `T`
+    /// register arrays in the same memory.
+    pub fn new(mem: &mut SimMemory, alg: A, ordering: O, n: usize) -> Self {
+        let m = (0..n).map(|_| mem.alloc(Cell::Reg(NO_INPUT))).collect();
+        let t = (0..n).map(|_| mem.alloc(Cell::Reg(0))).collect();
+        AlgoB {
+            alg,
+            ordering,
+            n,
+            m,
+            t,
+        }
+    }
+
+    /// The `k` this instance is allowed to disagree by.
+    pub fn k(&self) -> usize {
+        self.ordering.k(self.n)
+    }
+
+    /// Creates the state machine for process `i` with input `input`.
+    pub fn process(&self, i: usize, input: u64) -> BProcess<A, O> {
+        BProcess {
+            b: self.clone(),
+            i,
+            input,
+            resps: Vec::new(),
+            t_counter: 0,
+            phase: BPhase::WriteInput,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BPhase<M> {
+    /// Step 2 of the paper's listing: `M[i].write(x)`.
+    WriteInput,
+    /// Step 3: next action is writing `T[i]` before an `A` step.
+    PropTick { op_idx: usize, machine: Option<M> },
+    /// Step 3c: one step of the current proposal operation.
+    PropStep { op_idx: usize, machine: M },
+    /// Steps 4–5: the double collect. `stage` 0 = t1, 1 = r, 2 = t2.
+    Collect {
+        stage: u8,
+        idx: usize,
+        t1: Vec<u64>,
+        r: Vec<Cell>,
+        t2: Vec<u64>,
+        r_len: usize,
+    },
+    /// Step 7: read `M[l]` and decide.
+    Decide { l: usize },
+}
+
+/// Algorithm B's per-process state machine. Each [`BProcess::step`]
+/// performs exactly one shared-memory operation, so schedulers can
+/// interleave agreement processes at base-object granularity.
+pub struct BProcess<A: Algorithm, O> {
+    b: AlgoB<A, O>,
+    i: usize,
+    input: u64,
+    resps: Vec<<A::Spec as Spec>::Resp>,
+    t_counter: u64,
+    phase: BPhase<A::Machine>,
+}
+
+impl<A: Algorithm, O> fmt::Debug for BProcess<A, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BProcess")
+            .field("i", &self.i)
+            .field("input", &self.input)
+            .finish()
+    }
+}
+
+impl<A, O> BProcess<A, O>
+where
+    A: Algorithm,
+    O: KOrdering<Spec = A::Spec>,
+{
+    /// Performs one shared-memory step. Returns the decision when
+    /// done.
+    pub fn step(&mut self, mem: &mut SimMemory) -> Step<u64> {
+        let n = self.b.n;
+        match std::mem::replace(&mut self.phase, BPhase::WriteInput) {
+            BPhase::WriteInput => {
+                mem.write(self.b.m[self.i], self.input + 1);
+                self.phase = BPhase::PropTick {
+                    op_idx: 0,
+                    machine: None,
+                };
+                Step::Pending
+            }
+            BPhase::PropTick { op_idx, machine } => {
+                let prop = self.b.ordering.proposal(self.i, n);
+                if op_idx >= prop.len() {
+                    // Proposal finished: enter the collect loop (no
+                    // shared op consumed by this transition, so fall
+                    // through by performing the first collect read).
+                    self.phase = BPhase::Collect {
+                        stage: 0,
+                        idx: 0,
+                        t1: Vec::new(),
+                        r: Vec::new(),
+                        t2: Vec::new(),
+                        r_len: 0,
+                    };
+                    return self.step(mem);
+                }
+                // T[i].write(t + 1) — announced before every A step.
+                self.t_counter += 1;
+                mem.write(self.b.t[self.i], self.t_counter);
+                let machine = machine.unwrap_or_else(|| {
+                    self.b.alg.machine(self.i, &prop[op_idx])
+                });
+                self.phase = BPhase::PropStep { op_idx, machine };
+                Step::Pending
+            }
+            BPhase::PropStep { op_idx, mut machine } => {
+                match machine.step(mem) {
+                    Step::Pending => {
+                        self.phase = BPhase::PropTick {
+                            op_idx,
+                            machine: Some(machine),
+                        };
+                    }
+                    Step::Ready(resp) => {
+                        self.resps.push(resp);
+                        self.phase = BPhase::PropTick {
+                            op_idx: op_idx + 1,
+                            machine: None,
+                        };
+                    }
+                }
+                Step::Pending
+            }
+            BPhase::Collect {
+                stage,
+                idx,
+                mut t1,
+                mut r,
+                mut t2,
+                mut r_len,
+            } => {
+                match stage {
+                    0 => {
+                        t1.push(mem.read(self.b.t[idx]));
+                        let next_idx = idx + 1;
+                        if next_idx < n {
+                            self.phase = BPhase::Collect {
+                                stage: 0,
+                                idx: next_idx,
+                                t1,
+                                r,
+                                t2,
+                                r_len,
+                            };
+                        } else {
+                            r_len = mem.flat_len();
+                            self.phase = BPhase::Collect {
+                                stage: 1,
+                                idx: 0,
+                                t1,
+                                r,
+                                t2,
+                                r_len,
+                            };
+                        }
+                        Step::Pending
+                    }
+                    1 => {
+                        r.push(mem.collect_read(idx));
+                        let next_idx = idx + 1;
+                        self.phase = BPhase::Collect {
+                            stage: if next_idx < r_len { 1 } else { 2 },
+                            idx: if next_idx < r_len { next_idx } else { 0 },
+                            t1,
+                            r,
+                            t2,
+                            r_len,
+                        };
+                        Step::Pending
+                    }
+                    _ => {
+                        t2.push(mem.read(self.b.t[idx]));
+                        let next_idx = idx + 1;
+                        if next_idx < n {
+                            self.phase = BPhase::Collect {
+                                stage: 2,
+                                idx: next_idx,
+                                t1,
+                                r,
+                                t2,
+                                r_len,
+                            };
+                            return Step::Pending;
+                        }
+                        // Double collect complete: compare.
+                        if t1 != t2 || mem.flat_len() != r_len {
+                            self.phase = BPhase::Collect {
+                                stage: 0,
+                                idx: 0,
+                                t1: Vec::new(),
+                                r: Vec::new(),
+                                t2: Vec::new(),
+                                r_len: 0,
+                            };
+                            return Step::Pending;
+                        }
+                        // Claim 13 holds: r is a snapshot. Simulate
+                        // dec_i locally (free: no shared steps).
+                        let mut sim = mem.rebuild_from_collect(&r);
+                        let mut all = self.resps.clone();
+                        for op in self.b.ordering.decision(self.i, n) {
+                            let (resp, _) =
+                                run_solo(&mut self.b.alg.machine(self.i, &op), &mut sim);
+                            all.push(resp);
+                        }
+                        let l = self.b.ordering.decide(self.i, n, &all);
+                        self.phase = BPhase::Decide { l };
+                        Step::Pending
+                    }
+                }
+            }
+            BPhase::Decide { l } => {
+                let raw = mem.read(self.b.m[l]);
+                assert_ne!(
+                    raw, NO_INPUT,
+                    "decided process {l} completed its proposal, so its input is in M"
+                );
+                Step::Ready(raw - 1)
+            }
+        }
+    }
+}
+
+/// Outcome of one agreement run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementRun {
+    /// Decision of each process (`None` = crashed before deciding).
+    pub decisions: Vec<Option<u64>>,
+    /// Inputs proposed.
+    pub inputs: Vec<u64>,
+}
+
+impl AgreementRun {
+    /// Distinct decided values.
+    pub fn distinct_decisions(&self) -> Vec<u64> {
+        let mut d: Vec<u64> = self.decisions.iter().flatten().copied().collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    /// Validity: every decision is some process's input.
+    pub fn is_valid(&self) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|d| self.inputs.contains(d))
+    }
+}
+
+/// Runs Algorithm B for all `n` processes under `sched`, with
+/// process `p` halting permanently after `crash_after[p]` steps
+/// (`None` = never). Returns each process's decision.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `step_limit` total steps — with a
+/// lock-free implementation and finite proposals this indicates a
+/// livelock, which Lemma 12's termination argument rules out.
+pub fn run_agreement<A, O>(
+    b: &AlgoB<A, O>,
+    mem: &mut SimMemory,
+    inputs: &[u64],
+    sched: &mut dyn Scheduler,
+    crash_after: &[Option<u64>],
+    step_limit: u64,
+) -> AgreementRun
+where
+    A: Algorithm,
+    O: KOrdering<Spec = A::Spec>,
+{
+    let n = inputs.len();
+    let mut procs: Vec<Option<BProcess<A, O>>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| Some(b.process(i, x)))
+        .collect();
+    let mut decisions: Vec<Option<u64>> = vec![None; n];
+    let mut steps_taken = vec![0u64; n];
+    let mut total = 0u64;
+
+    loop {
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&p| {
+                procs[p].is_some()
+                    && crash_after[p].is_none_or(|limit| steps_taken[p] < limit)
+            })
+            .collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let p = sched.pick(&enabled);
+        total += 1;
+        assert!(
+            total <= step_limit,
+            "agreement run exceeded {step_limit} steps"
+        );
+        steps_taken[p] += 1;
+        let mut proc = procs[p].take().expect("enabled implies alive");
+        match proc.step(mem) {
+            Step::Pending => procs[p] = Some(proc),
+            Step::Ready(v) => decisions[p] = Some(v),
+        }
+    }
+
+    AgreementRun {
+        decisions,
+        inputs: inputs.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{QueueOrdering, StackOrdering};
+    use sl2_core::baselines::agm_stack::AgmStackAlg;
+    use sl2_core::baselines::cas_queue::CasQueueAlg;
+    use sl2_exec::sched::{BurstSched, FixedSchedule, RandomSched, RoundRobin};
+
+    fn cas_queue_setup() -> (SimMemory, AlgoB<CasQueueAlg, QueueOrdering>) {
+        let mut mem = SimMemory::new();
+        let alg = CasQueueAlg::new(&mut mem);
+        let b = AlgoB::new(&mut mem, alg, QueueOrdering, 3);
+        (mem, b)
+    }
+
+    #[test]
+    fn consensus_from_sl_cas_queue_round_robin() {
+        let (mut mem, b) = cas_queue_setup();
+        let run = run_agreement(
+            &b,
+            &mut mem,
+            &[10, 20, 30],
+            &mut RoundRobin::default(),
+            &[None, None, None],
+            100_000,
+        );
+        assert_eq!(run.distinct_decisions().len(), 1, "{run:?}");
+        assert!(run.is_valid());
+    }
+
+    #[test]
+    fn consensus_from_sl_cas_queue_random_schedules() {
+        for seed in 0..300 {
+            let (mut mem, b) = cas_queue_setup();
+            let run = run_agreement(
+                &b,
+                &mut mem,
+                &[7, 8, 9],
+                &mut RandomSched::seeded(seed),
+                &[None, None, None],
+                100_000,
+            );
+            assert_eq!(
+                run.distinct_decisions().len(),
+                1,
+                "seed {seed} broke consensus: {run:?}"
+            );
+            assert!(run.is_valid(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn consensus_survives_crashes() {
+        for seed in 0..100 {
+            let (mut mem, b) = cas_queue_setup();
+            // p2 crashes early; correct processes still decide one value.
+            let run = run_agreement(
+                &b,
+                &mut mem,
+                &[1, 2, 3],
+                &mut RandomSched::seeded(seed),
+                &[None, None, Some(seed % 7)],
+                100_000,
+            );
+            assert!(run.decisions[0].is_some() && run.decisions[1].is_some());
+            assert!(run.distinct_decisions().len() <= 1, "seed {seed}: {run:?}");
+            assert!(run.is_valid());
+        }
+    }
+
+    #[test]
+    fn agm_stack_violates_agreement_on_a_crafted_schedule() {
+        // The executable core of Theorem 17: the AGM stack is
+        // linearizable but NOT strongly linearizable, and Algorithm B
+        // punishes exactly that. Schedule: p0 reserves slot 0 but has
+        // not yet written its item; p1 completes everything and
+        // decides itself; p0 then finishes and decides itself.
+        let mut mem = SimMemory::new();
+        let alg = AgmStackAlg::new(&mut mem);
+        let b = AlgoB::new(&mut mem, alg, StackOrdering, 3);
+        let script: Vec<usize> = std::iter::repeat_n(0, 3)
+            .chain(std::iter::repeat_n(1, 400))
+            .chain(std::iter::repeat_n(0, 400))
+            .collect();
+        let run = run_agreement(
+            &b,
+            &mut mem,
+            &[100, 200, 300],
+            &mut FixedSchedule::new(script),
+            &[None, None, Some(0)], // p2 crashed from the start
+            100_000,
+        );
+        assert_eq!(
+            run.distinct_decisions(),
+            vec![100, 200],
+            "both survivors decide their own input: {run:?}"
+        );
+    }
+
+    #[test]
+    fn agm_stack_violations_found_by_adversarial_search() {
+        // E10: burst schedules (stall one process, sprint another —
+        // the strong adversary's signature move) find the violation
+        // without hand-crafting.
+        let mut violations = 0;
+        for seed in 0..400 {
+            let mut mem = SimMemory::new();
+            let alg = AgmStackAlg::new(&mut mem);
+            let b = AlgoB::new(&mut mem, alg, StackOrdering, 3);
+            let run = run_agreement(
+                &b,
+                &mut mem,
+                &[100, 200, 300],
+                &mut BurstSched::seeded(seed, 64),
+                &[None, None, Some(seed % 4)],
+                400_000,
+            );
+            assert!(run.is_valid());
+            if run.distinct_decisions().len() > 1 {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations > 0,
+            "400 burst schedules must expose the AGM non-strong-linearizability"
+        );
+    }
+
+    #[test]
+    fn cas_queue_never_violates_under_the_same_adversary() {
+        // The control: the strongly-linearizable queue survives the
+        // exact adversary that breaks the AGM stack.
+        for seed in 0..400 {
+            let mut mem = SimMemory::new();
+            let alg = CasQueueAlg::new(&mut mem);
+            let b = AlgoB::new(&mut mem, alg, QueueOrdering, 3);
+            let run = run_agreement(
+                &b,
+                &mut mem,
+                &[100, 200, 300],
+                &mut BurstSched::seeded(seed, 64),
+                &[None, None, Some(seed % 4)],
+                400_000,
+            );
+            assert!(run.is_valid());
+            assert!(
+                run.distinct_decisions().len() <= 1,
+                "seed {seed}: {run:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_always_valid_even_for_agm() {
+        // Violating agreement never violates validity.
+        for seed in 0..50 {
+            let mut mem = SimMemory::new();
+            let alg = AgmStackAlg::new(&mut mem);
+            let b = AlgoB::new(&mut mem, alg, StackOrdering, 3);
+            let run = run_agreement(
+                &b,
+                &mut mem,
+                &[4, 5, 6],
+                &mut RandomSched::seeded(seed),
+                &[None, None, None],
+                200_000,
+            );
+            assert!(run.is_valid(), "seed {seed}");
+        }
+    }
+}

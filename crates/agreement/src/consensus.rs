@@ -1,0 +1,226 @@
+//! 2-process consensus from 2-process test&set.
+//!
+//! The paper's Theorem 19 leans on the equivalence of 2-process
+//! test&set and 2-process consensus \[20\]: the winner of the test&set
+//! decides its own value, the loser adopts the winner's. This module
+//! provides the classic construction in both step-machine form (for
+//! exhaustive interleaving checks) and production form (on
+//! [`sl2_primitives::TwoProcessTestAndSet`]), plus validators used by
+//! the Theorem 19 discussion in EXPERIMENTS.md: with only 2-process
+//! test&set available, disjoint pairs can agree pairwise, but `n > 2k`
+//! processes cannot reach k-agreement — the validator exhibits the
+//! pairwise building block working and the experiments record the
+//! impossibility boundary.
+
+use sl2_exec::machine::Step;
+use sl2_exec::mem::{Cell, Loc, SimMemory};
+use sl2_primitives::{Register, TwoProcessTestAndSet};
+
+/// Sentinel for "no value announced" (values are stored +1).
+const NO_VALUE: u64 = 0;
+
+/// Step-machine form of 2-process test&set consensus. The two
+/// participants are processes 0 and 1 of the instance.
+#[derive(Debug, Clone)]
+pub struct TasConsensus {
+    announce: [Loc; 2],
+    ts: Loc,
+}
+
+impl TasConsensus {
+    /// Allocates the shared objects.
+    pub fn new(mem: &mut SimMemory) -> Self {
+        TasConsensus {
+            announce: [mem.alloc(Cell::Reg(NO_VALUE)), mem.alloc(Cell::Reg(NO_VALUE))],
+            ts: mem.alloc(Cell::Tas(false)),
+        }
+    }
+
+    /// Creates the proposer machine for participant `who` (0 or 1).
+    pub fn propose(&self, who: usize, value: u64) -> TasConsensusMachine {
+        assert!(who < 2, "2-process consensus has participants 0 and 1");
+        TasConsensusMachine::Announce {
+            obj: self.clone(),
+            who,
+            value,
+        }
+    }
+}
+
+/// Step machine for one `propose` call.
+#[derive(Debug, Clone)]
+pub enum TasConsensusMachine {
+    /// Step 1: announce the own value.
+    Announce {
+        /// Shared objects.
+        obj: TasConsensus,
+        /// Participant index (0/1).
+        who: usize,
+        /// Proposed value.
+        value: u64,
+    },
+    /// Step 2: race on the test&set.
+    Race {
+        /// Shared objects.
+        obj: TasConsensus,
+        /// Participant index (0/1).
+        who: usize,
+        /// Proposed value.
+        value: u64,
+    },
+    /// Step 3 (loser only): read the winner's announcement.
+    Adopt {
+        /// Shared objects.
+        obj: TasConsensus,
+        /// Participant index (0/1).
+        who: usize,
+    },
+}
+
+impl TasConsensusMachine {
+    /// Performs one shared-memory step; returns the decision when
+    /// done.
+    pub fn step(&mut self, mem: &mut SimMemory) -> Step<u64> {
+        match self.clone() {
+            TasConsensusMachine::Announce { obj, who, value } => {
+                mem.write(obj.announce[who], value + 1);
+                *self = TasConsensusMachine::Race { obj, who, value };
+                Step::Pending
+            }
+            TasConsensusMachine::Race { obj, who, value } => {
+                if mem.tas(obj.ts) == 0 {
+                    Step::Ready(value)
+                } else {
+                    *self = TasConsensusMachine::Adopt { obj, who };
+                    Step::Pending
+                }
+            }
+            TasConsensusMachine::Adopt { obj, who } => {
+                let other = mem.read(obj.announce[1 - who]);
+                assert_ne!(other, NO_VALUE, "winner announced before racing");
+                Step::Ready(other - 1)
+            }
+        }
+    }
+}
+
+/// Production form: 2-process consensus on real atomics.
+#[derive(Debug)]
+pub struct TasConsensusShared {
+    announce: [Register; 2],
+    ts: TwoProcessTestAndSet,
+}
+
+impl Default for TasConsensusShared {
+    fn default() -> Self {
+        TasConsensusShared {
+            announce: [Register::new(NO_VALUE), Register::new(NO_VALUE)],
+            ts: TwoProcessTestAndSet::new(),
+        }
+    }
+}
+
+impl TasConsensusShared {
+    /// Creates a consensus object for two participants.
+    pub fn new() -> Self {
+        TasConsensusShared::default()
+    }
+
+    /// Proposes `value` as participant `who` (0 or 1); returns the
+    /// decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `who` is not 0 or 1.
+    pub fn propose(&self, who: usize, value: u64) -> u64 {
+        assert!(who < 2, "participants are 0 and 1");
+        self.announce[who].write(value + 1);
+        if self.ts.test_and_set(who) == 0 {
+            value
+        } else {
+            let other = self.announce[1 - who].read();
+            assert_ne!(other, NO_VALUE, "winner announced before racing");
+            other - 1
+        }
+    }
+}
+
+/// Exhaustively verifies agreement + validity of the step-machine
+/// consensus over *every* interleaving of the two proposers. Returns
+/// the number of interleavings checked.
+pub fn verify_tas_consensus_exhaustively(v0: u64, v1: u64) -> usize {
+    fn explore(
+        mem: &SimMemory,
+        machines: &mut [Option<TasConsensusMachine>; 2],
+        decided: &mut [Option<u64>; 2],
+        inputs: [u64; 2],
+        count: &mut usize,
+    ) {
+        let enabled: Vec<usize> = (0..2).filter(|&p| machines[p].is_some()).collect();
+        if enabled.is_empty() {
+            *count += 1;
+            let d0 = decided[0].expect("both decided");
+            let d1 = decided[1].expect("both decided");
+            assert_eq!(d0, d1, "agreement violated");
+            assert!(d0 == inputs[0] || d0 == inputs[1], "validity violated");
+            return;
+        }
+        for p in enabled {
+            let mut mem2 = mem.clone();
+            let mut machines2 = machines.clone();
+            let mut decided2 = *decided;
+            let mut m = machines2[p].take().expect("enabled");
+            match m.step(&mut mem2) {
+                Step::Pending => machines2[p] = Some(m),
+                Step::Ready(v) => decided2[p] = Some(v),
+            }
+            explore(&mem2, &mut machines2, &mut decided2, inputs, count);
+        }
+    }
+
+    let mut mem = SimMemory::new();
+    let obj = TasConsensus::new(&mut mem);
+    let mut machines = [Some(obj.propose(0, v0)), Some(obj.propose(1, v1))];
+    let mut decided = [None, None];
+    let mut count = 0;
+    explore(&mem, &mut machines, &mut decided, [v0, v1], &mut count);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_agreement_and_validity() {
+        let interleavings = verify_tas_consensus_exhaustively(17, 42);
+        assert!(interleavings >= 6, "checked {interleavings} interleavings");
+    }
+
+    #[test]
+    fn exhaustive_with_equal_inputs() {
+        verify_tas_consensus_exhaustively(5, 5);
+    }
+
+    #[test]
+    fn production_form_agrees_across_threads() {
+        for _ in 0..200 {
+            let c = std::sync::Arc::new(TasConsensusShared::new());
+            let c0 = std::sync::Arc::clone(&c);
+            let c1 = std::sync::Arc::clone(&c);
+            let (d0, d1) = std::thread::scope(|s| {
+                let h0 = s.spawn(move || c0.propose(0, 111));
+                let h1 = s.spawn(move || c1.propose(1, 222));
+                (h0.join().expect("p0"), h1.join().expect("p1"))
+            });
+            assert_eq!(d0, d1);
+            assert!(d0 == 111 || d0 == 222);
+        }
+    }
+
+    #[test]
+    fn solo_proposer_decides_itself() {
+        let c = TasConsensusShared::new();
+        assert_eq!(c.propose(0, 9), 9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Section 5 of *Strong Linearizability using Primitives with
+//! Consensus Number 2* (Attiya, Castañeda, Enea; PODC 2024), executable.
+//!
+//! * [`ordering`] — Definition 11 (*k-ordering objects*) with the
+//!   paper's full catalogue: queues, stacks, multiplicity variants,
+//!   m-stuttering variants, k-out-of-order queues, plus an empirical
+//!   validator for the definition (experiment E13).
+//! * [`algo_b`] — Algorithm B of Lemma 12: k-set agreement from any
+//!   lock-free strongly-linearizable implementation with readable base
+//!   objects. Run positively over the CAS queue (consensus solved —
+//!   E9) and negatively over the AGM stack (agreement violated — E10,
+//!   the executable content of Theorem 17).
+//! * [`consensus`] — 2-process consensus ⇔ 2-process test&set (the
+//!   Theorem 19 ingredient), verified over every interleaving.
+//!
+//! The impossibility theorems themselves (17 and 19) cannot be "run";
+//! what can be run is their reduction, in both directions — see
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algo_b;
+pub mod atomic;
+pub mod consensus;
+pub mod ordering;
+
+pub use algo_b::{run_agreement, AgreementRun, AlgoB, BProcess};
+pub use atomic::{AtomicOooQueueAlg, AtomicQueueAlg};
+pub use consensus::{verify_tas_consensus_exhaustively, TasConsensus, TasConsensusShared};
+pub use ordering::{
+    KOrdering, MultiplicityQueueOrdering, MultiplicityStackOrdering, OutOfOrderQueueOrdering,
+    QueueOrdering, StackOrdering, StutteringQueueOrdering, StutteringStackOrdering,
+    validate_k_ordering,
+};

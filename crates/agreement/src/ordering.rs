@@ -1,0 +1,522 @@
+//! *k-ordering objects* (Definition 11) and the paper's catalogue.
+//!
+//! An object is k-ordering if each process has a *proposal* sequence
+//! and a *decision* sequence of invocations, plus a decision function
+//! `d`, such that running proposals through any strongly-linearizable
+//! implementation and then locally simulating the decision sequence
+//! solves k-set agreement. Section 5 instantiates this for queues,
+//! stacks, queues/stacks with multiplicity, m-stuttering queues/stacks
+//! and k-out-of-order queues; those instances live here, validated by
+//! [`validate_k_ordering`] over random sequential executions of the
+//! *atomic* object (experiment E13).
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sl2_spec::fifo::{QueueOp, QueueResp, QueueSpec, StackOp, StackResp, StackSpec};
+use sl2_spec::relaxed::{
+    MultiplicityQueueSpec, MultiplicityStackSpec, OutOfOrderQueueSpec, StutteringQueueSpec,
+    StutteringStackSpec,
+};
+use sl2_spec::Spec;
+
+/// Definition 11: proposal/decision sequences and the decision
+/// function `d` for an object type.
+pub trait KOrdering: Clone + Debug {
+    /// The object's sequential specification.
+    type Spec: Spec;
+
+    /// An instance of the specification (used to run/validate
+    /// sequential executions).
+    fn spec(&self) -> Self::Spec;
+
+    /// The `k` of the agreement the object solves among `n` processes.
+    fn k(&self, n: usize) -> usize;
+
+    /// `prop_i`: the invocation sequence process `i` performs on the
+    /// shared implementation.
+    fn proposal(&self, i: usize, n: usize) -> Vec<<Self::Spec as Spec>::Op>;
+
+    /// `dec_i`: the invocation sequence process `i` simulates locally.
+    fn decision(&self, i: usize, n: usize) -> Vec<<Self::Spec as Spec>::Op>;
+
+    /// `d(i, resps)`: maps the concatenated responses of `prop_i` and
+    /// `dec_i` to the index of a winning process.
+    fn decide(&self, i: usize, n: usize, resps: &[<Self::Spec as Spec>::Resp]) -> usize;
+
+    /// Whether the *local simulation* of `dec_i` must resolve the
+    /// specification's nondeterminism canonically (first outcome).
+    ///
+    /// Algorithm B simulates a fixed, deterministic implementation,
+    /// whose solo executions do not exercise the optional "operation
+    /// has no effect" relaxations (stuttering, multiplicity): those
+    /// fire under concurrency only. The k-out-of-order queue is
+    /// different — *which* of the `k` oldest items a dequeue returns
+    /// is implementation-defined even solo — so it overrides this to
+    /// `false` and the validator samples the choice.
+    fn canonical_decision_sim(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue-shaped instances: prop = enq(i)^r, dec = deq, d = dequeued id.
+// ---------------------------------------------------------------------
+
+/// Queues are 1-ordering: `prop_i = enq(i)`, `dec_i = deq()`,
+/// `d(i, OK · ℓ) = ℓ`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueOrdering;
+
+impl KOrdering for QueueOrdering {
+    type Spec = QueueSpec;
+
+    fn spec(&self) -> QueueSpec {
+        QueueSpec
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Enq(i as u64)]
+    }
+
+    fn decision(&self, _i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Deq]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[QueueResp]) -> usize {
+        match resps.last() {
+            Some(QueueResp::Item(l)) => *l as usize,
+            other => panic!("queue decision sequence must dequeue an item, got {other:?}"),
+        }
+    }
+}
+
+/// Queues with multiplicity are 1-ordering with the same sequences
+/// (the relaxation only fires for concurrent dequeues, and each
+/// process dequeues once, locally).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiplicityQueueOrdering;
+
+impl KOrdering for MultiplicityQueueOrdering {
+    type Spec = MultiplicityQueueSpec;
+
+    fn spec(&self) -> MultiplicityQueueSpec {
+        MultiplicityQueueSpec
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Enq(i as u64)]
+    }
+
+    fn decision(&self, _i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Deq]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[QueueResp]) -> usize {
+        match resps.last() {
+            Some(QueueResp::Item(l)) => *l as usize,
+            other => panic!("multiplicity queue decision must dequeue, got {other:?}"),
+        }
+    }
+}
+
+/// m-stuttering queues are 1-ordering: `prop_i = enq(i)^{m+1}` (at
+/// least one lands), `dec_i = deq()`.
+#[derive(Debug, Clone, Copy)]
+pub struct StutteringQueueOrdering {
+    /// The stuttering bound `m ≥ 1`.
+    pub m: u32,
+}
+
+impl KOrdering for StutteringQueueOrdering {
+    type Spec = StutteringQueueSpec;
+
+    fn spec(&self) -> StutteringQueueSpec {
+        StutteringQueueSpec { m: self.m }
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Enq(i as u64); self.m as usize + 1]
+    }
+
+    fn decision(&self, _i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Deq]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[QueueResp]) -> usize {
+        match resps.last() {
+            Some(QueueResp::Item(l)) => *l as usize,
+            other => panic!("stuttering queue decision must dequeue, got {other:?}"),
+        }
+    }
+}
+
+/// k-out-of-order queues are k-ordering: the dequeued item is one of
+/// the `k` oldest, so decisions land in the first `k` enqueuers.
+#[derive(Debug, Clone, Copy)]
+pub struct OutOfOrderQueueOrdering {
+    /// The out-of-order window (the object's `k`).
+    pub k: usize,
+}
+
+impl KOrdering for OutOfOrderQueueOrdering {
+    type Spec = OutOfOrderQueueSpec;
+
+    fn spec(&self) -> OutOfOrderQueueSpec {
+        OutOfOrderQueueSpec { k: self.k }
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        self.k
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Enq(i as u64)]
+    }
+
+    fn decision(&self, _i: usize, _n: usize) -> Vec<QueueOp> {
+        vec![QueueOp::Deq]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[QueueResp]) -> usize {
+        match resps.last() {
+            Some(QueueResp::Item(l)) => *l as usize,
+            other => panic!("out-of-order queue decision must dequeue, got {other:?}"),
+        }
+    }
+
+    fn canonical_decision_sim(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stack-shaped instances: dec = pop^(...), d = deepest popped id.
+// ---------------------------------------------------------------------
+
+fn last_item_of_stack_resps(resps: &[StackResp]) -> usize {
+    resps
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            StackResp::Item(l) => Some(*l as usize),
+            _ => None,
+        })
+        .expect("some pop must return an item")
+}
+
+/// Stacks are 1-ordering: `prop_i = push(i)`, `dec_i = pop()^{n+1}`,
+/// `d` = the non-ε response with the largest index (the bottom of the
+/// stack = the first push).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackOrdering;
+
+impl KOrdering for StackOrdering {
+    type Spec = StackSpec;
+
+    fn spec(&self) -> StackSpec {
+        StackSpec
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<StackOp> {
+        vec![StackOp::Push(i as u64)]
+    }
+
+    fn decision(&self, _i: usize, n: usize) -> Vec<StackOp> {
+        vec![StackOp::Pop; n + 1]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[StackResp]) -> usize {
+        last_item_of_stack_resps(resps)
+    }
+}
+
+/// Stacks with multiplicity are 1-ordering with the stack sequences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiplicityStackOrdering;
+
+impl KOrdering for MultiplicityStackOrdering {
+    type Spec = MultiplicityStackSpec;
+
+    fn spec(&self) -> MultiplicityStackSpec {
+        MultiplicityStackSpec
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<StackOp> {
+        vec![StackOp::Push(i as u64)]
+    }
+
+    fn decision(&self, _i: usize, n: usize) -> Vec<StackOp> {
+        // Duplicated pops can stretch the stack: pop once per possible
+        // duplicate too (n+1 suffices — local simulation has no
+        // concurrency, so no duplicates arise — but keep the paper's
+        // count).
+        vec![StackOp::Pop; n + 1]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[StackResp]) -> usize {
+        last_item_of_stack_resps(resps)
+    }
+}
+
+/// m-stuttering stacks are 1-ordering: `prop_i = push(i)^{m+1}`,
+/// `dec_i = pop()^{n(m+1)+1}`.
+#[derive(Debug, Clone, Copy)]
+pub struct StutteringStackOrdering {
+    /// The stuttering bound `m ≥ 1`.
+    pub m: u32,
+}
+
+impl KOrdering for StutteringStackOrdering {
+    type Spec = StutteringStackSpec;
+
+    fn spec(&self) -> StutteringStackSpec {
+        StutteringStackSpec { m: self.m }
+    }
+
+    fn k(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn proposal(&self, i: usize, _n: usize) -> Vec<StackOp> {
+        vec![StackOp::Push(i as u64); self.m as usize + 1]
+    }
+
+    fn decision(&self, _i: usize, n: usize) -> Vec<StackOp> {
+        vec![StackOp::Pop; n * (self.m as usize + 1) + 1]
+    }
+
+    fn decide(&self, _i: usize, _n: usize, resps: &[StackResp]) -> usize {
+        last_item_of_stack_resps(resps)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation of Definition 11 over the atomic object (experiment E13)
+// ---------------------------------------------------------------------
+
+/// Empirically validates that `ordering` is k-ordering for the atomic
+/// object, in the form Lemma 12 consumes it: decisions taken at
+/// different points of **one** execution chain stay within a set of at
+/// most `k` process indexes.
+///
+/// Per round, one full sequential execution chain is built (a random
+/// interleaving of all proposal sequences, with the object's
+/// nondeterminism — e.g. stuttering — resolved randomly, playing the
+/// adversary). Every process then decides at a random cut of the chain
+/// at which its own proposal is complete, by locally simulating its
+/// decision sequence from the cut state (canonically or sampled, per
+/// [`KOrdering::canonical_decision_sim`]). Checks:
+///
+/// * **k-agreement**: at most `k` distinct decisions per chain;
+/// * **validity**: every decided process has started its proposal at
+///   the corresponding cut (the guarantee Algorithm B needs — its
+///   `M[ℓ]` entry is written before its first proposal step; for the
+///   exact queue/stack the decided proposal is in fact complete, as
+///   the paper notes).
+///
+/// Returns the maximum per-chain disagreement observed (≤ k).
+///
+/// # Panics
+///
+/// Panics if either property is violated.
+pub fn validate_k_ordering<O: KOrdering>(
+    ordering: &O,
+    n: usize,
+    rounds: u64,
+    cuts_per_process: u64,
+    seed: u64,
+) -> usize {
+    let spec = ordering.spec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst = 0usize;
+    for round in 0..rounds {
+        // One chain: a random interleaving of all proposal operations.
+        // chain[t] = (state after t+1 ops, per-process responses so
+        // far, per-process progress).
+        let mut pending: Vec<(usize, usize)> = Vec::new(); // (proc, remaining)
+        for i in 0..n {
+            pending.push((i, ordering.proposal(i, n).len()));
+        }
+        let mut state = spec.initial();
+        let mut resps: Vec<Vec<<O::Spec as Spec>::Resp>> = vec![Vec::new(); n];
+        let mut progress = vec![0usize; n];
+        // Record the evolution for cutting.
+        type Snapshot<O> = (
+            <<O as KOrdering>::Spec as Spec>::State,
+            Vec<Vec<<<O as KOrdering>::Spec as Spec>::Resp>>,
+            Vec<usize>,
+        );
+        let mut timeline: Vec<Snapshot<O>> =
+            vec![(state.clone(), resps.clone(), progress.clone())];
+        while !pending.is_empty() {
+            let pick = rng.gen_range(0..pending.len());
+            let (i, _) = pending[pick];
+            let op = &ordering.proposal(i, n)[progress[i]];
+            let outcomes = spec.step(&state, op);
+            let (next, r) = outcomes[rng.gen_range(0..outcomes.len())].clone();
+            state = next;
+            resps[i].push(r);
+            progress[i] += 1;
+            pending[pick].1 -= 1;
+            if pending[pick].1 == 0 {
+                pending.swap_remove(pick);
+            }
+            timeline.push((state.clone(), resps.clone(), progress.clone()));
+        }
+
+        // Decisions at random cuts where the decider's prop is done.
+        let mut decisions: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let prop_len = ordering.proposal(i, n).len();
+            let earliest = timeline
+                .iter()
+                .position(|(_, _, prog)| prog[i] == prop_len)
+                .expect("chain completes every proposal");
+            for _ in 0..cuts_per_process {
+                let cut = rng.gen_range(earliest..timeline.len());
+                let (cut_state, cut_resps, cut_prog) = &timeline[cut];
+                let mut sim = cut_state.clone();
+                let mut all = cut_resps[i].clone();
+                for op in ordering.decision(i, n) {
+                    let outcomes = spec.step(&sim, &op);
+                    let choice = if ordering.canonical_decision_sim() {
+                        0
+                    } else {
+                        rng.gen_range(0..outcomes.len())
+                    };
+                    let (next, r) = outcomes[choice].clone();
+                    sim = next;
+                    all.push(r);
+                }
+                let l = ordering.decide(i, n, &all);
+                assert!(
+                    cut_prog[l] >= 1,
+                    "round {round}: decided process {l} has not started its proposal"
+                );
+                if !decisions.contains(&l) {
+                    decisions.push(l);
+                }
+            }
+        }
+        assert!(
+            decisions.len() <= ordering.k(n),
+            "round {round}: {} distinct decisions {decisions:?} exceed k={}",
+            decisions.len(),
+            ordering.k(n)
+        );
+        worst = worst.max(decisions.len());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_1_ordering() {
+        assert_eq!(validate_k_ordering(&QueueOrdering, 4, 60, 20, 1), 1);
+    }
+
+    #[test]
+    fn stack_is_1_ordering() {
+        assert_eq!(validate_k_ordering(&StackOrdering, 4, 60, 20, 2), 1);
+    }
+
+    #[test]
+    fn multiplicity_queue_is_1_ordering() {
+        assert_eq!(
+            validate_k_ordering(&MultiplicityQueueOrdering, 3, 60, 20, 3),
+            1
+        );
+    }
+
+    #[test]
+    fn multiplicity_stack_is_1_ordering() {
+        assert_eq!(
+            validate_k_ordering(&MultiplicityStackOrdering, 3, 60, 20, 4),
+            1
+        );
+    }
+
+    #[test]
+    fn stuttering_queue_is_1_ordering() {
+        for m in [1, 2] {
+            assert_eq!(
+                validate_k_ordering(&StutteringQueueOrdering { m }, 3, 50, 20, 5 + m as u64),
+                1,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn stuttering_stack_is_1_ordering() {
+        for m in [1, 2] {
+            assert_eq!(
+                validate_k_ordering(&StutteringStackOrdering { m }, 3, 50, 20, 8 + m as u64),
+                1,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_queue_is_k_ordering() {
+        for k in [1usize, 2, 3] {
+            let worst =
+                validate_k_ordering(&OutOfOrderQueueOrdering { k }, 5, 60, 30, 20 + k as u64);
+            assert!(worst <= k, "k={k}, observed {worst}");
+        }
+        // And the window genuinely widens: with k=3 and 5 processes,
+        // more than one decision is reachable.
+        let worst = validate_k_ordering(&OutOfOrderQueueOrdering { k: 3 }, 5, 80, 40, 99);
+        assert!(worst >= 2, "expected real multi-valued decisions");
+    }
+
+    #[test]
+    fn queue_decide_reads_the_dequeued_index() {
+        let d = QueueOrdering.decide(0, 3, &[QueueResp::Ok, QueueResp::Item(2)]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn stack_decide_takes_deepest_item() {
+        let resps = vec![
+            StackResp::Ok,
+            StackResp::Item(2),
+            StackResp::Item(0),
+            StackResp::Empty,
+            StackResp::Empty,
+        ];
+        assert_eq!(StackOrdering.decide(1, 4, &resps), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must dequeue")]
+    fn queue_decide_rejects_empty() {
+        QueueOrdering.decide(0, 3, &[QueueResp::Ok, QueueResp::Empty]);
+    }
+}

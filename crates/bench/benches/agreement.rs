@@ -1,0 +1,94 @@
+//! Experiment E9/E17 benchmark — the cost of agreement.
+//!
+//! Measures one full Algorithm B consensus (Lemma 12) over the
+//! strongly-linearizable CAS queue, in simulated steps and wall time,
+//! for n ∈ {2, 3, 4}; one full k-set agreement over the atomic
+//! k-out-of-order queue (E17); and the 2-process test&set consensus
+//! (Theorem 19's building block) on real atomics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_agreement::{
+    run_agreement, AlgoB, AtomicOooQueueAlg, OutOfOrderQueueOrdering, QueueOrdering,
+    TasConsensusShared,
+};
+use sl2_core::baselines::cas_queue::CasQueueAlg;
+use sl2_exec::sched::RoundRobin;
+use sl2_exec::SimMemory;
+use std::hint::black_box;
+
+fn bench_algo_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo_b_consensus");
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("cas_queue", n), &n, |b, &n| {
+            let inputs: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                let mut mem = SimMemory::new();
+                let alg = CasQueueAlg::new(&mut mem);
+                let bb = AlgoB::new(&mut mem, alg, QueueOrdering, n);
+                let run = run_agreement(
+                    &bb,
+                    &mut mem,
+                    &inputs,
+                    &mut RoundRobin::default(),
+                    &vec![None; n],
+                    1_000_000,
+                );
+                black_box(run)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_set_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo_b_k_set");
+    for (n, k) in [(4usize, 1usize), (4, 2), (6, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("ooo_queue_k{k}"), n),
+            &(n, k),
+            |b, &(n, k)| {
+                let inputs: Vec<u64> = (0..n as u64).collect();
+                b.iter(|| {
+                    let mut mem = SimMemory::new();
+                    let alg = AtomicOooQueueAlg::new(&mut mem, k);
+                    let bb = AlgoB::new(&mut mem, alg, OutOfOrderQueueOrdering { k }, n);
+                    let run = run_agreement(
+                        &bb,
+                        &mut mem,
+                        &inputs,
+                        &mut RoundRobin::default(),
+                        &vec![None; n],
+                        1_000_000,
+                    );
+                    black_box(run)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tas_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tas_consensus_2proc");
+    group.bench_function("threads", |b| {
+        b.iter(|| {
+            let obj = std::sync::Arc::new(TasConsensusShared::new());
+            let o2 = std::sync::Arc::clone(&obj);
+            std::thread::scope(|s| {
+                let h0 = s.spawn(move || obj.propose(0, 11));
+                let h1 = s.spawn(move || o2.propose(1, 22));
+                black_box((h0.join().unwrap_or(0), h1.join().unwrap_or(0)))
+            })
+        });
+    });
+    group.bench_function("solo", |b| {
+        b.iter(|| {
+            let obj = TasConsensusShared::new();
+            black_box(obj.propose(0, 11))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algo_b, bench_k_set_agreement, bench_tas_consensus);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Tooling benchmark — throughput of the verification substrate
+//! itself: the strong-linearizability checker on the canonical
+//! positive (Theorem 5) and negative (AGM stack) scenarios, the
+//! memoization (DAG vs tree) ablation, and the plain linearizability
+//! checker on generated histories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl2_core::baselines::agm_stack::AgmStackAlg;
+use sl2_core::machines::readable_ts::ReadableTasAlg;
+use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
+use sl2_exec::strong::{check_strong, check_strong_with, StrongOptions};
+use sl2_exec::{is_linearizable, SimMemory};
+use sl2_spec::fifo::{StackOp, StackSpec};
+use sl2_spec::tas::{ReadableTasSpec, TasOp};
+use std::hint::black_box;
+
+fn bench_strong_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_checker");
+    group.sample_size(10);
+    group.bench_function("thm5_verify", |b| {
+        let scenario = Scenario::new(vec![
+            vec![TasOp::TestAndSet],
+            vec![TasOp::TestAndSet],
+            vec![TasOp::Read, TasOp::Read],
+        ]);
+        b.iter(|| {
+            let mut mem = SimMemory::new();
+            let alg = ReadableTasAlg::new(&mut mem);
+            black_box(check_strong(&alg, mem, &scenario, 8_000_000))
+        });
+    });
+    group.bench_function("agm_refute", |b| {
+        let scenario = Scenario::new(vec![
+            vec![StackOp::Push(1)],
+            vec![StackOp::Push(2)],
+            vec![StackOp::Pop, StackOp::Pop],
+        ]);
+        b.iter(|| {
+            let mut mem = SimMemory::new();
+            let alg = AgmStackAlg::new(&mut mem);
+            black_box(check_strong(&alg, mem, &scenario, 16_000_000))
+        });
+    });
+    group.finish();
+}
+
+/// Ablation of the checker's state-hashing DAG (DESIGN.md §5): the
+/// same verification with memoization disabled re-explores every
+/// execution-tree join. The separation grows with scenario size; the
+/// printed `nodes` counts quantify it (wall time follows).
+fn bench_memoization_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_checker_ablation");
+    group.sample_size(10);
+    let scenarios: Vec<(&str, Scenario<ReadableTasSpec>)> = vec![
+        (
+            "4ops",
+            Scenario::new(vec![
+                vec![TasOp::TestAndSet],
+                vec![TasOp::TestAndSet],
+                vec![TasOp::Read, TasOp::Read],
+            ]),
+        ),
+        (
+            "5ops",
+            Scenario::new(vec![
+                vec![TasOp::TestAndSet, TasOp::Read],
+                vec![TasOp::TestAndSet],
+                vec![TasOp::Read, TasOp::Read],
+            ]),
+        ),
+        (
+            "6ops",
+            Scenario::new(vec![
+                vec![TasOp::TestAndSet, TasOp::Read],
+                vec![TasOp::TestAndSet, TasOp::Read],
+                vec![TasOp::TestAndSet, TasOp::Read],
+            ]),
+        ),
+    ];
+    for (name, scenario) in &scenarios {
+        for memoize in [true, false] {
+            let id = format!("{name}_{}", if memoize { "dag" } else { "tree" });
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    let mut mem = SimMemory::new();
+                    let alg = ReadableTasAlg::new(&mut mem);
+                    black_box(check_strong_with(
+                        &alg,
+                        mem,
+                        scenario,
+                        StrongOptions {
+                            node_limit: 64_000_000,
+                            memoize,
+                        },
+                    ))
+                });
+            });
+        }
+        // Report the deterministic state counts once per scenario.
+        let mut mem = SimMemory::new();
+        let alg = ReadableTasAlg::new(&mut mem);
+        let opts = |memoize| StrongOptions {
+            node_limit: 64_000_000,
+            memoize,
+        };
+        let dag = check_strong_with(&alg, mem.clone(), scenario, opts(true));
+        let tree = check_strong_with(&alg, mem, scenario, opts(false));
+        println!(
+            "memoization ablation ({name}): dag={} states, tree={} states ({}x)",
+            dag.nodes,
+            tree.nodes,
+            tree.nodes / dag.nodes.max(1)
+        );
+    }
+    group.finish();
+}
+
+fn bench_lin_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lin_checker");
+    // Pre-generate histories once; measure pure checking cost.
+    let scenario = Scenario::new(vec![
+        vec![StackOp::Push(1), StackOp::Pop],
+        vec![StackOp::Push(2), StackOp::Pop],
+        vec![StackOp::Pop, StackOp::Push(3)],
+    ]);
+    let mut histories = Vec::new();
+    for seed in 0..50 {
+        let mut mem = SimMemory::new();
+        let alg = AgmStackAlg::new(&mut mem);
+        let exec = run(
+            &alg,
+            mem,
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(3),
+        );
+        histories.push(exec.history);
+    }
+    group.bench_function("stack_6ops_x50", |b| {
+        b.iter(|| {
+            for h in &histories {
+                black_box(is_linearizable(&StackSpec, h));
+            }
+        });
+    });
+    let scenario = Scenario::new(vec![
+        vec![TasOp::TestAndSet, TasOp::Read],
+        vec![TasOp::Read, TasOp::TestAndSet],
+    ]);
+    let mut histories = Vec::new();
+    for seed in 0..50 {
+        let mut mem = SimMemory::new();
+        let alg = ReadableTasAlg::new(&mut mem);
+        let exec = run(
+            &alg,
+            mem,
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(2),
+        );
+        histories.push(exec.history);
+    }
+    group.bench_function("tas_4ops_x50", |b| {
+        b.iter(|| {
+            for h in &histories {
+                black_box(is_linearizable(&ReadableTasSpec, h));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strong_checker,
+    bench_memoization_ablation,
+    bench_lin_checker
+);
+criterion_main!(benches);

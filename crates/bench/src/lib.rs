@@ -1,0 +1,90 @@
+//! Shared harness code for the benchmark suite (see EXPERIMENTS.md for
+//! the experiment ↔ bench mapping).
+//!
+//! The benches compare the paper's strongly-linearizable constructions
+//! against (a) weaker baselines that are merely linearizable and (b)
+//! the compare&swap route that needs consensus number ∞. Criterion
+//! drives single-thread measurements; [`parallel_duration`] measures
+//! multi-thread throughput under a start barrier for the scaling
+//! series.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Runs `f(thread_id)` on `threads` OS threads after a common barrier
+/// and returns the wall-clock duration of the slowest thread — i.e.
+/// the makespan of the contended workload.
+pub fn parallel_duration<F>(threads: usize, f: F) -> Duration
+where
+    F: Fn(usize) + Sync,
+{
+    let barrier = Barrier::new(threads);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let f = &f;
+            s.spawn(move || {
+                barrier.wait();
+                f(t);
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Deterministic pseudo-random value stream for workloads (xorshift*;
+/// no external RNG needed on the hot path).
+#[derive(Debug, Clone)]
+pub struct ValueStream {
+    state: u64,
+}
+
+impl ValueStream {
+    /// Creates a stream from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        ValueStream {
+            state: seed.max(1),
+        }
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_value(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Next value reduced into `0..bound`.
+    pub fn next_in(&mut self, bound: u64) -> u64 {
+        self.next_value() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn parallel_duration_runs_every_thread() {
+        let hits = AtomicU64::new(0);
+        let d = parallel_duration(4, |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn value_stream_is_deterministic_and_bounded() {
+        let mut a = ValueStream::new(7);
+        let mut b = ValueStream::new(7);
+        for _ in 0..100 {
+            let x = a.next_in(50);
+            assert_eq!(x, b.next_in(50));
+            assert!(x < 50);
+        }
+    }
+}

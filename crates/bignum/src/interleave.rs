@@ -1,0 +1,213 @@
+//! Interleaved-bit layout shared by the Section 3 constructions.
+//!
+//! A single wide register `R` packs one unbounded bit-string per process:
+//! with `n` processes, process `i` owns bits `i, n+i, 2n+i, ...` of `R`
+//! (its *lane*). This is the representation the paper borrows from the
+//! recoverable fetch&add of Nahum et al. \[26\]. Lane `k`-th bit of process
+//! `i` lives at global bit `k*n + i`.
+//!
+//! [`Layout`] converts between a process-local value and its lane image,
+//! and decodes a whole register into per-process values.
+
+use crate::BigNat;
+
+/// The interleaved lane layout for `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_bignum::{BigNat, Layout};
+///
+/// let layout = Layout::new(3);
+/// // Process 1 encodes local value 0b101 into its lane.
+/// let lane = layout.encode(1, &BigNat::from(0b101u64));
+/// // Global bits 0*3+1 = 1 and 2*3+1 = 7 are set.
+/// assert_eq!(lane.one_bits().collect::<Vec<_>>(), vec![1, 7]);
+/// assert_eq!(layout.decode(1, &lane), BigNat::from(0b101u64));
+/// // Other lanes are untouched.
+/// assert!(layout.decode(0, &lane).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layout {
+    n: usize,
+}
+
+impl Layout {
+    /// Creates a layout for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "layout requires at least one process");
+        Layout { n }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Global bit position of lane bit `k` of process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn bit(&self, i: usize, k: usize) -> usize {
+        assert!(i < self.n, "process index {i} out of range (n={})", self.n);
+        k * self.n + i
+    }
+
+    /// Spreads a process-local value into its lane image: local bit `k`
+    /// becomes global bit `k*n + i`.
+    pub fn encode(&self, i: usize, local: &BigNat) -> BigNat {
+        let mut out = BigNat::zero();
+        for k in local.one_bits() {
+            out.set_bit(self.bit(i, k), true);
+        }
+        out
+    }
+
+    /// Extracts process `i`'s local value from a register image.
+    pub fn decode(&self, i: usize, register: &BigNat) -> BigNat {
+        assert!(i < self.n, "process index {i} out of range (n={})", self.n);
+        let mut out = BigNat::zero();
+        for g in register.one_bits() {
+            if g % self.n == i {
+                out.set_bit(g / self.n, true);
+            }
+        }
+        out
+    }
+
+    /// Decodes the whole register into one local value per process —
+    /// the "view" reconstruction used by `scan`/`ReadMax`.
+    pub fn decode_all(&self, register: &BigNat) -> Vec<BigNat> {
+        let mut out = vec![BigNat::zero(); self.n];
+        for g in register.one_bits() {
+            out[g % self.n].set_bit(g / self.n, true);
+        }
+        out
+    }
+
+    /// The fetch&add adjustments that move process `i`'s lane from
+    /// `old` to `new`: `(posAdj, negAdj)` such that applying
+    /// `+posAdj − negAdj` to the register rewrites exactly the differing
+    /// lane bits (§3.2, step 2 of `update`).
+    pub fn adjustments(&self, i: usize, old: &BigNat, new: &BigNat) -> (BigNat, BigNat) {
+        let mut pos = BigNat::zero();
+        let mut neg = BigNat::zero();
+        let top = old.bit_len().max(new.bit_len());
+        for k in 0..top {
+            match (old.bit(k), new.bit(k)) {
+                (false, true) => pos.set_bit(self.bit(i, k), true),
+                (true, false) => neg.set_bit(self.bit(i, k), true),
+                _ => {}
+            }
+        }
+        (pos, neg)
+    }
+
+    /// The unary increment used by the §3.1 max register: the image of
+    /// setting lane bits `from+1 ..= to` (1-indexed values held in unary;
+    /// lane bit `v-1` set means "value at least v").
+    pub fn unary_increment(&self, i: usize, from: u64, to: u64) -> BigNat {
+        let mut out = BigNat::zero();
+        for v in (from + 1)..=to {
+            out.set_bit(self.bit(i, (v - 1) as usize), true);
+        }
+        out
+    }
+
+    /// Decodes the unary lane of process `i` into the value it encodes
+    /// (the count of set lane bits; the lane is always a prefix of ones).
+    pub fn decode_unary(&self, i: usize, register: &BigNat) -> u64 {
+        self.decode(i, register).count_ones() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_every_process() {
+        let layout = Layout::new(5);
+        let local = BigNat::from(0b1011001u64);
+        for i in 0..5 {
+            let lane = layout.encode(i, &local);
+            assert_eq!(layout.decode(i, &lane), local);
+            for j in 0..5 {
+                if j != i {
+                    assert!(layout.decode(j, &lane).is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_disjoint_and_compose_additively() {
+        let layout = Layout::new(3);
+        let a = layout.encode(0, &BigNat::from(0b11u64));
+        let b = layout.encode(1, &BigNat::from(0b10u64));
+        let c = layout.encode(2, &BigNat::from(0b01u64));
+        let sum = &(&a + &b) + &c;
+        let all = layout.decode_all(&sum);
+        assert_eq!(all[0], BigNat::from(0b11u64));
+        assert_eq!(all[1], BigNat::from(0b10u64));
+        assert_eq!(all[2], BigNat::from(0b01u64));
+    }
+
+    #[test]
+    fn single_process_layout_is_identity() {
+        let layout = Layout::new(1);
+        let v = BigNat::from(0xdead_beefu64);
+        assert_eq!(layout.encode(0, &v), v);
+        assert_eq!(layout.decode(0, &v), v);
+    }
+
+    #[test]
+    fn adjustments_rewrite_exactly_the_difference() {
+        let layout = Layout::new(4);
+        let old = BigNat::from(0b1100u64);
+        let new = BigNat::from(0b0110u64);
+        let (pos, neg) = layout.adjustments(2, &old, &new);
+        // Start from the encoded old lane plus noise in other lanes.
+        let noise = layout.encode(0, &BigNat::from(0b111u64));
+        let reg = &layout.encode(2, &old) + &noise;
+        let reg2 = reg.apply_adjustment(&pos, &neg);
+        assert_eq!(layout.decode(2, &reg2), new);
+        assert_eq!(layout.decode(0, &reg2), BigNat::from(0b111u64));
+    }
+
+    #[test]
+    fn adjustments_for_equal_values_are_zero() {
+        let layout = Layout::new(2);
+        let v = BigNat::from(42u64);
+        let (pos, neg) = layout.adjustments(1, &v, &v);
+        assert!(pos.is_zero() && neg.is_zero());
+    }
+
+    #[test]
+    fn unary_increment_encodes_prefix() {
+        let layout = Layout::new(2);
+        // process 1 raises its unary value from 2 to 5: sets lane bits 2,3,4
+        let inc = layout.unary_increment(1, 2, 5);
+        let reg = inc.clone();
+        assert_eq!(layout.decode_unary(1, &reg), 3); // bits 2..4 only
+        let full = &layout.unary_increment(1, 0, 2) + &inc;
+        assert_eq!(layout.decode_unary(1, &full), 5);
+    }
+
+    #[test]
+    fn unary_increment_noop_when_not_larger() {
+        let layout = Layout::new(2);
+        assert!(layout.unary_increment(0, 3, 3).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_bad_process() {
+        Layout::new(2).decode(2, &BigNat::zero());
+    }
+}

@@ -1,0 +1,496 @@
+//! [`BigNat`]: an arbitrary-precision natural number.
+//!
+//! The constructions of Section 3 of the paper store, in a single
+//! fetch&add register, one bit-string per process interleaved bit-by-bit
+//! (process `i` owns bits `i, n+i, 2n+i, ...`). Values written are of the
+//! form `2^(K*n+i)` and grow without bound, so a fixed-width integer does
+//! not suffice. `BigNat` is a little-endian limb vector (`u64` limbs) kept
+//! in *normalized* form: no trailing zero limbs, so `BigNat::default()`
+//! (zero) has an empty limb vector.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of bits per limb.
+pub const LIMB_BITS: usize = 64;
+
+/// An arbitrary-precision natural number (unsigned).
+///
+/// # Examples
+///
+/// ```
+/// use sl2_bignum::BigNat;
+///
+/// let a = BigNat::pow2(200);           // 2^200, far beyond u128
+/// let b = &a + &BigNat::from(1u64);
+/// assert!(b > a);
+/// assert_eq!(b.bit(200), true);
+/// assert_eq!(b.bit(0), true);
+/// assert_eq!(b.bit(100), false);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigNat {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigNat {
+    /// The value zero.
+    ///
+    /// ```
+    /// # use sl2_bignum::BigNat;
+    /// assert!(BigNat::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        BigNat { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigNat { limbs: vec![1] }
+    }
+
+    /// `2^k`, the fetch&add increment used throughout Section 3
+    /// ("apply `fetch&add(R, 2^(K*n+i))`").
+    ///
+    /// ```
+    /// # use sl2_bignum::BigNat;
+    /// assert_eq!(BigNat::pow2(0), BigNat::from(1u64));
+    /// assert_eq!(BigNat::pow2(65).bit(65), true);
+    /// ```
+    pub fn pow2(k: usize) -> Self {
+        let mut n = BigNat::zero();
+        n.set_bit(k, true);
+        n
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    ///
+    /// ```
+    /// # use sl2_bignum::BigNat;
+    /// assert_eq!(BigNat::zero().bit_len(), 0);
+    /// assert_eq!(BigNat::from(1u64).bit_len(), 1);
+    /// assert_eq!(BigNat::pow2(100).bit_len(), 101);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize)
+            }
+        }
+    }
+
+    /// Value of bit `k` (bit 0 is least significant).
+    pub fn bit(&self, k: usize) -> bool {
+        let (limb, off) = (k / LIMB_BITS, k % LIMB_BITS);
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&w) => (w >> off) & 1 == 1,
+        }
+    }
+
+    /// Sets bit `k` to `v`, growing the limb vector as needed.
+    pub fn set_bit(&mut self, k: usize, v: bool) {
+        let (limb, off) = (k / LIMB_BITS, k % LIMB_BITS);
+        if limb >= self.limbs.len() {
+            if !v {
+                return;
+            }
+            self.limbs.resize(limb + 1, 0);
+        }
+        if v {
+            self.limbs[limb] |= 1u64 << off;
+        } else {
+            self.limbs[limb] &= !(1u64 << off);
+        }
+        self.normalize();
+    }
+
+    /// Number of one-bits. Used by the unary max-register encoding, where
+    /// the value written by a process is the count of its set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    ///
+    /// ```
+    /// # use sl2_bignum::BigNat;
+    /// let mut n = BigNat::zero();
+    /// n.set_bit(3, true);
+    /// n.set_bit(70, true);
+    /// assert_eq!(n.one_bits().collect::<Vec<_>>(), vec![3, 70]);
+    /// ```
+    pub fn one_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.limbs.iter().enumerate().flat_map(|(i, &w)| {
+            (0..LIMB_BITS).filter_map(move |b| ((w >> b) & 1 == 1).then_some(i * LIMB_BITS + b))
+        })
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    ///
+    /// The snapshot construction of §3.2 computes `posAdj − negAdj`
+    /// applied to the register; the register value never goes negative
+    /// because a process only clears bits it itself set.
+    ///
+    /// ```
+    /// # use sl2_bignum::BigNat;
+    /// let five = BigNat::from(5u64);
+    /// let three = BigNat::from(3u64);
+    /// assert_eq!(five.checked_sub(&three), Some(BigNat::from(2u64)));
+    /// assert_eq!(three.checked_sub(&five), None);
+    /// ```
+    pub fn checked_sub(&self, rhs: &BigNat) -> Option<BigNat> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, o1) = a.overflowing_sub(b);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            borrow = (o1 as u64) + (o2 as u64);
+            out.push(d2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigNat { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Applies a signed adjustment `+pos − neg` in one step, as done by a
+    /// single `fetch&add(R, posAdj − negAdj)` in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative, which the §3 algorithms
+    /// guarantee never happens (a process only un-sets its own bits).
+    pub fn apply_adjustment(&self, pos: &BigNat, neg: &BigNat) -> BigNat {
+        (self + pos)
+            .checked_sub(neg)
+            .expect("fetch&add adjustment drove the register negative")
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Raw limbs, little-endian, normalized. Exposed for hashing/tests.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        let mut n = BigNat { limbs: vec![v] };
+        n.normalize();
+        n
+    }
+}
+
+impl From<u128> for BigNat {
+    fn from(v: u128) -> Self {
+        let mut n = BigNat {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        n.normalize();
+        n
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add<&BigNat> for &BigNat {
+    type Output = BigNat;
+
+    fn add(self, rhs: &BigNat) -> BigNat {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let a = long.limbs[i];
+            let b = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, o1) = a.overflowing_add(b);
+            let (s2, o2) = s1.overflowing_add(carry);
+            carry = (o1 as u64) + (o2 as u64);
+            out.push(s2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigNat { limbs: out };
+        n.normalize();
+        n
+    }
+}
+
+impl Add for BigNat {
+    type Output = BigNat;
+    fn add(self, rhs: BigNat) -> BigNat {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: &BigNat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&BigNat> for &BigNat {
+    type Output = BigNat;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`BigNat::checked_sub`] to handle that
+    /// case.
+    fn sub(self, rhs: &BigNat) -> BigNat {
+        self.checked_sub(rhs)
+            .expect("BigNat subtraction underflow")
+    }
+}
+
+impl SubAssign<&BigNat> for BigNat {
+    fn sub_assign(&mut self, rhs: &BigNat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl fmt::Debug for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigNat({:#x})", self)
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        match self.limbs.last() {
+            None => write!(f, "0"),
+            Some(top) => {
+                write!(f, "{:x}", top)?;
+                for w in self.limbs.iter().rev().skip(1) {
+                    write!(f, "{:016x}", w)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Binary for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.limbs.last() {
+            None => write!(f, "0"),
+            Some(top) => {
+                write!(f, "{:b}", top)?;
+                for w in self.limbs.iter().rev().skip(1) {
+                    write!(f, "{:064b}", w)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default_and_empty() {
+        assert_eq!(BigNat::default(), BigNat::zero());
+        assert!(BigNat::zero().is_zero());
+        assert_eq!(BigNat::zero().limbs(), &[] as &[u64]);
+        assert_eq!(BigNat::from(0u64), BigNat::zero());
+    }
+
+    #[test]
+    fn add_small() {
+        let a = BigNat::from(3u64);
+        let b = BigNat::from(4u64);
+        assert_eq!((&a + &b).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigNat::from(u64::MAX);
+        let b = BigNat::from(1u64);
+        let s = &a + &b;
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+        assert_eq!(s.bit_len(), 65);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = BigNat::from(1u128 << 64);
+        let b = BigNat::from(1u64);
+        let d = &a - &b;
+        assert_eq!(d.to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(BigNat::zero().checked_sub(&BigNat::one()), None);
+        let a = BigNat::pow2(100);
+        let b = &a + &BigNat::one();
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&a), Some(BigNat::one()));
+    }
+
+    #[test]
+    fn pow2_bits() {
+        for k in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let n = BigNat::pow2(k);
+            assert!(n.bit(k));
+            assert_eq!(n.count_ones(), 1);
+            assert_eq!(n.bit_len(), k + 1);
+        }
+    }
+
+    #[test]
+    fn set_and_clear_bits() {
+        let mut n = BigNat::zero();
+        n.set_bit(5, true);
+        n.set_bit(300, true);
+        assert!(n.bit(5) && n.bit(300));
+        n.set_bit(300, false);
+        assert!(!n.bit(300));
+        assert_eq!(n, BigNat::pow2(5));
+        // clearing an out-of-range bit is a no-op
+        n.set_bit(10_000, false);
+        assert_eq!(n, BigNat::pow2(5));
+    }
+
+    #[test]
+    fn clearing_top_bit_renormalizes() {
+        let mut n = BigNat::pow2(64);
+        n.set_bit(64, false);
+        assert!(n.is_zero());
+        assert_eq!(n.limbs(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        let vals = [0u128, 1, 2, u64::MAX as u128, 1 << 64, (1 << 64) + 5];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    BigNat::from(a).cmp(&BigNat::from(b)),
+                    a.cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+        assert!(BigNat::pow2(1000) > BigNat::from(u128::MAX));
+    }
+
+    #[test]
+    fn one_bits_roundtrip() {
+        let mut n = BigNat::zero();
+        let idx = [0usize, 1, 63, 64, 100, 500];
+        for &i in &idx {
+            n.set_bit(i, true);
+        }
+        assert_eq!(n.one_bits().collect::<Vec<_>>(), idx);
+        assert_eq!(n.count_ones(), idx.len());
+    }
+
+    #[test]
+    fn apply_adjustment_matches_add_then_sub() {
+        let base = BigNat::from(0b1100u64);
+        let pos = BigNat::from(0b0010u64);
+        let neg = BigNat::from(0b1000u64);
+        assert_eq!(
+            base.apply_adjustment(&pos, &neg),
+            BigNat::from(0b0110u64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn apply_adjustment_panics_on_negative() {
+        BigNat::zero().apply_adjustment(&BigNat::zero(), &BigNat::one());
+    }
+
+    #[test]
+    fn hex_and_binary_formatting() {
+        assert_eq!(format!("{:x}", BigNat::zero()), "0");
+        assert_eq!(format!("{:#x}", BigNat::from(255u64)), "0xff");
+        assert_eq!(format!("{:b}", BigNat::from(5u64)), "101");
+        let big = BigNat::pow2(64);
+        assert_eq!(format!("{:x}", big), format!("1{}", "0".repeat(16)));
+        assert!(!format!("{:?}", BigNat::zero()).is_empty());
+    }
+
+    #[test]
+    fn to_u64_u128_bounds() {
+        assert_eq!(BigNat::pow2(63).to_u64(), Some(1 << 63));
+        assert_eq!(BigNat::pow2(64).to_u64(), None);
+        assert_eq!(BigNat::pow2(127).to_u128(), Some(1 << 127));
+        assert_eq!(BigNat::pow2(128).to_u128(), None);
+    }
+}

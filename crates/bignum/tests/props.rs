@@ -1,0 +1,125 @@
+//! Property tests for `BigNat` arithmetic laws and the interleaved codec.
+
+use proptest::prelude::*;
+use sl2_bignum::{BigNat, Layout};
+
+/// Strategy producing arbitrary `BigNat`s up to a few hundred bits.
+fn big_nat() -> impl Strategy<Value = BigNat> {
+    prop::collection::vec(any::<u64>(), 0..6).prop_map(|limbs| {
+        let mut n = BigNat::zero();
+        for (i, w) in limbs.iter().enumerate() {
+            for b in 0..64 {
+                if (w >> b) & 1 == 1 {
+                    n.set_bit(i * 64 + b, true);
+                }
+            }
+        }
+        n
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in big_nat(), b in big_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in big_nat(), b in big_nat(), c in big_nat()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_identity(a in big_nat()) {
+        prop_assert_eq!(&a + &BigNat::zero(), a.clone());
+    }
+
+    #[test]
+    fn sub_inverts_add(a in big_nat(), b in big_nat()) {
+        let s = &a + &b;
+        prop_assert_eq!(s.checked_sub(&b), Some(a.clone()));
+        prop_assert_eq!(s.checked_sub(&a), Some(b.clone()));
+    }
+
+    #[test]
+    fn checked_sub_total_order(a in big_nat(), b in big_nat()) {
+        // exactly one of a-b, b-a exists unless equal (then both are zero)
+        match (a.checked_sub(&b), b.checked_sub(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert!(x.is_zero() && y.is_zero());
+                prop_assert_eq!(&a, &b);
+            }
+            (Some(_), None) => prop_assert!(a > b),
+            (None, Some(_)) => prop_assert!(b > a),
+            (None, None) => prop_assert!(false, "subtraction must succeed one way"),
+        }
+    }
+
+    #[test]
+    fn u128_roundtrip(v in any::<u128>()) {
+        prop_assert_eq!(BigNat::from(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn ordering_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(BigNat::from(a).cmp(&BigNat::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn bit_len_bounds(a in big_nat()) {
+        let len = a.bit_len();
+        if len > 0 {
+            prop_assert!(a.bit(len - 1));
+        }
+        prop_assert!(!a.bit(len));
+        prop_assert!(!a.bit(len + 100));
+    }
+
+    #[test]
+    fn one_bits_reconstruct(a in big_nat()) {
+        let mut r = BigNat::zero();
+        for b in a.one_bits() {
+            r.set_bit(b, true);
+        }
+        prop_assert_eq!(r, a.clone());
+    }
+
+    #[test]
+    fn lane_roundtrip(n in 1usize..6, i in 0usize..6, v in big_nat()) {
+        let i = i % n;
+        let layout = Layout::new(n);
+        prop_assert_eq!(layout.decode(i, &layout.encode(i, &v)), v.clone());
+    }
+
+    #[test]
+    fn lanes_never_collide(n in 2usize..6, v in big_nat(), w in big_nat()) {
+        let layout = Layout::new(n);
+        let a = layout.encode(0, &v);
+        let b = layout.encode(1, &w);
+        let sum = &a + &b;
+        prop_assert_eq!(layout.decode(0, &sum), v.clone());
+        prop_assert_eq!(layout.decode(1, &sum), w.clone());
+    }
+
+    #[test]
+    fn adjustments_move_lane(n in 1usize..5, i in 0usize..5, old in big_nat(), new in big_nat()) {
+        let i = i % n;
+        let layout = Layout::new(n);
+        let (pos, neg) = layout.adjustments(i, &old, &new);
+        let reg = layout.encode(i, &old);
+        let reg2 = reg.apply_adjustment(&pos, &neg);
+        prop_assert_eq!(layout.decode(i, &reg2), new.clone());
+    }
+
+    #[test]
+    fn decode_all_consistent(n in 1usize..5, v in big_nat()) {
+        let layout = Layout::new(n);
+        let reg = layout.encode(n - 1, &v);
+        let all = layout.decode_all(&reg);
+        prop_assert_eq!(all.len(), n);
+        prop_assert_eq!(all[n - 1].clone(), v.clone());
+        for lane in &all[..n - 1] {
+            prop_assert!(lane.is_zero());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! §3.1 — wait-free strongly-linearizable max register from fetch&add
+//! (Theorem 1), production form.
+//!
+//! See [`crate::machines::max_register`] for the algorithm commentary;
+//! this form runs on a real [`WideFaa`] register and is safe to share
+//! across threads. Values are stored in unary (the paper's warm-up
+//! encoding), so the register grows by one bit per unit of value per
+//! process — experiment E12 measures exactly this growth; use
+//! [`crate::algos::simple`]'s snapshot-based max register when values
+//! are large.
+//!
+//! [`CasMaxRegister`] is the consensus-number-∞ comparison point: a
+//! compare&swap retry loop whose successful CAS fixes the
+//! linearization point.
+
+use sl2_bignum::{BigNat, Layout};
+use sl2_primitives::{CompareAndSwap, WideFaa};
+
+use super::MaxRegister;
+
+/// Theorem 1 max register over a wide fetch&add register.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_core::algos::max_register::SlMaxRegister;
+/// use sl2_core::algos::MaxRegister;
+///
+/// let m = SlMaxRegister::new(2);
+/// m.write_max(0, 5);
+/// m.write_max(1, 3);
+/// assert_eq!(m.read_max(), 5);
+/// ```
+#[derive(Debug)]
+pub struct SlMaxRegister {
+    reg: WideFaa,
+    layout: Layout,
+}
+
+impl SlMaxRegister {
+    /// Creates a max register shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        SlMaxRegister {
+            reg: WideFaa::new(),
+            layout: Layout::new(n),
+        }
+    }
+
+    /// Current width of the backing register in bits (experiment E12:
+    /// the Discussion's "extremely large values" concern).
+    pub fn register_bits(&self) -> usize {
+        self.reg.bit_len()
+    }
+}
+
+impl MaxRegister for SlMaxRegister {
+    fn write_max(&self, process: usize, v: u64) {
+        // Step 1: recover prevLocalMax from the own lane (only this
+        // process writes it) via fetch&add(R, 0).
+        let image = self.reg.fetch_add(&BigNat::zero());
+        let prev = self.layout.decode_unary(process, &image);
+        if v <= prev {
+            return; // the probing fetch&add was the linearization point
+        }
+        // Step 2: set lane bits prev+1 ..= v in one fetch&add.
+        let inc = self.layout.unary_increment(process, prev, v);
+        self.reg.fetch_add(&inc);
+    }
+
+    fn read_max(&self) -> u64 {
+        let image = self.reg.fetch_add(&BigNat::zero());
+        (0..self.layout.processes())
+            .map(|i| self.layout.decode_unary(i, &image))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Max register from compare&swap — the universal-primitive route the
+/// paper contrasts against. Strongly linearizable (successful CAS =
+/// fixed linearization point) but requires consensus number ∞.
+#[derive(Debug, Default)]
+pub struct CasMaxRegister {
+    cell: CompareAndSwap,
+}
+
+impl CasMaxRegister {
+    /// Creates a max register with value 0.
+    pub fn new() -> Self {
+        CasMaxRegister::default()
+    }
+}
+
+impl MaxRegister for CasMaxRegister {
+    fn write_max(&self, _process: usize, v: u64) {
+        let mut cur = self.cell.read();
+        while cur < v {
+            let obs = self.cell.compare_and_swap(cur, v);
+            if obs == cur {
+                return;
+            }
+            cur = obs;
+        }
+    }
+
+    fn read_max(&self) -> u64 {
+        self.cell.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics_match_spec() {
+        let m = SlMaxRegister::new(3);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(1, 7);
+        m.write_max(0, 3);
+        assert_eq!(m.read_max(), 7);
+        m.write_max(2, 7); // equal value, different process
+        assert_eq!(m.read_max(), 7);
+        m.write_max(0, 12);
+        assert_eq!(m.read_max(), 12);
+    }
+
+    #[test]
+    fn concurrent_writers_monotone_readers() {
+        let n = 4;
+        let m = Arc::new(SlMaxRegister::new(n));
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for v in 1..=50u64 {
+                        m.write_max(p, v * (p as u64 + 1));
+                    }
+                });
+            }
+            // Concurrent reader observes a non-decreasing sequence.
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..200 {
+                    let v = m2.read_max();
+                    assert!(v >= last, "max register regressed: {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(m.read_max(), 200, "4 * 50 is the largest write");
+    }
+
+    #[test]
+    fn register_bits_grow_with_values() {
+        let m = SlMaxRegister::new(2);
+        assert_eq!(m.register_bits(), 0);
+        m.write_max(0, 10);
+        let bits_10 = m.register_bits();
+        m.write_max(0, 100);
+        assert!(m.register_bits() > bits_10, "unary encoding grows");
+    }
+
+    #[test]
+    fn cas_max_register_agrees() {
+        let m = CasMaxRegister::new();
+        m.write_max(0, 9);
+        m.write_max(1, 4);
+        assert_eq!(m.read_max(), 9);
+    }
+
+    #[test]
+    fn cas_max_register_concurrent_writes() {
+        let m = Arc::new(CasMaxRegister::new());
+        std::thread::scope(|s| {
+            for p in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for v in 0..100 {
+                        m.write_max(p as usize, v * 8 + p);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.read_max(), 99 * 8 + 7);
+    }
+}

@@ -1,0 +1,166 @@
+//! §4.1 — readable multi-shot test&set (Theorem 6; Corollaries 7–8),
+//! production form.
+//!
+//! Generic over the max register, mirroring the paper's corollaries:
+//!
+//! * [`SlMultiShotTas::new_wait_free`] — max register from fetch&add
+//!   (Theorem 1) ⇒ **wait-free** strongly linearizable (Corollary 7);
+//! * [`SlMultiShotTas::new_lock_free`] — max register from read/write
+//!   registers (\[18, 27\]) ⇒ **lock-free** strongly linearizable using
+//!   only test&set (Corollary 8).
+//!
+//! The epoch array `TS` holds the Theorem 5 readable test&sets — a
+//! genuine composition tower: multi-shot TS → readable TS → plain
+//! test&set, exactly the structure composability ([9, Thm 10]) allows.
+
+use sl2_primitives::ChunkedArray;
+
+use super::max_register::SlMaxRegister;
+use super::readable_ts::SlReadableTas;
+use super::rw_max_register::RwMaxRegister;
+use super::MaxRegister;
+
+/// Theorem 6 readable multi-shot test&set over a pluggable max
+/// register.
+///
+/// # Examples
+///
+/// ```
+/// let ts = sl2_core::algos::multishot_ts::SlMultiShotTas::new_wait_free(2);
+/// assert_eq!(ts.test_and_set(), 0);
+/// assert_eq!(ts.test_and_set(), 1);
+/// ts.reset();
+/// assert_eq!(ts.read(), 0);
+/// assert_eq!(ts.test_and_set(), 0);
+/// ```
+#[derive(Debug)]
+pub struct SlMultiShotTas<M> {
+    curr: M,
+    ts: ChunkedArray<SlReadableTas>,
+}
+
+impl SlMultiShotTas<SlMaxRegister> {
+    /// Corollary 7: wait-free, with the fetch&add max register.
+    pub fn new_wait_free(n: usize) -> Self {
+        let curr = SlMaxRegister::new(n);
+        // The paper initializes `curr` to 1; epoch e uses TS[e].
+        curr.write_max(0, 1);
+        SlMultiShotTas {
+            curr,
+            ts: ChunkedArray::new(),
+        }
+    }
+}
+
+impl SlMultiShotTas<RwMaxRegister> {
+    /// Corollary 8: lock-free, using only test&set and registers.
+    pub fn new_lock_free(n: usize) -> Self {
+        let curr = RwMaxRegister::new(n);
+        curr.write_max(0, 1);
+        SlMultiShotTas {
+            curr,
+            ts: ChunkedArray::new(),
+        }
+    }
+}
+
+impl<M: MaxRegister> SlMultiShotTas<M> {
+    /// `test&set()`: `TS[curr.readMax()].test&set()`.
+    pub fn test_and_set(&self) -> u8 {
+        let c = self.curr.read_max();
+        self.ts.get(c as usize).test_and_set()
+    }
+
+    /// `read()`: `TS[curr.readMax()].read()`.
+    pub fn read(&self) -> u8 {
+        let c = self.curr.read_max();
+        self.ts.get(c as usize).read()
+    }
+
+    /// `reset()`: advance the epoch iff the current one is set.
+    ///
+    /// The caller's process id is needed by per-process max registers;
+    /// use [`SlMultiShotTas::reset_as`] from multi-threaded code.
+    pub fn reset(&self) {
+        self.reset_as(0);
+    }
+
+    /// `reset()` on behalf of `process`.
+    pub fn reset_as(&self, process: usize) {
+        let c = self.curr.read_max();
+        if self.ts.get(c as usize).read() == 1 {
+            self.curr.write_max(process, c + 1);
+        }
+    }
+
+    /// Current epoch (diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.curr.read_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_free_variant_round_trips() {
+        let ts = SlMultiShotTas::new_wait_free(2);
+        assert_eq!(ts.read(), 0);
+        assert_eq!(ts.test_and_set(), 0);
+        assert_eq!(ts.test_and_set(), 1);
+        assert_eq!(ts.read(), 1);
+        ts.reset();
+        assert_eq!(ts.read(), 0);
+        assert_eq!(ts.test_and_set(), 0);
+        assert_eq!(ts.epoch(), 2);
+    }
+
+    #[test]
+    fn lock_free_variant_round_trips() {
+        let ts = SlMultiShotTas::new_lock_free(2);
+        assert_eq!(ts.test_and_set(), 0);
+        ts.reset();
+        ts.reset(); // idle reset: no epoch advance
+        assert_eq!(ts.epoch(), 2);
+        assert_eq!(ts.test_and_set(), 0);
+    }
+
+    #[test]
+    fn one_winner_per_epoch_under_contention() {
+        let ts = Arc::new(SlMultiShotTas::new_wait_free(8));
+        for round in 0..20 {
+            let winners = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        if ts.test_and_set() == 0 {
+                            winners.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            // Epoch is stable during the round (resets happen between
+            // rounds only), so exactly one winner.
+            assert_eq!(winners.load(Ordering::SeqCst), 1, "round {round}");
+            ts.reset_as(0);
+        }
+        assert_eq!(ts.epoch(), 21);
+    }
+
+    #[test]
+    fn concurrent_resets_advance_at_most_one_epoch() {
+        let ts = Arc::new(SlMultiShotTas::new_wait_free(4));
+        ts.test_and_set();
+        let before = ts.epoch();
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let ts = Arc::clone(&ts);
+                s.spawn(move || ts.reset_as(p));
+            }
+        });
+        assert_eq!(ts.epoch(), before + 1, "resets of one epoch coalesce");
+    }
+}

@@ -1,0 +1,104 @@
+//! Lock-free strongly-linearizable max register from read/write
+//! registers (\[18, 27\]; the Corollary 8 ingredient), production form.
+//!
+//! `writeMax` is wait-free (write the own single-writer register if
+//! larger); `readMax` double-collects until stable (lock-free: a retry
+//! implies a concurrent write completed).
+
+use sl2_primitives::Register;
+
+use super::MaxRegister;
+
+/// The read/write lock-free max register.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_core::algos::rw_max_register::RwMaxRegister;
+/// use sl2_core::algos::MaxRegister;
+///
+/// let m = RwMaxRegister::new(2);
+/// m.write_max(0, 4);
+/// m.write_max(1, 9);
+/// assert_eq!(m.read_max(), 9);
+/// ```
+#[derive(Debug)]
+pub struct RwMaxRegister {
+    cells: Vec<Register>,
+}
+
+impl RwMaxRegister {
+    /// Creates a max register shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        RwMaxRegister {
+            cells: (0..n).map(|_| Register::new(0)).collect(),
+        }
+    }
+
+    fn collect(&self) -> Vec<u64> {
+        self.cells.iter().map(Register::read).collect()
+    }
+}
+
+impl MaxRegister for RwMaxRegister {
+    fn write_max(&self, process: usize, v: u64) {
+        // Single-writer: only `process` writes cells[process], so the
+        // probe-then-write is regression-free.
+        if self.cells[process].read() < v {
+            self.cells[process].write(v);
+        }
+    }
+
+    fn read_max(&self) -> u64 {
+        let mut prev = self.collect();
+        loop {
+            let cur = self.collect();
+            if prev == cur {
+                return cur.into_iter().max().unwrap_or(0);
+            }
+            prev = cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = RwMaxRegister::new(3);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(2, 8);
+        m.write_max(0, 3);
+        m.write_max(2, 5); // smaller: no effect
+        assert_eq!(m.read_max(), 8);
+    }
+
+    #[test]
+    fn concurrent_writes_and_monotone_reads() {
+        let n = 4;
+        let m = Arc::new(RwMaxRegister::new(n));
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for v in 1..=100u64 {
+                        m.write_max(p, v + p as u64 * 100);
+                    }
+                });
+            }
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..300 {
+                    let v = m2.read_max();
+                    assert!(v >= last, "regressed {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(m.read_max(), 400);
+    }
+}

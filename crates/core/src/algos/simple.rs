@@ -1,0 +1,253 @@
+//! §3.3 — wait-free strongly-linearizable simple types (Algorithm 1;
+//! Theorems 3–4), production form.
+//!
+//! [`SimpleObject`] is generic over the snapshot (the [`Snapshot`]
+//! trait): with [`SlSnapshot`] it is the full Theorem 4 composition —
+//! any simple type from fetch&add, end to end. The operation-graph
+//! machinery is shared with the machine form ([`crate::graph`]); the
+//! published nodes live in a content-addressed arena behind an
+//! `RwLock` (nodes are immutable; the lock only guards the map
+//! itself — the paper's model allocates nodes in unshared memory, so
+//! this bookkeeping is not a base-object access).
+
+use parking_lot::RwLock;
+use sl2_spec::simple::SimpleTypeSpec;
+
+use super::snapshot::SlSnapshot;
+use super::Snapshot;
+use crate::graph::{lingraph, response_after, Arena, OpNode, NULL_NODE};
+
+/// Algorithm 1 over any snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_core::algos::simple::SlCounter;
+/// use sl2_spec::counters::{CounterOp, CounterResp};
+///
+/// let counter = SlCounter::new_from_faa(2);
+/// counter.invoke(0, &CounterOp::Inc);
+/// counter.invoke(1, &CounterOp::Inc);
+/// assert_eq!(counter.invoke(0, &CounterOp::Read), CounterResp::Value(2));
+/// ```
+#[derive(Debug)]
+pub struct SimpleObject<S: SimpleTypeSpec, P> {
+    spec: S,
+    root: P,
+    arena: RwLock<Arena<S>>,
+}
+
+/// Counter from fetch&add (Theorem 4 instance).
+pub type SlCounter = SimpleObject<sl2_spec::counters::CounterSpec, SlSnapshot>;
+/// Logical clock from fetch&add (Theorem 4 instance).
+pub type SlLogicalClock = SimpleObject<sl2_spec::counters::LogicalClockSpec, SlSnapshot>;
+/// Grow-only set from fetch&add (Theorem 4 instance).
+pub type SlUnionSet = SimpleObject<sl2_spec::union_set::UnionSetSpec, SlSnapshot>;
+/// Non-monotonic (up/down) counter from fetch&add (Theorem 4 instance;
+/// the paper's §3.3 lists "(monotonic and non-monotonic) counter").
+pub type SlIntCounter = SimpleObject<sl2_spec::counters::IntCounterSpec, SlSnapshot>;
+/// Max register via Algorithm 1 (binary-encoded alternative to the
+/// §3.1 unary construction; better for large values).
+pub type SnapshotMaxRegister = SimpleObject<sl2_spec::max_register::MaxRegisterSpec, SlSnapshot>;
+
+impl<S: SimpleTypeSpec + Default> SimpleObject<S, SlSnapshot> {
+    /// Creates the Theorem 4 composition: Algorithm 1 over the §3.2
+    /// fetch&add snapshot, for `n` processes.
+    pub fn new_from_faa(n: usize) -> Self {
+        SimpleObject::with_snapshot(S::default(), SlSnapshot::new(n))
+    }
+}
+
+impl<S: SimpleTypeSpec, P: Snapshot> SimpleObject<S, P> {
+    /// Creates the object over an explicit snapshot (Theorem 3 shape).
+    pub fn with_snapshot(spec: S, root: P) -> Self {
+        SimpleObject {
+            spec,
+            root,
+            arena: RwLock::new(Arena::new()),
+        }
+    }
+
+    /// Executes one operation on behalf of `process` (Algorithm 1's
+    /// `execute_p`): scan, linearize locally, publish, respond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range for the snapshot.
+    pub fn invoke(&self, process: usize, op: &S::Op) -> S::Resp {
+        assert!(process < self.root.components(), "process out of range");
+        // Line 12: view = root.scan()
+        let view = self.root.scan();
+        // Lines 13–19: local computation over immutable nodes.
+        let (id, resp) = {
+            let mut arena = self.arena.write();
+            let nodes = arena.reachable(&view);
+            let lin = lingraph(&self.spec, &arena, &nodes);
+            let (resp, _) = response_after(&self.spec, &arena, &lin, op);
+            let seq = arena.own_chain_len(view[process], process);
+            let id = arena.insert(OpNode {
+                process,
+                seq,
+                op: op.clone(),
+                resp: resp.clone(),
+                preceding: view,
+            });
+            (id, resp)
+        };
+        // Line 22: root.update_p(address of node)
+        self.root.update(process, id);
+        resp
+    }
+
+    /// Number of published nodes (diagnostics: the graph the object has
+    /// accumulated — Algorithm 1 keeps full history, one of the costs
+    /// the Discussion acknowledges).
+    pub fn node_count(&self) -> usize {
+        self.arena.read().len()
+    }
+
+    /// The state after a canonical linearization of everything
+    /// published so far (diagnostics / tests; not an atomic operation).
+    pub fn linearized_state(&self) -> S::State {
+        let view = self.root.scan();
+        let arena = self.arena.read();
+        let nodes = arena.reachable(&view);
+        let lin = lingraph(&self.spec, &arena, &nodes);
+        let mut state = self.spec.initial();
+        for id in lin {
+            self.spec.apply(&mut state, &arena.get(id).op);
+        }
+        state
+    }
+}
+
+// The initial snapshot must publish NULL_NODE; assert that our arena
+// ids can never collide with it.
+const _: () = assert!(NULL_NODE == 0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_spec::counters::{CounterOp, CounterResp, LogicalClockOp, LogicalClockResp};
+    use sl2_spec::max_register::{MaxOp, MaxResp};
+    use sl2_spec::union_set::{UnionSetOp, UnionSetResp};
+    use std::sync::Arc;
+
+    #[test]
+    fn int_counter_goes_up_and_down_across_threads() {
+        use sl2_spec::counters::{IntCounterOp, IntCounterResp};
+        let c = Arc::new(SlIntCounter::new_from_faa(4));
+        std::thread::scope(|s| {
+            for p in 0..4usize {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let op = if p % 2 == 0 {
+                        IntCounterOp::Inc
+                    } else {
+                        IntCounterOp::Dec
+                    };
+                    for _ in 0..25 {
+                        c.invoke(p, &op);
+                    }
+                });
+            }
+        });
+        // 50 increments and 50 decrements cancel exactly.
+        assert_eq!(
+            c.invoke(0, &IntCounterOp::Read),
+            IntCounterResp::Value(0)
+        );
+    }
+
+    #[test]
+    fn counter_sequential() {
+        let c = SlCounter::new_from_faa(2);
+        assert_eq!(c.invoke(0, &CounterOp::Read), CounterResp::Value(0));
+        c.invoke(0, &CounterOp::Inc);
+        c.invoke(1, &CounterOp::Inc);
+        assert_eq!(c.invoke(1, &CounterOp::Read), CounterResp::Value(2));
+        assert_eq!(c.node_count(), 4);
+    }
+
+    #[test]
+    fn counter_concurrent_increments_all_count() {
+        let n = 4;
+        let c = Arc::new(SlCounter::new_from_faa(n));
+        let per = 50u64;
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        c.invoke(p, &CounterOp::Inc);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            c.invoke(0, &CounterOp::Read),
+            CounterResp::Value(per * n as u64)
+        );
+    }
+
+    #[test]
+    fn max_register_via_snapshot() {
+        let m = SnapshotMaxRegister::new_from_faa(3);
+        m.invoke(0, &MaxOp::Write(1_000_000)); // binary encoding: fine
+        m.invoke(1, &MaxOp::Write(17));
+        assert_eq!(m.invoke(2, &MaxOp::Read), MaxResp::Value(1_000_000));
+    }
+
+    #[test]
+    fn union_set_accumulates() {
+        let s = SlUnionSet::new_from_faa(2);
+        s.invoke(0, &UnionSetOp::Insert(4));
+        s.invoke(1, &UnionSetOp::Insert(2));
+        s.invoke(0, &UnionSetOp::Insert(4));
+        assert_eq!(
+            s.invoke(1, &UnionSetOp::ReadAll),
+            UnionSetResp::Items(vec![2, 4])
+        );
+    }
+
+    #[test]
+    fn logical_clock_merges() {
+        let c = SlLogicalClock::new_from_faa(2);
+        c.invoke(0, &LogicalClockOp::Send(10));
+        c.invoke(1, &LogicalClockOp::Send(3));
+        assert_eq!(
+            c.invoke(0, &LogicalClockOp::Observe),
+            LogicalClockResp::Time(11)
+        );
+    }
+
+    #[test]
+    fn concurrent_union_set_sees_every_insert() {
+        let n = 4;
+        let s = Arc::new(SlUnionSet::new_from_faa(n));
+        std::thread::scope(|sc| {
+            for p in 0..n {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for k in 0..25u64 {
+                        s.invoke(p, &UnionSetOp::Insert(p as u64 * 25 + k));
+                    }
+                });
+            }
+        });
+        let expect: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            s.invoke(0, &UnionSetOp::ReadAll),
+            UnionSetResp::Items(expect)
+        );
+    }
+
+    #[test]
+    fn linearized_state_matches_reads() {
+        let c = SlCounter::new_from_faa(2);
+        for _ in 0..5 {
+            c.invoke(0, &CounterOp::Inc);
+        }
+        assert_eq!(c.linearized_state(), 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! §4.3 — lock-free strongly-linearizable set from test&set
+//! (Algorithm 2 / Theorem 10), production form.
+//!
+//! Full tower: the `Max` object is the Theorem 9 fetch&increment,
+//! itself built from Theorem 5 readable test&sets, themselves built
+//! from plain test&set — so the whole set uses nothing above consensus
+//! number 2.
+
+use sl2_primitives::{ChunkedArray, Register, TestAndSet};
+
+use super::fetch_inc::SlFetchInc;
+
+/// Items are stored shifted by one so register value 0 encodes ⊥.
+const BOTTOM: u64 = 0;
+
+/// Algorithm 2 set. Items should be put at most once each (the
+/// paper's simplifying assumption; re-putting an item turns the object
+/// into a multiset).
+///
+/// # Examples
+///
+/// ```
+/// use sl2_core::algos::sl_set::SlSet;
+///
+/// let set = SlSet::new();
+/// assert_eq!(set.take(), None);
+/// set.put(7);
+/// assert_eq!(set.take(), Some(7));
+/// assert_eq!(set.take(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SlSet {
+    max: SlFetchInc,
+    items: ChunkedArray<Register>,
+    ts: ChunkedArray<TestAndSet>,
+}
+
+impl SlSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SlSet::default()
+    }
+
+    /// `put(x)`: reserve a slot with `Max.fetch&increment()`, write the
+    /// item (the write is the linearization point). Wait-free modulo
+    /// the lock-free `Max`.
+    pub fn put(&self, x: u64) {
+        let m = self.max.fetch_inc();
+        self.items.get(m as usize - 1).write(x + 1);
+    }
+
+    /// `take()`: returns an item (`Some`) or `None` for EMPTY, per the
+    /// double-pass scan of Algorithm 2. Lock-free.
+    pub fn take(&self) -> Option<u64> {
+        let mut taken_old = 0u64;
+        let mut max_old = 0u64;
+        loop {
+            let mut taken_new = 0u64;
+            let max_new = self.max.read() - 1;
+            for c in 1..=max_new {
+                let raw = self.items.get(c as usize - 1).read();
+                if raw != BOTTOM {
+                    if self.ts.get(c as usize - 1).test_and_set() == 0 {
+                        return Some(raw - 1);
+                    }
+                    taken_new += 1;
+                }
+            }
+            if taken_new == taken_old && max_new == max_old {
+                return None;
+            }
+            taken_old = taken_new;
+            max_old = max_new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_round_trip() {
+        let set = SlSet::new();
+        assert_eq!(set.take(), None);
+        for x in [10, 20, 30] {
+            set.put(x);
+        }
+        let mut got = HashSet::new();
+        for _ in 0..3 {
+            got.insert(set.take().expect("item present"));
+        }
+        assert_eq!(got, HashSet::from([10, 20, 30]));
+        assert_eq!(set.take(), None);
+    }
+
+    #[test]
+    fn item_zero_round_trips() {
+        let set = SlSet::new();
+        set.put(0);
+        assert_eq!(set.take(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_put_take_conserves_items() {
+        let set = Arc::new(SlSet::new());
+        let producers = 4u64;
+        let per = 100u64;
+        let mut taken: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for k in 0..per {
+                        set.put(p * per + k);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let set = Arc::clone(&set);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        let mut dry = 0;
+                        while dry < 3 {
+                            match set.take() {
+                                Some(x) => {
+                                    got.push(x);
+                                    dry = 0;
+                                }
+                                None => dry += 1,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for c in consumers {
+                taken.extend(c.join().expect("no panics"));
+            }
+        });
+        // Drain any leftovers sequentially.
+        while let Some(x) = set.take() {
+            taken.push(x);
+        }
+        taken.sort_unstable();
+        let expect: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(taken, expect, "every item taken exactly once");
+    }
+
+    #[test]
+    fn empty_after_drain_under_contention() {
+        let set = Arc::new(SlSet::new());
+        std::thread::scope(|s| {
+            for p in 0..2u64 {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for k in 0..50 {
+                        set.put(p * 50 + k);
+                        // Take something back immediately half the time.
+                        if k % 2 == 0 {
+                            let _ = set.take();
+                        }
+                    }
+                });
+            }
+        });
+        while set.take().is_some() {}
+        assert_eq!(set.take(), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! A content-addressed store for immutable published records.
+//!
+//! Several algorithms publish pointers to immutable records through
+//! registers (Algorithm 1's operation nodes, the Afek et al. snapshot's
+//! `(value, seq, view)` triples, linked-structure nodes). In the
+//! simulated memory a register holds a `u64`, so records live here and
+//! registers hold their ids. Ids are content hashes: a record's id
+//! determines its content, so one arena can be shared by every branch
+//! of a checker search — a published id always dereferences to the same
+//! record, no matter which branch created it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A content-addressed append-only record store.
+pub struct ContentArena<T> {
+    records: HashMap<u64, T>,
+}
+
+impl<T> Default for ContentArena<T> {
+    fn default() -> Self {
+        ContentArena {
+            records: HashMap::new(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for ContentArena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentArena {{ records: {} }}", self.records.len())
+    }
+}
+
+impl<T: Hash + Eq + Clone> ContentArena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ContentArena::default()
+    }
+
+    /// Inserts a record, returning its (non-zero) content id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a content-hash collision between distinct records.
+    pub fn insert(&mut self, record: T) -> u64 {
+        let mut h = DefaultHasher::new();
+        record.hash(&mut h);
+        let id = h.finish() | 1;
+        if let Some(existing) = self.records.get(&id) {
+            assert!(existing == &record, "content arena id collision");
+        } else {
+            self.records.insert(id, record);
+        }
+        id
+    }
+
+    /// Looks up a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never inserted.
+    pub fn get(&self, id: u64) -> &T {
+        self.records.get(&id).expect("dangling arena id")
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_deduplicated() {
+        let mut arena = ContentArena::new();
+        let a = arena.insert((1u64, vec![2u64, 3]));
+        let b = arena.insert((1u64, vec![2u64, 3]));
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(a), &(1, vec![2, 3]));
+    }
+
+    #[test]
+    fn distinct_records_get_distinct_ids() {
+        let mut arena = ContentArena::new();
+        let a = arena.insert(10u64);
+        let b = arena.insert(11u64);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_never_zero() {
+        let mut arena = ContentArena::new();
+        for v in 0..100u64 {
+            assert_ne!(arena.insert(v), 0);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The §6 Discussion's open problem, probed: wide fetch&add from
+//! **narrow** fetch&add — the naive two-word carry candidate, refuted
+//! by the checker.
+//!
+//! The paper's constructions store "extremely large values in a single
+//! variable" and its Discussion asks for an implementation of *wide*
+//! fetch&add objects from *narrow* ones (or a proof that none exists).
+//! The first thing anyone tries is a carry chain: value = `hi·B + lo`,
+//! `add(k)` does `fetch&add(lo, k)` and, on crossing `B`, borrows `B`
+//! back out of `lo` and carries 1 into `hi`; `read` reads `hi` then
+//! `lo`.
+//!
+//! This module implements that candidate and the tests show it is not
+//! merely non-strongly-linearizable but **not linearizable at all**:
+//! while a carry is in flight the object's visible value overshoots by
+//! `B` (the `lo` overflow has happened, the borrow has not), so a read
+//! returns a value the sequential object never attains. The checker
+//! produces the witness mechanically. A carrier crash makes it worse —
+//! the overshoot becomes permanent.
+//!
+//! None of this *settles* the open problem (a cleverer construction
+//! might exist); it documents, executably, why the naive route fails
+//! and what any real solution must prevent: intermediate states whose
+//! decoded value is outside the reachable set.
+
+use sl2_exec::machine::{Algorithm, OpMachine, Step};
+use sl2_exec::mem::{Cell, Loc, SimMemory};
+use sl2_spec::counters::{FaaOp, FaaResp, FaaSpec};
+
+/// The narrow word's capacity (tiny, so scenarios cross it quickly).
+pub const BASE: u64 = 4;
+
+/// Factory for the naive two-word wide fetch&add candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiwordFaaAlg {
+    lo: Loc,
+    hi: Loc,
+}
+
+impl MultiwordFaaAlg {
+    /// Allocates the two narrow words.
+    pub fn new(mem: &mut SimMemory) -> Self {
+        MultiwordFaaAlg {
+            lo: mem.alloc(Cell::Faa(0)),
+            hi: mem.alloc(Cell::Faa(0)),
+        }
+    }
+}
+
+impl Algorithm for MultiwordFaaAlg {
+    type Spec = FaaSpec;
+    type Machine = MultiwordFaaMachine;
+
+    fn spec(&self) -> FaaSpec {
+        FaaSpec
+    }
+
+    fn machine(&self, _process: usize, op: &FaaOp) -> MultiwordFaaMachine {
+        match op {
+            FaaOp::Add(k) => {
+                assert!(*k < BASE, "adds must fit the narrow word");
+                MultiwordFaaMachine::AddLo { alg: *self, k: *k }
+            }
+            FaaOp::Read => MultiwordFaaMachine::ReadHi { alg: *self },
+        }
+    }
+}
+
+/// Step machine for the carry-chain candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MultiwordFaaMachine {
+    /// `add` step 1: `fetch&add(lo, k)`.
+    AddLo {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+        /// Amount to add (< [`BASE`]).
+        k: u64,
+    },
+    /// `add` step 2 (no carry): read `hi` to assemble the response.
+    AddReadHi {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+        /// The previous `lo` word.
+        prev_lo: u64,
+    },
+    /// `add` step 2 (only when `lo` crossed `B`): borrow `B` from `lo`.
+    Borrow {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+        /// The operation's response (previous wide value, best effort).
+        prev: u64,
+    },
+    /// `add` step 3: carry 1 into `hi`.
+    Carry {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+        /// The operation's response.
+        prev: u64,
+    },
+    /// `read` step 1: read `hi`.
+    ReadHi {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+    },
+    /// `read` step 2: read `lo` and combine.
+    ReadLo {
+        /// Base-object handles.
+        alg: MultiwordFaaAlg,
+        /// The `hi` word observed in step 1.
+        hi: u64,
+    },
+}
+
+impl OpMachine for MultiwordFaaMachine {
+    type Resp = FaaResp;
+
+    fn step(&mut self, mem: &mut SimMemory) -> Step<FaaResp> {
+        match *self {
+            MultiwordFaaMachine::AddLo { alg, k } => {
+                let old_lo = mem.faa(alg.lo, k);
+                // The previous value needs hi too — read it afterwards
+                // (already suspect, but the linearizability failure the
+                // tests pin down is about *other* operations' reads).
+                if old_lo + k >= BASE {
+                    *self = MultiwordFaaMachine::Borrow {
+                        alg,
+                        prev: old_lo,
+                    };
+                } else {
+                    *self = MultiwordFaaMachine::AddReadHi {
+                        alg,
+                        prev_lo: old_lo,
+                    };
+                }
+                Step::Pending
+            }
+            MultiwordFaaMachine::AddReadHi { alg, prev_lo } => {
+                let hi = mem.faa(alg.hi, 0);
+                Step::Ready(FaaResp::Value(hi * BASE + prev_lo))
+            }
+            MultiwordFaaMachine::Borrow { alg, prev } => {
+                mem.faa(alg.lo, BASE.wrapping_neg());
+                *self = MultiwordFaaMachine::Carry { alg, prev };
+                Step::Pending
+            }
+            MultiwordFaaMachine::Carry { alg, prev } => {
+                let old_hi = mem.faa(alg.hi, 1);
+                Step::Ready(FaaResp::Value(old_hi * BASE + prev))
+            }
+            MultiwordFaaMachine::ReadHi { alg } => {
+                let hi = mem.faa(alg.hi, 0);
+                *self = MultiwordFaaMachine::ReadLo { alg, hi };
+                Step::Pending
+            }
+            MultiwordFaaMachine::ReadLo { alg, hi } => {
+                let lo = mem.faa(alg.lo, 0);
+                Step::Ready(FaaResp::Value(hi * BASE + lo))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_exec::machine::run_solo;
+    use sl2_exec::sched::{run, CrashPlan, FixedSchedule, Scenario};
+    use sl2_exec::strong::check_strong;
+    use sl2_exec::{for_each_history, is_linearizable};
+
+    #[test]
+    fn solo_carries_correctly() {
+        // Sequentially the carry chain is fine: the failure is purely
+        // concurrent.
+        let mut mem = SimMemory::new();
+        let alg = MultiwordFaaAlg::new(&mut mem);
+        let mut total = 0u64;
+        for k in [3, 3, 3, 2, 1] {
+            let (r, _) = run_solo(&mut alg.machine(0, &FaaOp::Add(k)), &mut mem);
+            assert_eq!(r, FaaResp::Value(total));
+            total += k;
+        }
+        let (r, _) = run_solo(&mut alg.machine(1, &FaaOp::Read), &mut mem);
+        assert_eq!(r, FaaResp::Value(total));
+    }
+
+    #[test]
+    fn overshoot_read_is_not_linearizable() {
+        // value = 3; add(2) performs its lo-add (lo = 5 ≥ B) and stalls
+        // before the borrow; a read sees hi·B + lo = 5... which IS the
+        // correct post-add value — the genuine violation needs two
+        // reads bracketing the borrow: 5 then (after borrow, before
+        // carry) 1. The value sequence 5 → 1 under a single add(2) is
+        // impossible for any fetch&add linearization.
+        let mut mem = SimMemory::new();
+        let alg = MultiwordFaaAlg::new(&mut mem);
+        run_solo(&mut alg.machine(0, &FaaOp::Add(3)), &mut mem);
+        let scenario = Scenario::new(vec![
+            vec![FaaOp::Add(2)],
+            vec![FaaOp::Read, FaaOp::Read],
+        ]);
+        // p0: lo-add; p1: full read (sees 5); p0: borrow; p1: full
+        // read (sees 1); p0: carry.
+        let script = vec![0, 1, 1, 0, 1, 1, 0];
+        let exec = run(
+            &alg,
+            mem,
+            &scenario,
+            &mut FixedSchedule::new(script),
+            &CrashPlan::none(2),
+        );
+        let reads: Vec<u64> = exec
+            .history
+            .complete_ops()
+            .iter()
+            .filter(|r| r.op == FaaOp::Read)
+            .map(|r| match r.returned.expect("complete") {
+                (FaaResp::Value(v), _) => v,
+            })
+            .collect();
+        assert_eq!(reads, vec![5, 1], "the torn-carry window");
+        assert!(
+            !is_linearizable(&FaaSpec, &exec.history),
+            "5 then 1 under one add(2) from 3 has no linearization"
+        );
+    }
+
+    #[test]
+    fn checker_refutes_the_candidate_mechanically() {
+        // The same violation found without hand-crafting the schedule:
+        // some history of the bounded scenario is non-linearizable, so
+        // the strong checker refutes a fortiori.
+        let mut mem = SimMemory::new();
+        let alg = MultiwordFaaAlg::new(&mut mem);
+        run_solo(&mut alg.machine(0, &FaaOp::Add(3)), &mut mem);
+        let scenario = Scenario::new(vec![
+            vec![FaaOp::Add(2)],
+            vec![FaaOp::Read, FaaOp::Read],
+        ]);
+        let mut bad = 0usize;
+        for_each_history(&alg, mem.clone(), &scenario, 1_000_000, &mut |h| {
+            if !is_linearizable(&FaaSpec, h) {
+                bad += 1;
+            }
+        });
+        assert!(bad > 0, "the torn-carry history must be enumerated");
+        let report = check_strong(&alg, mem, &scenario, 4_000_000);
+        assert!(!report.strongly_linearizable);
+    }
+
+    #[test]
+    fn crashed_carrier_corrupts_the_object_permanently() {
+        // Crash injection: the adder dies between borrow and carry;
+        // the visible value is off by B forever after.
+        let mut mem = SimMemory::new();
+        let alg = MultiwordFaaAlg::new(&mut mem);
+        run_solo(&mut alg.machine(0, &FaaOp::Add(3)), &mut mem);
+        let scenario = Scenario::new(vec![vec![FaaOp::Add(2)], vec![FaaOp::Read]]);
+        // p0 takes exactly 2 steps (lo-add + borrow) then crashes.
+        let exec = run(
+            &alg,
+            mem,
+            &scenario,
+            &mut FixedSchedule::new(vec![0, 0, 1, 1]),
+            &CrashPlan::none(2).crash_after(0, 2),
+        );
+        let read = exec
+            .history
+            .complete_ops()
+            .into_iter()
+            .find(|r| r.op == FaaOp::Read)
+            .expect("read completed");
+        // 3 + 2 = 5 was intended; the stranded borrow leaves 1 visible.
+        assert_eq!(read.returned.expect("complete").0, FaaResp::Value(1));
+    }
+
+    #[test]
+    fn adds_below_the_carry_boundary_are_fine() {
+        // Control: while no carry fires, the candidate behaves (adds on
+        // one word are atomic) — the problem is exactly the carry.
+        let mut mem = SimMemory::new();
+        let alg = MultiwordFaaAlg::new(&mut mem);
+        let scenario = Scenario::new(vec![
+            vec![FaaOp::Add(1)],
+            vec![FaaOp::Add(2)],
+            vec![FaaOp::Read],
+        ]);
+        let report = check_strong(&alg, mem, &scenario, 4_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+}

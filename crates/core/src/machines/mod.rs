@@ -1,0 +1,26 @@
+//! Step-machine (checkable) forms of the paper's constructions.
+//!
+//! Each module mirrors one construction, encoded as explicit
+//! program-counter state machines over [`sl2_exec::mem::SimMemory`] so
+//! that the exhaustive schedulers and the strong-linearizability
+//! checker can drive them. The production (real-atomics) forms live in
+//! [`crate::algos`]; both implement the same pseudocode and are tested
+//! against the same specifications.
+//!
+//! Composed constructions (multi-shot test&set on max register +
+//! readable test&set; the set of Algorithm 2 on readable fetch&inc) use
+//! *atomic composite cells* for their sub-objects, which matches the
+//! modular structure of the paper's proofs (composability of strong
+//! linearizability, [9, Theorem 10]). [`fetch_inc_composed`] instead
+//! inlines the sub-objects (Theorem 9 ∘ Theorem 5 in one machine), so
+//! the composition itself is checked end to end.
+
+pub mod fetch_inc;
+pub mod fetch_inc_composed;
+pub mod max_register;
+pub mod multishot_ts;
+pub mod readable_ts;
+pub mod rw_max_register;
+pub mod simple;
+pub mod sl_set;
+pub mod snapshot;

@@ -1,0 +1,789 @@
+//! Obstruction-free universal construction from **single-writer
+//! registers** (after Helmi–Higham–Woelfel \[18\]).
+//!
+//! The paper's related-work section records a sharp boundary: with only
+//! *obstruction-freedom* — an operation must complete only if it
+//! eventually runs alone — "any object can be implemented using
+//! single-writer registers" \[18\], while the lock-free and wait-free
+//! worlds of §3–§5 need consensus-number-2 (or stronger) primitives and
+//! still exclude queues and stacks. This module makes that boundary
+//! executable.
+//!
+//! Construction: the object is a log of operations. Position `k` of the
+//! log is fixed by one instance of **shared-memory single-disk Paxos**
+//! (Gafni–Lamport), which is safe always and live exactly when a
+//! proposer eventually runs alone:
+//!
+//! * every process owns one single-writer register per instance,
+//!   holding a packed `(mbal, bal, val)` triple;
+//! * phase 1: write own `mbal := b`, read all registers; a higher
+//!   `mbal` aborts the ballot, otherwise adopt the value of the highest
+//!   `bal` (or keep the own proposal);
+//! * phase 2: write own `(bal, val) := (b, adopted)`, read all
+//!   registers; a higher `mbal` aborts, otherwise `adopted` is decided;
+//! * decisions are announced in single-writer decision registers so
+//!   that laggards learn in one read.
+//!
+//! An operation scans the log from position 0, replaying decided
+//! entries, and proposes itself at the first free position, retrying at
+//! successive positions until its own proposal is decided; the response
+//! is computed by replaying the sequential specification over the log
+//! prefix. Ballots grow without bound under contention — which is
+//! exactly why the execution tree of this object is infinite and the
+//! exhaustive strong-linearizability checker does not apply to it (see
+//! the tests for the adversarial livelock witness; contrast with the
+//! bounded-step constructions of §3–§4).
+
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+use sl2_exec::machine::{Algorithm, OpMachine, Step};
+use sl2_exec::mem::{ArrayLoc, Cell, SimMemory};
+use sl2_spec::counters::CounterOp;
+use sl2_spec::fifo::{QueueOp, StackOp};
+use sl2_spec::Spec;
+
+/// Operations that can be packed into a Paxos proposal value.
+///
+/// Codes must be < 2^20 − 1; the proposer's id is packed next to the
+/// code so that a process can recognize its own decided proposals.
+pub trait CodedOp: Sized {
+    /// Encodes the operation as a small integer.
+    fn encode(&self) -> u64;
+    /// Decodes an operation from [`CodedOp::encode`]'s output.
+    ///
+    /// # Panics
+    ///
+    /// May panic on codes not produced by `encode`.
+    fn decode(code: u64) -> Self;
+}
+
+impl CodedOp for CounterOp {
+    fn encode(&self) -> u64 {
+        match self {
+            CounterOp::Inc => 0,
+            CounterOp::Read => 1,
+        }
+    }
+
+    fn decode(code: u64) -> Self {
+        match code {
+            0 => CounterOp::Inc,
+            1 => CounterOp::Read,
+            other => panic!("bad counter op code {other}"),
+        }
+    }
+}
+
+/// Queue values must be < 2^12 to fit the packed code.
+impl CodedOp for QueueOp {
+    fn encode(&self) -> u64 {
+        match self {
+            QueueOp::Deq => 0,
+            QueueOp::Enq(v) => {
+                assert!(*v < 1 << 12, "universal queue supports values < 4096");
+                (1 << 12) | v
+            }
+        }
+    }
+
+    fn decode(code: u64) -> Self {
+        if code == 0 {
+            QueueOp::Deq
+        } else {
+            QueueOp::Enq(code & ((1 << 12) - 1))
+        }
+    }
+}
+
+/// Stack values must be < 2^12 to fit the packed code.
+impl CodedOp for StackOp {
+    fn encode(&self) -> u64 {
+        match self {
+            StackOp::Pop => 0,
+            StackOp::Push(v) => {
+                assert!(*v < 1 << 12, "universal stack supports values < 4096");
+                (1 << 12) | v
+            }
+        }
+    }
+
+    fn decode(code: u64) -> Self {
+        if code == 0 {
+            StackOp::Pop
+        } else {
+            StackOp::Push(code & ((1 << 12) - 1))
+        }
+    }
+}
+
+// Packed register layout: | mbal:18 | bal:18 | val:28 |.
+const VAL_BITS: u32 = 28;
+const BAL_SHIFT: u32 = VAL_BITS;
+const MBAL_SHIFT: u32 = VAL_BITS + 18;
+const VAL_MASK: u64 = (1 << VAL_BITS) - 1;
+const BAL_MASK: u64 = (1 << 18) - 1;
+/// Proposer id's shift inside a proposal value.
+const TAG_SHIFT: u32 = 20;
+
+fn pack_reg(mbal: u64, bal: u64, val: u64) -> u64 {
+    debug_assert!(mbal <= BAL_MASK && bal <= BAL_MASK && val <= VAL_MASK);
+    (mbal << MBAL_SHIFT) | (bal << BAL_SHIFT) | val
+}
+
+fn unpack_reg(raw: u64) -> (u64, u64, u64) {
+    (
+        raw >> MBAL_SHIFT,
+        (raw >> BAL_SHIFT) & BAL_MASK,
+        raw & VAL_MASK,
+    )
+}
+
+fn pack_proposal(p: usize, code: u64) -> u64 {
+    assert!(code < (1 << TAG_SHIFT) - 1, "op code too large");
+    ((p as u64) << TAG_SHIFT) | (code + 1)
+}
+
+fn proposal_tag(val: u64) -> usize {
+    (val >> TAG_SHIFT) as usize
+}
+
+fn proposal_code(val: u64) -> u64 {
+    (val & ((1 << TAG_SHIFT) - 1)) - 1
+}
+
+/// Base-object layout: one Paxos register array and one decision
+/// announcement array per process, indexed by log position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UniversalLayout {
+    n: usize,
+    regs: Vec<ArrayLoc>,
+    dec: Vec<ArrayLoc>,
+}
+
+impl UniversalLayout {
+    fn new(mem: &mut SimMemory, n: usize) -> Self {
+        UniversalLayout {
+            n,
+            regs: (0..n).map(|_| mem.alloc_array(Cell::Reg(0))).collect(),
+            dec: (0..n).map(|_| mem.alloc_array(Cell::Reg(0))).collect(),
+        }
+    }
+}
+
+/// Phases of one Paxos instance race.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RacePhase {
+    /// Scanning the decision announcements of this instance.
+    ScanDec { j: usize },
+    /// Phase-1 write of own `mbal`.
+    P1Write,
+    /// Phase-1 collect: tracking the highest `mbal` and `(bal, val)`.
+    P1Collect { j: usize, mbal_max: u64, best: (u64, u64) },
+    /// Phase-2 write of own `(bal, val)`.
+    P2Write { val: u64 },
+    /// Phase-2 collect: any higher `mbal` aborts the ballot.
+    P2Collect { j: usize, val: u64, mbal_max: u64 },
+    /// Announcing the decided value.
+    Announce { val: u64 },
+}
+
+/// One consensus instance race: learn-or-propose until the instance's
+/// decision is known. Safe under every interleaving (Paxos agreement);
+/// terminates when run without interference (obstruction freedom).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PaxosRace {
+    layout: UniversalLayout,
+    /// This process.
+    p: usize,
+    /// Log position (consensus instance).
+    k: usize,
+    /// Proposal value.
+    proposal: u64,
+    /// Retry counter; the current ballot is `n·t + p + 1`.
+    t: u64,
+    /// Own register's accepted pair, mirrored locally (single writer).
+    my_bal: u64,
+    my_val: u64,
+    /// Whether this race has performed a phase-1 write.
+    proposed: bool,
+    phase: RacePhase,
+}
+
+impl PaxosRace {
+    /// Starts a race for instance `k`, proposing `proposal`.
+    pub fn new(layout: UniversalLayout, p: usize, k: usize, proposal: u64) -> Self {
+        PaxosRace {
+            layout,
+            p,
+            k,
+            proposal,
+            t: 0,
+            my_bal: 0,
+            my_val: 0,
+            proposed: false,
+            phase: RacePhase::ScanDec { j: 0 },
+        }
+    }
+
+    /// Whether this race has proposed (performed a phase-1 write).
+    pub fn has_proposed(&self) -> bool {
+        self.proposed
+    }
+
+    /// Whether the race's *next* step begins the phase-1 collect, i.e.
+    /// the previous step was the phase-1 write. The strong (full
+    /// information) adversary of the paper's model preempts exactly
+    /// here to starve a proposer — see the livelock tests and the
+    /// `universal_of` example.
+    pub fn just_wrote_phase1(&self) -> bool {
+        matches!(self.phase, RacePhase::P1Collect { j: 0, .. })
+    }
+
+    fn ballot(&self) -> u64 {
+        self.layout.n as u64 * self.t + self.p as u64 + 1
+    }
+
+    /// Picks the next own ballot above `threshold` and restarts at the
+    /// announcement scan (so decisions by others are learned promptly).
+    fn restart_above(&mut self, threshold: u64) {
+        while self.ballot() <= threshold {
+            self.t += 1;
+        }
+        self.phase = RacePhase::ScanDec { j: 0 };
+    }
+
+    /// One base-object step; `Some(val)` once the instance's decision
+    /// is known (learned or decided by this process).
+    pub fn step(&mut self, mem: &mut SimMemory) -> Option<u64> {
+        let n = self.layout.n;
+        match self.phase {
+            RacePhase::ScanDec { j } => {
+                let raw = mem.read_at(self.layout.dec[j], self.k);
+                if raw != 0 {
+                    return Some(raw);
+                }
+                if j + 1 == n {
+                    self.phase = RacePhase::P1Write;
+                } else {
+                    self.phase = RacePhase::ScanDec { j: j + 1 };
+                }
+                None
+            }
+            RacePhase::P1Write => {
+                self.proposed = true;
+                mem.write_at(
+                    self.layout.regs[self.p],
+                    self.k,
+                    pack_reg(self.ballot(), self.my_bal, self.my_val),
+                );
+                self.phase = RacePhase::P1Collect {
+                    j: 0,
+                    mbal_max: 0,
+                    best: (0, 0),
+                };
+                None
+            }
+            RacePhase::P1Collect { j, mbal_max, best } => {
+                let (mbal, bal, val) = unpack_reg(mem.read_at(self.layout.regs[j], self.k));
+                let mbal_max = mbal_max.max(mbal);
+                let best = if bal > best.0 { (bal, val) } else { best };
+                if j + 1 == n {
+                    if mbal_max > self.ballot() {
+                        self.restart_above(mbal_max);
+                    } else {
+                        let val = if best.0 > 0 { best.1 } else { self.proposal };
+                        self.phase = RacePhase::P2Write { val };
+                    }
+                } else {
+                    self.phase = RacePhase::P1Collect {
+                        j: j + 1,
+                        mbal_max,
+                        best,
+                    };
+                }
+                None
+            }
+            RacePhase::P2Write { val } => {
+                let b = self.ballot();
+                self.my_bal = b;
+                self.my_val = val;
+                mem.write_at(self.layout.regs[self.p], self.k, pack_reg(b, b, val));
+                self.phase = RacePhase::P2Collect {
+                    j: 0,
+                    val,
+                    mbal_max: 0,
+                };
+                None
+            }
+            RacePhase::P2Collect { j, val, mbal_max } => {
+                let (mbal, _, _) = unpack_reg(mem.read_at(self.layout.regs[j], self.k));
+                let mbal_max = mbal_max.max(mbal);
+                if mbal_max > self.ballot() {
+                    self.restart_above(mbal_max);
+                } else if j + 1 == n {
+                    self.phase = RacePhase::Announce { val };
+                } else {
+                    self.phase = RacePhase::P2Collect {
+                        j: j + 1,
+                        val,
+                        mbal_max,
+                    };
+                }
+                None
+            }
+            RacePhase::Announce { val } => {
+                mem.write_at(self.layout.dec[self.p], self.k, val);
+                Some(val)
+            }
+        }
+    }
+}
+
+/// Factory for the obstruction-free universal object over `S`.
+///
+/// `S` must be deterministic (the log replay uses [`Spec::apply`]).
+#[derive(Debug, Clone)]
+pub struct UniversalAlg<S: Spec> {
+    spec: S,
+    layout: UniversalLayout,
+}
+
+impl<S: Spec> UniversalAlg<S>
+where
+    S::Op: CodedOp,
+{
+    /// Allocates the per-process register and announcement arrays.
+    pub fn new(mem: &mut SimMemory, n: usize, spec: S) -> Self {
+        UniversalAlg {
+            spec,
+            layout: UniversalLayout::new(mem, n),
+        }
+    }
+}
+
+impl<S: Spec> Algorithm for UniversalAlg<S>
+where
+    S::Op: CodedOp,
+{
+    type Spec = S;
+    type Machine = UniversalMachine<S>;
+
+    fn spec(&self) -> S {
+        self.spec.clone()
+    }
+
+    fn machine(&self, process: usize, op: &S::Op) -> UniversalMachine<S> {
+        let proposal = pack_proposal(process, op.encode());
+        UniversalMachine {
+            spec: self.spec.clone(),
+            p: process,
+            op: op.clone(),
+            proposal,
+            log: Vec::new(),
+            race: PaxosRace::new(self.layout.clone(), process, 0, proposal),
+        }
+    }
+}
+
+/// Step machine executing one operation of the universal object: scan
+/// the log, then race log positions until the own proposal is decided.
+#[derive(Debug, Clone)]
+pub struct UniversalMachine<S: Spec> {
+    spec: S,
+    p: usize,
+    op: S::Op,
+    proposal: u64,
+    /// Decided values of log positions `0..race.k`.
+    log: Vec<u64>,
+    race: PaxosRace,
+}
+
+// `spec` is stateless configuration; machine identity is the rest.
+impl<S: Spec> PartialEq for UniversalMachine<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.p == other.p
+            && self.op == other.op
+            && self.proposal == other.proposal
+            && self.log == other.log
+            && self.race == other.race
+    }
+}
+
+impl<S: Spec> Eq for UniversalMachine<S> {}
+
+impl<S: Spec> Hash for UniversalMachine<S> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.p.hash(state);
+        self.op.hash(state);
+        self.proposal.hash(state);
+        self.log.hash(state);
+        self.race.hash(state);
+    }
+}
+
+impl<S: Spec> UniversalMachine<S>
+where
+    S::Op: CodedOp,
+{
+    /// The Paxos race currently driving this operation (adversaries in
+    /// the paper's strong-adversary model observe internal state).
+    pub fn race(&self) -> &PaxosRace {
+        &self.race
+    }
+
+    /// Replays the decided log and the current operation, returning the
+    /// operation's response.
+    fn replay(&self) -> S::Resp {
+        let mut state = self.spec.initial();
+        for &val in &self.log {
+            let op = S::Op::decode(proposal_code(val));
+            self.spec.apply(&mut state, &op);
+        }
+        self.spec.apply(&mut state, &self.op)
+    }
+}
+
+impl<S: Spec> OpMachine for UniversalMachine<S>
+where
+    S::Op: CodedOp,
+{
+    type Resp = S::Resp;
+
+    fn step(&mut self, mem: &mut SimMemory) -> Step<S::Resp> {
+        match self.race.step(mem) {
+            None => Step::Pending,
+            Some(decided) => {
+                // A decision tagged with this process at an instance it
+                // proposed at can only be the current proposal (earlier
+                // own operations were decided at already-scanned
+                // positions; their values never enter later instances).
+                if proposal_tag(decided) == self.p && self.race.has_proposed() {
+                    debug_assert_eq!(decided, self.proposal);
+                    Step::Ready(self.replay())
+                } else {
+                    self.log.push(decided);
+                    let k = self.race.k + 1;
+                    self.race =
+                        PaxosRace::new(self.race.layout.clone(), self.p, k, self.proposal);
+                    Step::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_exec::machine::run_solo;
+    use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
+    use sl2_exec::is_linearizable;
+    use sl2_spec::counters::{CounterResp, CounterSpec};
+    use sl2_spec::fifo::{QueueResp, QueueSpec};
+
+    #[test]
+    fn solo_counter_counts() {
+        let mut mem = SimMemory::new();
+        let alg = UniversalAlg::new(&mut mem, 2, CounterSpec);
+        for _ in 0..5 {
+            let (r, _) = run_solo(&mut alg.machine(0, &CounterOp::Inc), &mut mem);
+            assert_eq!(r, CounterResp::Ok);
+        }
+        let (r, steps) = run_solo(&mut alg.machine(1, &CounterOp::Read), &mut mem);
+        assert_eq!(r, CounterResp::Value(5));
+        // The read scans 5 decided positions (1 announcement read each)
+        // and runs one full solo Paxos instance at position 5.
+        assert!(steps <= 20, "solo read took {steps} steps");
+    }
+
+    #[test]
+    fn solo_queue_is_fifo() {
+        let mut mem = SimMemory::new();
+        let alg = UniversalAlg::new(&mut mem, 2, QueueSpec);
+        for v in [4, 5, 6] {
+            let (r, _) = run_solo(&mut alg.machine(0, &QueueOp::Enq(v)), &mut mem);
+            assert_eq!(r, QueueResp::Ok);
+        }
+        for v in [4, 5, 6] {
+            let (r, _) = run_solo(&mut alg.machine(1, &QueueOp::Deq), &mut mem);
+            assert_eq!(r, QueueResp::Item(v));
+        }
+        let (r, _) = run_solo(&mut alg.machine(0, &QueueOp::Deq), &mut mem);
+        assert_eq!(r, QueueResp::Empty);
+    }
+
+    #[test]
+    fn random_schedules_linearizable_counter() {
+        let mut base = SimMemory::new();
+        let alg = UniversalAlg::new(&mut base, 3, CounterSpec);
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc, CounterOp::Read],
+            vec![CounterOp::Inc],
+            vec![CounterOp::Read, CounterOp::Inc],
+        ]);
+        for seed in 0..300 {
+            let exec = run(
+                &alg,
+                base.clone(),
+                &scenario,
+                &mut RandomSched::seeded(seed),
+                &CrashPlan::none(3),
+            );
+            assert!(
+                is_linearizable(&CounterSpec, &exec.history),
+                "seed {seed}: {:?}",
+                exec.history
+            );
+        }
+    }
+
+    #[test]
+    fn random_schedules_linearizable_queue() {
+        let mut base = SimMemory::new();
+        let alg = UniversalAlg::new(&mut base, 3, QueueSpec);
+        let scenario = Scenario::new(vec![
+            vec![QueueOp::Enq(1), QueueOp::Deq],
+            vec![QueueOp::Enq(2)],
+            vec![QueueOp::Deq],
+        ]);
+        for seed in 0..300 {
+            let exec = run(
+                &alg,
+                base.clone(),
+                &scenario,
+                &mut RandomSched::seeded(seed),
+                &CrashPlan::none(3),
+            );
+            assert!(
+                is_linearizable(&QueueSpec, &exec.history),
+                "seed {seed}: {:?}",
+                exec.history
+            );
+        }
+    }
+
+    #[test]
+    fn paxos_agreement_and_validity_under_random_interleavings() {
+        for seed in 0..1000u64 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mem = SimMemory::new();
+            let layout = UniversalLayout::new(&mut mem, 3);
+            let proposals: Vec<u64> = (0..3).map(|p| pack_proposal(p, p as u64 + 10)).collect();
+            let mut races: Vec<PaxosRace> = (0..3)
+                .map(|p| PaxosRace::new(layout.clone(), p, 0, proposals[p]))
+                .collect();
+            let mut decided: Vec<Option<u64>> = vec![None; 3];
+            // Random interleaving with a per-run step budget; whoever
+            // has not decided within the budget finishes solo (allowed:
+            // obstruction-freedom).
+            for _ in 0..200 {
+                let p = rng.gen_range(0..3);
+                if decided[p].is_none() {
+                    decided[p] = races[p].step(&mut mem);
+                }
+            }
+            for p in 0..3 {
+                while decided[p].is_none() {
+                    decided[p] = races[p].step(&mut mem);
+                }
+            }
+            let d0 = decided[0].unwrap();
+            assert!(proposals.contains(&d0), "validity violated (seed {seed})");
+            assert!(
+                decided.iter().all(|d| d.unwrap() == d0),
+                "agreement violated (seed {seed}): {decided:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_alternation_completes() {
+        // Strict lockstep does *not* livelock: the staggered ballots
+        // (n·t + p + 1) let the higher-ballot proposer finish its
+        // phase-2 collect while the other is restarting. Livelock
+        // requires the adaptive adversary of the next test.
+        let mut mem = SimMemory::new();
+        let alg = UniversalAlg::new(&mut mem, 2, CounterSpec);
+        let mut m0 = alg.machine(0, &CounterOp::Inc);
+        let mut m1 = alg.machine(1, &CounterOp::Inc);
+        let mut completed = 0;
+        for _ in 0..200 {
+            if m0.step(&mut mem).ready().is_some() {
+                completed += 1;
+                break;
+            }
+            if m1.step(&mut mem).ready().is_some() {
+                completed += 1;
+                break;
+            }
+        }
+        assert_eq!(completed, 1, "lockstep should let one proposer through");
+    }
+
+    #[test]
+    fn adaptive_adversary_livelocks_two_proposers() {
+        // The obstruction-freedom boundary, exhibited: an adversary
+        // that preempts a proposer immediately after its phase-1 write
+        // forces the other proposer to observe the higher `mbal`,
+        // restart, and write an even higher one — ballots race forever
+        // and no operation ever completes. This is why the construction
+        // is not lock-free, and why its execution tree is infinite
+        // (ballot counters grow without bound), putting it outside the
+        // exhaustive strong-linearizability checker's domain.
+        let mut mem = SimMemory::new();
+        let alg = UniversalAlg::new(&mut mem, 2, CounterSpec);
+        let mut machines = [
+            alg.machine(0, &CounterOp::Inc),
+            alg.machine(1, &CounterOp::Inc),
+        ];
+        let mut cur = 0usize;
+        for _ in 0..5_000 {
+            let m = &mut machines[cur];
+            assert!(
+                matches!(m.step(&mut mem), Step::Pending),
+                "an operation completed under the livelock adversary"
+            );
+            // Preempt right after the phase-1 write.
+            if matches!(m.race.phase, RacePhase::P1Collect { j: 0, .. }) {
+                cur = 1 - cur;
+            }
+        }
+    }
+
+    #[test]
+    fn obstruction_freedom_after_contention() {
+        // From any reachable configuration, a process that runs alone
+        // completes — even after heavy ballot racing.
+        for seed in 0..50u64 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mem = SimMemory::new();
+            let alg = UniversalAlg::new(&mut mem, 2, CounterSpec);
+            let mut m0 = alg.machine(0, &CounterOp::Inc);
+            let mut m1 = alg.machine(1, &CounterOp::Inc);
+            let mut done0 = false;
+            let mut done1 = false;
+            for _ in 0..100 {
+                if rng.gen_bool(0.5) {
+                    done0 = done0 || m0.step(&mut mem).ready().is_some();
+                } else {
+                    done1 = done1 || m1.step(&mut mem).ready().is_some();
+                }
+            }
+            let mut steps = 0;
+            while !done0 {
+                done0 = m0.step(&mut mem).ready().is_some();
+                steps += 1;
+                assert!(steps < 200, "solo run did not converge (seed {seed})");
+            }
+            while !done1 {
+                done1 = m1.step(&mut mem).ready().is_some();
+                steps += 1;
+                assert!(steps < 400, "solo run did not converge (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn paxos_survives_proposer_crashes() {
+        // A proposer dies at an arbitrary step; the survivor still
+        // terminates (obstruction-freedom) and, if the victim had
+        // already decided, agrees with it (Paxos safety).
+        for crash_at in 0..14u64 {
+            for seed in 0..40u64 {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut mem = SimMemory::new();
+                let layout = UniversalLayout::new(&mut mem, 2);
+                let proposals = [pack_proposal(0, 10), pack_proposal(1, 20)];
+                let mut races = [
+                    PaxosRace::new(layout.clone(), 0, 0, proposals[0]),
+                    PaxosRace::new(layout, 1, 0, proposals[1]),
+                ];
+                let mut decided: [Option<u64>; 2] = [None, None];
+                let mut victim_steps = 0u64;
+                // Random interleaving until the victim (p0) crashes.
+                while victim_steps < crash_at && decided[0].is_none() {
+                    let p = rng.gen_range(0..2);
+                    if p == 0 {
+                        victim_steps += 1;
+                    }
+                    if decided[p].is_none() {
+                        decided[p] = races[p].step(&mut mem);
+                    }
+                }
+                // Survivor runs alone to completion.
+                let mut steps = 0;
+                while decided[1].is_none() {
+                    decided[1] = races[1].step(&mut mem);
+                    steps += 1;
+                    assert!(steps < 500, "survivor failed to terminate");
+                }
+                let d1 = decided[1].expect("survivor decided");
+                assert!(proposals.contains(&d1), "validity");
+                if let Some(d0) = decided[0] {
+                    assert_eq!(d0, d1, "crash_at={crash_at} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_sequences_match_the_spec_replay() {
+        // Differential: any queue op sequence served solo through the
+        // universal construction produces exactly the spec's responses.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use sl2_spec::fifo::QueueSpec;
+        for seed in 0..80u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ops: Vec<QueueOp> = (0..12)
+                .map(|_| {
+                    if rng.gen_bool(0.6) {
+                        QueueOp::Enq(rng.gen_range(1..100))
+                    } else {
+                        QueueOp::Deq
+                    }
+                })
+                .collect();
+            let mut mem = SimMemory::new();
+            let alg = UniversalAlg::new(&mut mem, 2, QueueSpec);
+            let mut state = QueueSpec.initial();
+            for op in &ops {
+                let expect = QueueSpec.apply(&mut state, op);
+                let p = rng.gen_range(0..2);
+                let (got, _) = run_solo(&mut alg.machine(p, op), &mut mem);
+                assert_eq!(got, expect, "seed {seed}, op {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ballots_are_disjoint_across_processes() {
+        let mut mem = SimMemory::new();
+        let layout = UniversalLayout::new(&mut mem, 3);
+        let mut r0 = PaxosRace::new(layout.clone(), 0, 0, pack_proposal(0, 1));
+        let mut r2 = PaxosRace::new(layout, 2, 0, pack_proposal(2, 1));
+        r0.restart_above(17);
+        r2.restart_above(17);
+        assert_eq!(r0.ballot() % 3, 1);
+        assert_eq!(r2.ballot() % 3, 0);
+        assert!(r0.ballot() > 17 && r2.ballot() > 17);
+        assert_ne!(r0.ballot(), r2.ballot());
+        let _ = &mut mem;
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        let raw = pack_reg(77, 33, pack_proposal(2, 9));
+        let (mbal, bal, val) = unpack_reg(raw);
+        assert_eq!((mbal, bal), (77, 33));
+        assert_eq!(proposal_tag(val), 2);
+        assert_eq!(proposal_code(val), 9);
+    }
+}

@@ -1,0 +1,243 @@
+//! Histories: the invocation/response traces of concurrent executions.
+//!
+//! A [`History`] is the subsequence of an execution consisting of
+//! high-level invocation and response events — what linearizability and
+//! strong linearizability are defined over.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+use sl2_spec::Spec;
+
+/// Identifier of an operation instance within one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// One event of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<S: Spec> {
+    /// Operation `id` invoked by `process` with descriptor `op`.
+    Invoke {
+        /// Operation instance.
+        id: OpId,
+        /// Invoking process.
+        process: usize,
+        /// Operation descriptor.
+        op: S::Op,
+    },
+    /// Operation `id` returned `resp`.
+    Return {
+        /// Operation instance.
+        id: OpId,
+        /// The response.
+        resp: S::Resp,
+    },
+}
+
+/// An operation's lifecycle within a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord<S: Spec> {
+    /// Operation instance id.
+    pub id: OpId,
+    /// Invoking process.
+    pub process: usize,
+    /// Operation descriptor.
+    pub op: S::Op,
+    /// Index of the invocation event.
+    pub invoked_at: usize,
+    /// Completion: response and index of the return event.
+    pub returned: Option<(S::Resp, usize)>,
+}
+
+/// A finite history of invocation/response events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct History<S: Spec> {
+    events: Vec<Event<S>>,
+}
+
+impl<S: Spec> History<S> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Appends an invocation event.
+    pub fn invoke(&mut self, id: OpId, process: usize, op: S::Op) {
+        self.events.push(Event::Invoke { id, process, op });
+    }
+
+    /// Appends a return event.
+    pub fn ret(&mut self, id: OpId, resp: S::Resp) {
+        self.events.push(Event::Return { id, resp });
+    }
+
+    /// The raw event sequence.
+    pub fn events(&self) -> &[Event<S>] {
+        &self.events
+    }
+
+    /// Removes the most recent event (used by backtracking explorers).
+    pub fn pop(&mut self) -> Option<Event<S>> {
+        self.events.pop()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Per-operation records, in invocation order.
+    pub fn ops(&self) -> Vec<OpRecord<S>> {
+        let mut recs: Vec<OpRecord<S>> = Vec::new();
+        let mut index: HashMap<OpId, usize> = HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                Event::Invoke { id, process, op } => {
+                    index.insert(*id, recs.len());
+                    recs.push(OpRecord {
+                        id: *id,
+                        process: *process,
+                        op: op.clone(),
+                        invoked_at: i,
+                        returned: None,
+                    });
+                }
+                Event::Return { id, resp } => {
+                    let at = index[id];
+                    recs[at].returned = Some((resp.clone(), i));
+                }
+            }
+        }
+        recs
+    }
+
+    /// Operations with both invocation and response.
+    pub fn complete_ops(&self) -> Vec<OpRecord<S>> {
+        self.ops().into_iter().filter(|r| r.returned.is_some()).collect()
+    }
+
+    /// Operations with only an invocation.
+    pub fn pending_ops(&self) -> Vec<OpRecord<S>> {
+        self.ops().into_iter().filter(|r| r.returned.is_none()).collect()
+    }
+
+    /// Real-time precedence: does `a` precede `b` (a's return before
+    /// b's invocation)?
+    pub fn precedes(&self, a: &OpRecord<S>, b: &OpRecord<S>) -> bool {
+        match &a.returned {
+            Some((_, ret_at)) => *ret_at < b.invoked_at,
+            None => false,
+        }
+    }
+
+    /// Restriction of the history to one process (the paper's `α|i`).
+    pub fn per_process(&self, process: usize) -> Vec<Event<S>> {
+        let owned: std::collections::HashSet<OpId> = self
+            .ops()
+            .into_iter()
+            .filter(|r| r.process == process)
+            .map(|r| r.id)
+            .collect();
+        self.events
+            .iter()
+            .filter(|ev| match ev {
+                Event::Invoke { id, .. } | Event::Return { id, .. } => owned.contains(id),
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Checks well-formedness: each process has at most one operation
+    /// pending at a time, returns match prior invocations, no duplicate
+    /// ids.
+    pub fn is_well_formed(&self) -> bool {
+        let mut active: HashMap<usize, OpId> = HashMap::new();
+        let mut owner: HashMap<OpId, usize> = HashMap::new();
+        for ev in &self.events {
+            match ev {
+                Event::Invoke { id, process, .. } => {
+                    if owner.contains_key(id) || active.contains_key(process) {
+                        return false;
+                    }
+                    owner.insert(*id, *process);
+                    active.insert(*process, *id);
+                }
+                Event::Return { id, .. } => match owner.get(id) {
+                    Some(p) if active.get(p) == Some(id) => {
+                        active.remove(p);
+                    }
+                    _ => return false,
+                },
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
+
+    fn sample() -> History<MaxRegisterSpec> {
+        let mut h = History::new();
+        h.invoke(OpId(0), 0, MaxOp::Write(5));
+        h.invoke(OpId(1), 1, MaxOp::Read);
+        h.ret(OpId(0), MaxResp::Ok);
+        h.invoke(OpId(2), 0, MaxOp::Read);
+        h.ret(OpId(2), MaxResp::Value(5));
+        h
+    }
+
+    #[test]
+    fn ops_classify_complete_and_pending() {
+        let h = sample();
+        assert_eq!(h.complete_ops().len(), 2);
+        assert_eq!(h.pending_ops().len(), 1);
+        assert_eq!(h.pending_ops()[0].id, OpId(1));
+    }
+
+    #[test]
+    fn precedence_follows_real_time() {
+        let h = sample();
+        let ops = h.ops();
+        let w = &ops[0]; // Write(5), completed at index 2
+        let r1 = &ops[1]; // pending Read by p1, invoked at 1
+        let r2 = &ops[2]; // Read by p0, invoked at 3
+        assert!(h.precedes(w, r2));
+        assert!(!h.precedes(w, r1)); // overlapping
+        assert!(!h.precedes(r1, r2)); // pending never precedes
+    }
+
+    #[test]
+    fn per_process_projects_events() {
+        let h = sample();
+        assert_eq!(h.per_process(0).len(), 4);
+        assert_eq!(h.per_process(1).len(), 1);
+    }
+
+    #[test]
+    fn well_formedness_accepts_sample() {
+        assert!(sample().is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_rejects_double_invocation() {
+        let mut h: History<MaxRegisterSpec> = History::new();
+        h.invoke(OpId(0), 0, MaxOp::Read);
+        h.invoke(OpId(1), 0, MaxOp::Read); // same process, still pending
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_rejects_orphan_return() {
+        let mut h: History<MaxRegisterSpec> = History::new();
+        h.ret(OpId(7), MaxResp::Ok);
+        assert!(!h.is_well_formed());
+    }
+}

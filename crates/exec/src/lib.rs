@@ -1,0 +1,52 @@
+//! Deterministic interleaving substrate for the PODC 2024 reproduction
+//! *Strong Linearizability using Primitives with Consensus Number 2*.
+//!
+//! This crate is the executable form of the paper's system model
+//! (Section 2) and of its correctness conditions:
+//!
+//! * [`mem::SimMemory`] — simulated shared memory of typed base-object
+//!   cells; every cell operation is one atomic step. Clonable (that is
+//!   what lets Algorithm B of Lemma 12 collect base-object states and
+//!   simulate locally) and hashable (checker memoization).
+//! * [`machine`] — [`machine::OpMachine`] step machines (one shared
+//!   memory operation per step) and the [`machine::Algorithm`] factory
+//!   trait implemented by every construction in `sl2-core`.
+//! * [`sched`] — schedulers (round-robin, seeded-random, scripted,
+//!   crash plans) and the execution [`sched::run`]ner producing
+//!   [`history::History`]s.
+//! * [`lin`] — a linearizability checker supporting nondeterministic
+//!   specifications (needed for the relaxed queues/stacks of §5).
+//! * [`strong`] — the strong-linearizability checker: an AND/OR search
+//!   for a prefix-closed linearization function over the execution tree
+//!   of a bounded scenario, reporting a counterexample branch on
+//!   failure.
+//!
+//! # Example: checking an atomic cell is strongly linearizable
+//!
+//! ```
+//! use sl2_exec::mem::{Cell, SimMemory};
+//!
+//! let mut mem = SimMemory::new();
+//! let ts = mem.alloc(Cell::Tas(false));
+//! assert_eq!(mem.tas(ts), 0);
+//! assert_eq!(mem.tas(ts), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod history;
+pub mod lin;
+pub mod machine;
+pub mod mem;
+pub mod sched;
+pub mod strong;
+
+pub use history::{History, OpId};
+pub use lin::{is_linearizable, linearize};
+pub use machine::{Algorithm, OpMachine, Step};
+pub use mem::{ArrayLoc, Cell, Loc, SimMemory, Word};
+pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
+pub use strong::{
+    check_strong, check_strong_with, for_each_history, StrongOptions, StrongReport, Witness,
+};

@@ -1,0 +1,304 @@
+//! Linearizability checker (Herlihy & Wing \[23\]).
+//!
+//! Decides whether a finite [`History`] has a linearization: a
+//! sequential execution containing every complete operation (with its
+//! actual response) and a subset of pending operations, respecting the
+//! real-time precedence order, and legal for the (possibly
+//! nondeterministic) sequential specification.
+//!
+//! The search enumerates linearization orders with memoization on
+//! `(set of linearized ops, specification state)`, the classic
+//! Wing–Gong style exploration.
+
+use std::collections::HashSet;
+
+use sl2_spec::Spec;
+
+use crate::history::{History, OpId, OpRecord};
+
+/// A linearization: operations in order with their responses
+/// (assigned responses for pending operations).
+pub type Linearization<S> = Vec<(OpId, <S as Spec>::Op, <S as Spec>::Resp)>;
+
+/// Searches for a linearization of `history` against `spec`.
+///
+/// Returns `Some(linearization)` if one exists, `None` otherwise.
+///
+/// # Panics
+///
+/// Panics if the history has more than 128 operations (the checker is
+/// meant for bounded scenarios).
+pub fn linearize<S: Spec>(spec: &S, history: &History<S>) -> Option<Linearization<S>> {
+    let ops = history.ops();
+    assert!(ops.len() <= 128, "checker supports at most 128 operations");
+    debug_assert!(history.is_well_formed(), "ill-formed history");
+
+    // Precedence matrix: must[i] = bitmask of ops that must precede op i.
+    let n = ops.len();
+    let mut must = vec![0u128; n];
+    for (i, a) in ops.iter().enumerate() {
+        for (j, b) in ops.iter().enumerate() {
+            if i != j && history.precedes(a, b) {
+                must[j] |= 1u128 << i;
+            }
+        }
+    }
+    let complete_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.returned.is_some())
+        .fold(0, |m, (i, _)| m | (1u128 << i));
+
+    let mut visited: HashSet<(u128, S::State)> = HashSet::new();
+    let mut chosen: Vec<(usize, S::Resp)> = Vec::new();
+    if dfs(
+        spec,
+        &ops,
+        &must,
+        complete_mask,
+        0,
+        spec.initial(),
+        &mut visited,
+        &mut chosen,
+    ) {
+        Some(
+            chosen
+                .iter()
+                .map(|(i, r)| (ops[*i].id, ops[*i].op.clone(), r.clone()))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+/// Convenience: does a linearization exist?
+pub fn is_linearizable<S: Spec>(spec: &S, history: &History<S>) -> bool {
+    linearize(spec, history).is_some()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<S: Spec>(
+    spec: &S,
+    ops: &[OpRecord<S>],
+    must: &[u128],
+    complete_mask: u128,
+    placed: u128,
+    state: S::State,
+    visited: &mut HashSet<(u128, S::State)>,
+    chosen: &mut Vec<(usize, S::Resp)>,
+) -> bool {
+    if complete_mask & !placed == 0 {
+        // All complete ops placed; pending ops may be dropped.
+        return true;
+    }
+    if !visited.insert((placed, state.clone())) {
+        return false;
+    }
+    for (i, rec) in ops.iter().enumerate() {
+        let bit = 1u128 << i;
+        if placed & bit != 0 {
+            continue;
+        }
+        // Every operation that must precede i has to be placed already.
+        if must[i] & !placed != 0 {
+            continue;
+        }
+        match &rec.returned {
+            Some((resp, _)) => {
+                for next in spec.accept(&state, &rec.op, resp) {
+                    chosen.push((i, resp.clone()));
+                    if dfs(
+                        spec,
+                        ops,
+                        must,
+                        complete_mask,
+                        placed | bit,
+                        next,
+                        visited,
+                        chosen,
+                    ) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            None => {
+                // A pending op may linearize with any legal outcome.
+                for (next, resp) in spec.step(&state, &rec.op) {
+                    chosen.push((i, resp.clone()));
+                    if dfs(
+                        spec,
+                        ops,
+                        must,
+                        complete_mask,
+                        placed | bit,
+                        next,
+                        visited,
+                        chosen,
+                    ) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Checks that `lin` is itself a valid linearization of `history`
+/// (used to cross-validate checker output in tests).
+pub fn validate_linearization<S: Spec>(
+    spec: &S,
+    history: &History<S>,
+    lin: &Linearization<S>,
+) -> Result<(), String> {
+    let ops = history.ops();
+    let find = |id: OpId| ops.iter().find(|r| r.id == id);
+    // 1. Every complete op appears with its actual response.
+    for rec in history.complete_ops() {
+        let (resp, _) = rec.returned.clone().expect("complete");
+        match lin.iter().find(|(id, _, _)| *id == rec.id) {
+            None => return Err(format!("complete op {:?} missing from linearization", rec.id)),
+            Some((_, _, r)) if *r != resp => {
+                return Err(format!("op {:?} response mismatch", rec.id))
+            }
+            _ => {}
+        }
+    }
+    // 2. Real-time order respected.
+    for (x, (a, _, _)) in lin.iter().enumerate() {
+        for (b, _, _) in lin.iter().skip(x + 1) {
+            let (ra, rb) = (find(*a).expect("known"), find(*b).expect("known"));
+            if history.precedes(rb, ra) {
+                return Err(format!("{:?} linearized before its predecessor {:?}", a, b));
+            }
+        }
+    }
+    // 3. Spec-legal.
+    let seq: Vec<(S::Op, S::Resp)> = lin
+        .iter()
+        .map(|(_, op, resp)| (op.clone(), resp.clone()))
+        .collect();
+    if !sl2_spec::is_legal(spec, &seq) {
+        return Err("linearization is not a legal sequential execution".to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_spec::fifo::{QueueOp, QueueResp, QueueSpec};
+    use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
+    use sl2_spec::put_take::{PutTakeSetSpec, SetOp, SetResp};
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h: History<MaxRegisterSpec> = History::new();
+        h.invoke(OpId(0), 0, MaxOp::Write(5));
+        h.ret(OpId(0), MaxResp::Ok);
+        h.invoke(OpId(1), 1, MaxOp::Read);
+        h.ret(OpId(1), MaxResp::Value(5));
+        let lin = linearize(&MaxRegisterSpec, &h).expect("linearizable");
+        validate_linearization(&MaxRegisterSpec, &h, &lin).expect("valid");
+    }
+
+    #[test]
+    fn stale_read_after_write_is_not_linearizable() {
+        let mut h: History<MaxRegisterSpec> = History::new();
+        h.invoke(OpId(0), 0, MaxOp::Write(5));
+        h.ret(OpId(0), MaxResp::Ok);
+        h.invoke(OpId(1), 1, MaxOp::Read);
+        h.ret(OpId(1), MaxResp::Value(0)); // must see 5
+        assert!(!is_linearizable(&MaxRegisterSpec, &h));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_old_or_new() {
+        for seen in [0u64, 5] {
+            let mut h: History<MaxRegisterSpec> = History::new();
+            h.invoke(OpId(0), 0, MaxOp::Write(5));
+            h.invoke(OpId(1), 1, MaxOp::Read);
+            h.ret(OpId(1), MaxResp::Value(seen));
+            h.ret(OpId(0), MaxResp::Ok);
+            assert!(
+                is_linearizable(&MaxRegisterSpec, &h),
+                "concurrent read seeing {seen} is fine"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_op_may_be_linearized_to_explain_effects() {
+        // p0's Write(5) never returns, but p1 reads 5: the pending write
+        // must be linearized before the read.
+        let mut h: History<MaxRegisterSpec> = History::new();
+        h.invoke(OpId(0), 0, MaxOp::Write(5));
+        h.invoke(OpId(1), 1, MaxOp::Read);
+        h.ret(OpId(1), MaxResp::Value(5));
+        let lin = linearize(&MaxRegisterSpec, &h).expect("linearizable");
+        assert_eq!(lin.len(), 2, "pending write included");
+        validate_linearization(&MaxRegisterSpec, &h, &lin).expect("valid");
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected() {
+        // enq(1) enq(2) sequentially, then deq -> 2: not linearizable.
+        let mut h: History<QueueSpec> = History::new();
+        h.invoke(OpId(0), 0, QueueOp::Enq(1));
+        h.ret(OpId(0), QueueResp::Ok);
+        h.invoke(OpId(1), 0, QueueOp::Enq(2));
+        h.ret(OpId(1), QueueResp::Ok);
+        h.invoke(OpId(2), 1, QueueOp::Deq);
+        h.ret(OpId(2), QueueResp::Item(2));
+        assert!(!is_linearizable(&QueueSpec, &h));
+    }
+
+    #[test]
+    fn queue_concurrent_enqueues_allow_either_order() {
+        let mut h: History<QueueSpec> = History::new();
+        h.invoke(OpId(0), 0, QueueOp::Enq(1));
+        h.invoke(OpId(1), 1, QueueOp::Enq(2));
+        h.ret(OpId(0), QueueResp::Ok);
+        h.ret(OpId(1), QueueResp::Ok);
+        h.invoke(OpId(2), 0, QueueOp::Deq);
+        h.ret(OpId(2), QueueResp::Item(2)); // legal iff enq(2) first
+        let lin = linearize(&QueueSpec, &h).expect("linearizable");
+        validate_linearization(&QueueSpec, &h, &lin).expect("valid");
+    }
+
+    #[test]
+    fn nondeterministic_spec_take_any_item() {
+        let mut h: History<PutTakeSetSpec> = History::new();
+        h.invoke(OpId(0), 0, SetOp::Put(1));
+        h.ret(OpId(0), SetResp::Ok);
+        h.invoke(OpId(1), 1, SetOp::Put(2));
+        h.ret(OpId(1), SetResp::Ok);
+        h.invoke(OpId(2), 0, SetOp::Take);
+        h.ret(OpId(2), SetResp::Item(2));
+        h.invoke(OpId(3), 1, SetOp::Take);
+        h.ret(OpId(3), SetResp::Item(1));
+        let lin = linearize(&PutTakeSetSpec, &h).expect("linearizable");
+        validate_linearization(&PutTakeSetSpec, &h, &lin).expect("valid");
+    }
+
+    #[test]
+    fn set_double_take_of_same_item_rejected() {
+        let mut h: History<PutTakeSetSpec> = History::new();
+        h.invoke(OpId(0), 0, SetOp::Put(1));
+        h.ret(OpId(0), SetResp::Ok);
+        h.invoke(OpId(1), 0, SetOp::Take);
+        h.ret(OpId(1), SetResp::Item(1));
+        h.invoke(OpId(2), 1, SetOp::Take);
+        h.ret(OpId(2), SetResp::Item(1));
+        assert!(!is_linearizable(&PutTakeSetSpec, &h));
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<QueueSpec> = History::new();
+        assert!(is_linearizable(&QueueSpec, &h));
+    }
+}

@@ -1,0 +1,672 @@
+//! [`SimMemory`]: simulated shared memory of typed base-object cells.
+//!
+//! This is the executable form of the paper's system model (Section 2):
+//! a configuration contains the states of all shared base objects; a
+//! step applies one atomic operation to one base object. Every cell
+//! operation below is one such step.
+//!
+//! Cell kinds mirror the base objects the paper uses. Primitive cells
+//! (`Reg`, `Faa`, `Wide`, `Tas`, `Swap`, `Cas`) correspond to hardware
+//! primitives; *atomic composite* cells (`AMaxReg`, `ASnap`, `ARTas`,
+//! `ARFai`) let constructions that the paper builds **on top of other
+//! implemented objects** (Theorem 6 on readable test&set + max register,
+//! Theorem 10 on readable fetch&inc, ...) be checked modularly, exactly
+//! as the paper's proofs do via composability of strong linearizability
+//! [9, Theorem 10].
+//!
+//! Every cell supports `read` — the paper's Section 5 works with
+//! *readable* base objects, and Lemma 16 shows readability never
+//! invalidates strong linearizability. [`SimMemory`] is `Clone + Hash`:
+//! cloning gives Algorithm B (Lemma 12) its collect-and-simulate-locally
+//! step, and hashing powers checker memoization.
+
+use sl2_bignum::BigNat;
+
+/// Machine word stored in primitive cells.
+pub type Word = u64;
+
+/// One shared base object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// Read/write register (consensus number 1).
+    Reg(Word),
+    /// Fetch&add register (consensus number 2).
+    Faa(Word),
+    /// Wide (unbounded) fetch&add register (consensus number 2).
+    Wide(BigNat),
+    /// One-shot test&set bit (consensus number 2).
+    Tas(bool),
+    /// Swap register (consensus number 2).
+    Swap(Word),
+    /// Compare&swap register (consensus number ∞).
+    Cas(Word),
+    /// Atomic max register (composite base object).
+    AMaxReg(Word),
+    /// Atomic single-writer snapshot (composite base object).
+    ASnap(Vec<Word>),
+    /// Atomic readable test&set (composite base object).
+    ARTas(bool),
+    /// Atomic readable fetch&increment, initial value 1 (composite).
+    ARFai(Word),
+    /// Atomic queue with a last-dequeued marker (composite base
+    /// object; the marker supports the multiplicity relaxation's
+    /// duplicate-outcome in checker positive controls).
+    AQueue {
+        /// Queued items, front first.
+        items: std::collections::VecDeque<Word>,
+        /// Item returned by the immediately preceding dequeue.
+        last: Option<Word>,
+    },
+}
+
+impl Cell {
+    /// A coarse numeric view of the cell used by `read` (collects in
+    /// Algorithm B read base objects one by one; for `ASnap` use
+    /// [`SimMemory::snap_scan`]).
+    fn as_word(&self) -> Word {
+        match self {
+            Cell::Reg(v) | Cell::Faa(v) | Cell::Swap(v) | Cell::Cas(v) => *v,
+            Cell::Wide(b) => b.to_u64().unwrap_or(u64::MAX),
+            Cell::Tas(b) | Cell::ARTas(b) => *b as Word,
+            Cell::AMaxReg(v) | Cell::ARFai(v) => *v,
+            Cell::ASnap(_) => panic!("read a snapshot cell with snap_scan"),
+            Cell::AQueue { .. } => panic!("read a queue cell with queue_deq/queue_enq"),
+        }
+    }
+}
+
+/// Handle to a standalone cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc(pub(crate) usize);
+
+/// Handle to a growable ("infinite") array of cells of one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayLoc(pub(crate) usize);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ArrayCells {
+    template: Cell,
+    cells: Vec<Cell>,
+}
+
+/// Simulated shared memory: the base-object part of a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_exec::mem::{Cell, SimMemory};
+///
+/// let mut mem = SimMemory::new();
+/// let ts = mem.alloc(Cell::Tas(false));
+/// assert_eq!(mem.tas(ts), 0); // first caller wins
+/// assert_eq!(mem.tas(ts), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SimMemory {
+    cells: Vec<Cell>,
+    arrays: Vec<ArrayCells>,
+    steps: u64,
+}
+
+impl SimMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        SimMemory::default()
+    }
+
+    /// Allocates a standalone cell.
+    pub fn alloc(&mut self, cell: Cell) -> Loc {
+        self.cells.push(cell);
+        Loc(self.cells.len() - 1)
+    }
+
+    /// Allocates an infinite array whose cells materialize (as copies of
+    /// `template`) on first access. Observationally identical to the
+    /// paper's infinite arrays: untouched cells hold the initial value.
+    pub fn alloc_array(&mut self, template: Cell) -> ArrayLoc {
+        self.arrays.push(ArrayCells {
+            template,
+            cells: Vec::new(),
+        });
+        ArrayLoc(self.arrays.len() - 1)
+    }
+
+    /// Total base-object operations performed (the paper's step count).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn cell(&mut self, loc: Loc) -> &mut Cell {
+        &mut self.cells[loc.0]
+    }
+
+    fn array_cell(&mut self, a: ArrayLoc, i: usize) -> &mut Cell {
+        let arr = &mut self.arrays[a.0];
+        if arr.cells.len() <= i {
+            arr.cells.resize(i + 1, arr.template.clone());
+        }
+        &mut arr.cells[i]
+    }
+
+    // -- primitive operations (each is one atomic step) ---------------
+
+    /// Reads any cell as a word. Every base object is readable (Lemma
+    /// 16); `ASnap` cells must use [`SimMemory::snap_scan`].
+    pub fn read(&mut self, loc: Loc) -> Word {
+        self.steps += 1;
+        self.cells[loc.0].as_word()
+    }
+
+    /// Reads an array cell as a word.
+    pub fn read_at(&mut self, a: ArrayLoc, i: usize) -> Word {
+        self.steps += 1;
+        self.array_cell(a, i).as_word()
+    }
+
+    /// Writes a `Reg` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a read/write register: the consensus
+    /// hierarchy discipline is enforced at runtime.
+    pub fn write(&mut self, loc: Loc, v: Word) {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Reg(cur) => *cur = v,
+            other => panic!("write on non-register cell {other:?}"),
+        }
+    }
+
+    /// Writes a `Reg` cell inside an array.
+    pub fn write_at(&mut self, a: ArrayLoc, i: usize, v: Word) {
+        self.steps += 1;
+        match self.array_cell(a, i) {
+            Cell::Reg(cur) => *cur = v,
+            other => panic!("write on non-register cell {other:?}"),
+        }
+    }
+
+    /// Fetch&add on a `Faa` cell; returns the previous value.
+    pub fn faa(&mut self, loc: Loc, delta: Word) -> Word {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Faa(cur) => {
+                let old = *cur;
+                *cur = cur.wrapping_add(delta);
+                old
+            }
+            other => panic!("faa on non-fetch&add cell {other:?}"),
+        }
+    }
+
+    /// Wide fetch&add: applies `+pos − neg` to a `Wide` cell in one
+    /// step, returning the previous value (§3's signed adjustment).
+    pub fn wide_adjust(&mut self, loc: Loc, pos: &BigNat, neg: &BigNat) -> BigNat {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Wide(cur) => {
+                let old = cur.clone();
+                *cur = old.apply_adjustment(pos, neg);
+                old
+            }
+            other => panic!("wide_adjust on non-wide cell {other:?}"),
+        }
+    }
+
+    /// Reads a `Wide` cell (= `fetch&add(R, 0)`).
+    pub fn wide_read(&mut self, loc: Loc) -> BigNat {
+        self.steps += 1;
+        match &self.cells[loc.0] {
+            Cell::Wide(cur) => cur.clone(),
+            other => panic!("wide_read on non-wide cell {other:?}"),
+        }
+    }
+
+    /// Test&set on a `Tas` or `ARTas` cell; returns the previous bit.
+    pub fn tas(&mut self, loc: Loc) -> u8 {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Tas(bit) | Cell::ARTas(bit) => {
+                let old = *bit as u8;
+                *bit = true;
+                old
+            }
+            other => panic!("tas on non-test&set cell {other:?}"),
+        }
+    }
+
+    /// Test&set on an array cell.
+    pub fn tas_at(&mut self, a: ArrayLoc, i: usize) -> u8 {
+        self.steps += 1;
+        match self.array_cell(a, i) {
+            Cell::Tas(bit) | Cell::ARTas(bit) => {
+                let old = *bit as u8;
+                *bit = true;
+                old
+            }
+            other => panic!("tas on non-test&set cell {other:?}"),
+        }
+    }
+
+    /// Swap on a `Swap` cell; returns the previous value.
+    pub fn swap(&mut self, loc: Loc, v: Word) -> Word {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Swap(cur) => std::mem::replace(cur, v),
+            other => panic!("swap on non-swap cell {other:?}"),
+        }
+    }
+
+    /// Swap on an array cell.
+    pub fn swap_at(&mut self, a: ArrayLoc, i: usize, v: Word) -> Word {
+        self.steps += 1;
+        match self.array_cell(a, i) {
+            Cell::Swap(cur) => std::mem::replace(cur, v),
+            other => panic!("swap on non-swap cell {other:?}"),
+        }
+    }
+
+    /// Compare&swap on a `Cas` cell; returns the observed value (equal
+    /// to `expect` iff the CAS succeeded).
+    pub fn cas(&mut self, loc: Loc, expect: Word, new: Word) -> Word {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::Cas(cur) => {
+                let old = *cur;
+                if old == expect {
+                    *cur = new;
+                }
+                old
+            }
+            other => panic!("cas on non-cas cell {other:?}"),
+        }
+    }
+
+    /// Compare&swap on an array cell.
+    pub fn cas_at(&mut self, a: ArrayLoc, i: usize, expect: Word, new: Word) -> Word {
+        self.steps += 1;
+        match self.array_cell(a, i) {
+            Cell::Cas(cur) => {
+                let old = *cur;
+                if old == expect {
+                    *cur = new;
+                }
+                old
+            }
+            other => panic!("cas on non-cas cell {other:?}"),
+        }
+    }
+
+    // -- atomic composite operations -----------------------------------
+
+    /// `WriteMax` on an `AMaxReg` cell.
+    pub fn max_write(&mut self, loc: Loc, v: Word) {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::AMaxReg(cur) => *cur = (*cur).max(v),
+            other => panic!("max_write on non-max-register cell {other:?}"),
+        }
+    }
+
+    /// `ReadMax` on an `AMaxReg` cell.
+    pub fn max_read(&mut self, loc: Loc) -> Word {
+        self.steps += 1;
+        match &self.cells[loc.0] {
+            Cell::AMaxReg(cur) => *cur,
+            other => panic!("max_read on non-max-register cell {other:?}"),
+        }
+    }
+
+    /// `update` of component `i` on an `ASnap` cell.
+    pub fn snap_update(&mut self, loc: Loc, i: usize, v: Word) {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::ASnap(view) => view[i] = v,
+            other => panic!("snap_update on non-snapshot cell {other:?}"),
+        }
+    }
+
+    /// `scan` on an `ASnap` cell.
+    pub fn snap_scan(&mut self, loc: Loc) -> Vec<Word> {
+        self.steps += 1;
+        match &self.cells[loc.0] {
+            Cell::ASnap(view) => view.clone(),
+            other => panic!("snap_scan on non-snapshot cell {other:?}"),
+        }
+    }
+
+    /// `fetch&increment` on an `ARFai` cell; returns the pre-increment
+    /// value.
+    pub fn fai(&mut self, loc: Loc) -> Word {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::ARFai(cur) => {
+                let old = *cur;
+                *cur += 1;
+                old
+            }
+            other => panic!("fai on non-fetch&inc cell {other:?}"),
+        }
+    }
+
+    /// `enq` on an `AQueue` cell.
+    pub fn queue_enq(&mut self, loc: Loc, v: Word) {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::AQueue { items, last } => {
+                items.push_back(v);
+                *last = None;
+            }
+            other => panic!("queue_enq on non-queue cell {other:?}"),
+        }
+    }
+
+    /// Exact `deq` on an `AQueue` cell; `None` means empty.
+    pub fn queue_deq(&mut self, loc: Loc) -> Option<Word> {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::AQueue { items, last } => {
+                let v = items.pop_front();
+                *last = v;
+                v
+            }
+            other => panic!("queue_deq on non-queue cell {other:?}"),
+        }
+    }
+
+    /// Out-of-order `deq` on an `AQueue` cell: removes and returns one
+    /// of the `k` oldest items, chosen deterministically from the cell
+    /// state and `salt` (so distinct callers can pick distinct items —
+    /// the k-out-of-order relaxation's genuinely multi-valued choice).
+    /// `None` means empty.
+    pub fn queue_deq_within(&mut self, loc: Loc, k: usize, salt: u64) -> Option<Word> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::AQueue { items, last } => {
+                if items.is_empty() {
+                    *last = None;
+                    return None;
+                }
+                let window = k.max(1).min(items.len());
+                let mut h = DefaultHasher::new();
+                items.hash(&mut h);
+                salt.hash(&mut h);
+                let idx = (h.finish() as usize) % window;
+                let v = items.remove(idx);
+                *last = v;
+                v
+            }
+            other => panic!("queue_deq_within on non-queue cell {other:?}"),
+        }
+    }
+
+    /// Duplicating `deq` on an `AQueue` cell: returns the previous
+    /// dequeue's item when one exists (leaving the queue unchanged),
+    /// otherwise behaves like [`SimMemory::queue_deq`]. This is the
+    /// multiplicity relaxation's second outcome, taken greedily.
+    pub fn queue_deq_dup(&mut self, loc: Loc) -> Option<Word> {
+        self.steps += 1;
+        match self.cell(loc) {
+            Cell::AQueue { items, last } => match *last {
+                Some(d) => Some(d),
+                None => {
+                    let v = items.pop_front();
+                    *last = v;
+                    v
+                }
+            },
+            other => panic!("queue_deq_dup on non-queue cell {other:?}"),
+        }
+    }
+
+    /// Readable test&set array: read cell `i`.
+    pub fn rtas_read_at(&mut self, a: ArrayLoc, i: usize) -> u8 {
+        self.steps += 1;
+        match self.array_cell(a, i) {
+            Cell::Tas(bit) | Cell::ARTas(bit) => *bit as u8,
+            other => panic!("rtas_read on non-test&set cell {other:?}"),
+        }
+    }
+
+    // -- whole-memory access (Algorithm B's collect / local simulation) --
+
+    /// Number of standalone cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// A copy of the memory with the step counter reset — the "states of
+    /// base objects in `r`" that Algorithm B's local simulation starts
+    /// from. Cloning is legitimate *only after a successful double
+    /// collect*; the collect itself must go through per-cell reads.
+    pub fn snapshot_state(&self) -> SimMemory {
+        let mut copy = self.clone();
+        copy.steps = 0;
+        copy
+    }
+
+    /// Reads one cell by flat index, for Algorithm B's `collect(R)`
+    /// which reads base objects "one by one, in any arbitrary order".
+    /// Flat indices `0..flat_len()` cover standalone cells then array
+    /// cells in allocation order.
+    pub fn collect_read(&mut self, flat: usize) -> Cell {
+        self.steps += 1;
+        self.flat_get(flat)
+    }
+
+    /// Number of flat-indexable cells currently materialized.
+    pub fn flat_len(&self) -> usize {
+        self.cells.len() + self.arrays.iter().map(|a| a.cells.len()).sum::<usize>()
+    }
+
+    fn flat_get(&self, flat: usize) -> Cell {
+        if flat < self.cells.len() {
+            return self.cells[flat].clone();
+        }
+        let mut rest = flat - self.cells.len();
+        for a in &self.arrays {
+            if rest < a.cells.len() {
+                return a.cells[rest].clone();
+            }
+            rest -= a.cells.len();
+        }
+        panic!("flat index {flat} out of range");
+    }
+
+    /// Rebuilds a memory image from collected cell values, preserving
+    /// this memory's layout (standalone cells then arrays). This is the
+    /// start state of Algorithm B's local simulation.
+    pub fn rebuild_from_collect(&self, collected: &[Cell]) -> SimMemory {
+        assert_eq!(collected.len(), self.flat_len(), "collect size mismatch");
+        let mut copy = self.clone();
+        copy.steps = 0;
+        let mut it = collected.iter().cloned();
+        for c in &mut copy.cells {
+            *c = it.next().expect("sized above");
+        }
+        for a in &mut copy.arrays {
+            for c in &mut a.cells {
+                *c = it.next().expect("sized above");
+            }
+        }
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_basic_ops() {
+        let mut mem = SimMemory::new();
+        let r = mem.alloc(Cell::Reg(0));
+        let f = mem.alloc(Cell::Faa(10));
+        mem.write(r, 9);
+        assert_eq!(mem.read(r), 9);
+        assert_eq!(mem.faa(f, 5), 10);
+        assert_eq!(mem.read(f), 15);
+        assert_eq!(mem.steps(), 4);
+    }
+
+    #[test]
+    fn tas_first_wins_then_sticks() {
+        let mut mem = SimMemory::new();
+        let t = mem.alloc(Cell::Tas(false));
+        assert_eq!(mem.tas(t), 0);
+        assert_eq!(mem.tas(t), 1);
+        assert_eq!(mem.read(t), 1);
+    }
+
+    #[test]
+    fn swap_and_cas() {
+        let mut mem = SimMemory::new();
+        let s = mem.alloc(Cell::Swap(1));
+        let c = mem.alloc(Cell::Cas(0));
+        assert_eq!(mem.swap(s, 7), 1);
+        assert_eq!(mem.cas(c, 0, 3), 0);
+        assert_eq!(mem.cas(c, 0, 5), 3);
+        assert_eq!(mem.read(c), 3);
+    }
+
+    #[test]
+    fn wide_adjust_round_trips() {
+        use sl2_bignum::BigNat;
+        let mut mem = SimMemory::new();
+        let w = mem.alloc(Cell::Wide(BigNat::zero()));
+        let old = mem.wide_adjust(w, &BigNat::pow2(100), &BigNat::zero());
+        assert!(old.is_zero());
+        assert_eq!(mem.wide_read(w), BigNat::pow2(100));
+    }
+
+    #[test]
+    fn arrays_materialize_on_demand() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc_array(Cell::Tas(false));
+        assert_eq!(mem.flat_len(), 0);
+        assert_eq!(mem.tas_at(a, 5), 0);
+        assert_eq!(mem.tas_at(a, 5), 1);
+        assert_eq!(mem.rtas_read_at(a, 2), 0); // untouched = initial
+        assert_eq!(mem.flat_len(), 6);
+    }
+
+    #[test]
+    fn composite_cells_behave_atomically() {
+        let mut mem = SimMemory::new();
+        let m = mem.alloc(Cell::AMaxReg(0));
+        mem.max_write(m, 5);
+        mem.max_write(m, 3);
+        assert_eq!(mem.max_read(m), 5);
+
+        let s = mem.alloc(Cell::ASnap(vec![0, 0, 0]));
+        mem.snap_update(s, 1, 9);
+        assert_eq!(mem.snap_scan(s), vec![0, 9, 0]);
+
+        let f = mem.alloc(Cell::ARFai(1));
+        assert_eq!(mem.fai(f), 1);
+        assert_eq!(mem.fai(f), 2);
+        assert_eq!(mem.read(f), 3);
+    }
+
+    #[test]
+    fn collect_and_rebuild_reconstruct_memory() {
+        let mut mem = SimMemory::new();
+        let r = mem.alloc(Cell::Reg(0));
+        let a = mem.alloc_array(Cell::Tas(false));
+        mem.write(r, 42);
+        mem.tas_at(a, 1);
+        let collected: Vec<Cell> = (0..mem.flat_len()).map(|i| mem.collect_read(i)).collect();
+        let mut rebuilt = mem.rebuild_from_collect(&collected);
+        assert_eq!(rebuilt.read(r), 42);
+        assert_eq!(rebuilt.rtas_read_at(a, 1), 1);
+        assert_eq!(rebuilt.rtas_read_at(a, 0), 0);
+    }
+
+    #[test]
+    fn clone_is_a_deep_snapshot() {
+        let mut mem = SimMemory::new();
+        let r = mem.alloc(Cell::Reg(1));
+        let snap = mem.snapshot_state();
+        mem.write(r, 2);
+        let mut snap = snap;
+        assert_eq!(snap.read(r), 1);
+        assert_eq!(mem.read(r), 2);
+    }
+
+    #[test]
+    fn queue_cell_exact_and_duplicating_deq() {
+        use std::collections::VecDeque;
+        let mut mem = SimMemory::new();
+        let q = mem.alloc(Cell::AQueue {
+            items: VecDeque::new(),
+            last: None,
+        });
+        assert_eq!(mem.queue_deq(q), None);
+        mem.queue_enq(q, 7);
+        mem.queue_enq(q, 8);
+        assert_eq!(mem.queue_deq(q), Some(7));
+        // Duplicating deq repeats the last item without removing.
+        assert_eq!(mem.queue_deq_dup(q), Some(7));
+        assert_eq!(mem.queue_deq_dup(q), Some(7));
+        // An enqueue closes the duplication window.
+        mem.queue_enq(q, 9);
+        assert_eq!(mem.queue_deq_dup(q), Some(8));
+        assert_eq!(mem.queue_deq(q), Some(9));
+        assert_eq!(mem.queue_deq(q), None);
+    }
+
+    #[test]
+    fn queue_cell_out_of_order_deq_stays_in_window() {
+        use std::collections::VecDeque;
+        let mut mem = SimMemory::new();
+        let q = mem.alloc(Cell::AQueue {
+            items: VecDeque::new(),
+            last: None,
+        });
+        for v in 0..6 {
+            mem.queue_enq(q, v);
+        }
+        // Window of 3: each removal must come from the current 3 oldest.
+        let mut remaining: Vec<Word> = (0..6).collect();
+        for salt in 0..6u64 {
+            let v = mem.queue_deq_within(q, 3, salt).expect("non-empty");
+            let window: Vec<Word> = remaining.iter().take(3).copied().collect();
+            assert!(window.contains(&v), "{v} outside window {window:?}");
+            remaining.retain(|&x| x != v);
+        }
+        assert_eq!(mem.queue_deq_within(q, 3, 0), None);
+    }
+
+    #[test]
+    fn queue_cell_out_of_order_choice_is_deterministic() {
+        use std::collections::VecDeque;
+        let build = || {
+            let mut mem = SimMemory::new();
+            let q = mem.alloc(Cell::AQueue {
+                items: VecDeque::new(),
+                last: None,
+            });
+            for v in 0..5 {
+                mem.queue_enq(q, v);
+            }
+            (mem, q)
+        };
+        let (mut m1, q1) = build();
+        let (mut m2, q2) = build();
+        assert_eq!(
+            m1.queue_deq_within(q1, 4, 9),
+            m2.queue_deq_within(q2, 4, 9),
+            "same state + salt ⇒ same choice"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-register")]
+    fn kind_discipline_is_enforced() {
+        let mut mem = SimMemory::new();
+        let t = mem.alloc(Cell::Tas(false));
+        mem.write(t, 1);
+    }
+}

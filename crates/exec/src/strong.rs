@@ -1,0 +1,785 @@
+//! Strong-linearizability checker.
+//!
+//! An implementation is *strongly linearizable* \[16\] if there is a
+//! function `L` mapping each finite execution to a linearization of it,
+//! such that `L` is prefix-closed: if `α` is a prefix of `β` then
+//! `L(α)` is a prefix of `L(β)`. Equivalently: once an operation is
+//! linearized, its position can never be revised, no matter how the
+//! adversary extends the execution.
+//!
+//! On a bounded scenario (fixed per-process operation lists) the set of
+//! executions is a finite tree, and the existence of a prefix-closed
+//! `L` is decidable by AND/OR search:
+//!
+//! ```text
+//! feasible(node, lin) :=
+//!     (lin is a valid linearization of node's history — invariant)
+//!  ∧  for EVERY enabled process step (child node c):
+//!         EXISTS an extension σ of lin (ops linearizing *at* this
+//!         step, with spec-assigned responses for still-pending ops)
+//!         such that feasible(c, lin·σ)
+//! ```
+//!
+//! The implementation is strongly linearizable on the scenario iff
+//! `feasible(root, ε)`. The search memoizes on the pair (execution
+//! state, linearization-relevant state), which merges schedule
+//! prefixes that converged. On failure a [`Witness`] describes the
+//! branch on which no linearization choice can survive — precisely the
+//! shape of counterexample discussed in the paper's related work for
+//! the AW multi-shot fetch&inc and the AGM stack.
+//!
+//! Scope notes:
+//! * Invocations are folded into the invoked operation's first step.
+//!   An invocation by itself creates no linearization obligation (the
+//!   new operation is pending and `L` need not include it), so folding
+//!   loses no violations.
+//! * Nondeterministic specifications are supported: the checker tracks
+//!   the set of specification states consistent with the chosen
+//!   linearization prefix.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use sl2_spec::Spec;
+
+use crate::history::{History, OpId};
+use crate::machine::{Algorithm, OpMachine, Step};
+use crate::mem::SimMemory;
+use crate::sched::Scenario;
+
+/// Canonical operation identity within a scenario: `(process, index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpKey {
+    /// Invoking process.
+    pub process: usize,
+    /// Index within that process's operation list.
+    pub index: usize,
+}
+
+impl OpKey {
+    fn id(self) -> OpId {
+        OpId(self.process * 1024 + self.index)
+    }
+}
+
+/// Lifecycle of a scenario operation during checking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpStatus<R> {
+    NotInvoked,
+    Active,
+    Done(R),
+}
+
+/// Outcome of a strong-linearizability check.
+#[derive(Debug, Clone)]
+pub struct StrongReport {
+    /// Whether a prefix-closed linearization function exists on the
+    /// scenario's execution tree.
+    pub strongly_linearizable: bool,
+    /// Number of distinct search states explored.
+    pub nodes: usize,
+    /// A failing branch, when not strongly linearizable.
+    pub witness: Option<Witness>,
+}
+
+/// A branch of the execution tree on which every linearization prefix
+/// dies: the schedule (events from the root) and a human-readable
+/// explanation.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Event descriptions from the root to the failing step.
+    pub path: Vec<String>,
+    /// What went wrong at the final step.
+    pub detail: String,
+}
+
+struct ExecState<A: Algorithm> {
+    mem: SimMemory,
+    machines: Vec<Option<A::Machine>>,
+    status: Vec<Vec<OpStatus<<A::Spec as Spec>::Resp>>>,
+}
+
+impl<A: Algorithm> Clone for ExecState<A> {
+    fn clone(&self) -> Self {
+        ExecState {
+            mem: self.mem.clone(),
+            machines: self.machines.clone(),
+            status: self.status.clone(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct LinState<S: Spec> {
+    /// Ops already linearized, with their (actual or assigned) responses.
+    assigned: Vec<(OpKey, S::Resp)>,
+    /// Spec states consistent with the linearization prefix.
+    states: Vec<S::State>,
+}
+
+impl<S: Spec> LinState<S> {
+    fn contains(&self, k: OpKey) -> bool {
+        self.assigned.iter().any(|(a, _)| *a == k)
+    }
+
+    fn resp_of(&self, k: OpKey) -> Option<&S::Resp> {
+        self.assigned.iter().find(|(a, _)| *a == k).map(|(_, r)| r)
+    }
+
+    /// Appends `(k, resp)` if spec-consistent; returns the new state.
+    fn extended(&self, spec: &S, k: OpKey, op: &S::Op, resp: &S::Resp) -> Option<Self> {
+        let mut next_states = Vec::new();
+        for s in &self.states {
+            for succ in spec.accept(s, op, resp) {
+                if !next_states.contains(&succ) {
+                    next_states.push(succ);
+                }
+            }
+        }
+        if next_states.is_empty() {
+            return None;
+        }
+        let mut assigned = self.assigned.clone();
+        assigned.push((k, resp.clone()));
+        Some(LinState {
+            assigned,
+            states: next_states,
+        })
+    }
+}
+
+/// Tuning knobs for [`check_strong_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct StrongOptions {
+    /// Bound on distinct search states (panics when exceeded).
+    pub node_limit: usize,
+    /// Whether to memoize search states (hashing the execution tree
+    /// into a DAG). Disabling this re-explores every path separately —
+    /// exponentially slower on racy scenarios; exposed for the ablation
+    /// benchmark of the design choice.
+    pub memoize: bool,
+}
+
+impl Default for StrongOptions {
+    fn default() -> Self {
+        StrongOptions {
+            node_limit: 1_000_000,
+            memoize: true,
+        }
+    }
+}
+
+/// Checks strong linearizability of `alg` on `scenario`.
+///
+/// `mem` must be the memory in which the algorithm allocated its base
+/// objects (i.e. the state right after `A::new(&mut mem, ...)`).
+/// `node_limit` bounds the search (panics if exceeded — raise it or
+/// shrink the scenario).
+///
+/// # Panics
+///
+/// Panics if the scenario needs more than `node_limit` search states,
+/// or if any process has more than 1024 operations.
+pub fn check_strong<A: Algorithm>(
+    alg: &A,
+    mem: SimMemory,
+    scenario: &Scenario<A::Spec>,
+    node_limit: usize,
+) -> StrongReport {
+    check_strong_with(
+        alg,
+        mem,
+        scenario,
+        StrongOptions {
+            node_limit,
+            memoize: true,
+        },
+    )
+}
+
+/// [`check_strong`] with explicit [`StrongOptions`].
+///
+/// # Panics
+///
+/// As [`check_strong`].
+pub fn check_strong_with<A: Algorithm>(
+    alg: &A,
+    mem: SimMemory,
+    scenario: &Scenario<A::Spec>,
+    options: StrongOptions,
+) -> StrongReport {
+    assert!(
+        scenario.ops.iter().all(|l| l.len() <= 1024),
+        "per-process op lists limited to 1024"
+    );
+    let spec = alg.spec();
+    let n = scenario.processes();
+    let exec = ExecState::<A> {
+        mem,
+        machines: (0..n).map(|_| None).collect(),
+        status: scenario
+            .ops
+            .iter()
+            .map(|l| l.iter().map(|_| OpStatus::NotInvoked).collect())
+            .collect(),
+    };
+    let lin = LinState::<A::Spec> {
+        assigned: Vec::new(),
+        states: vec![spec.initial()],
+    };
+    let mut checker = Checker {
+        alg,
+        spec,
+        scenario,
+        memo: HashMap::new(),
+        memoize: options.memoize,
+        nodes: 0,
+        node_limit: options.node_limit,
+        witness: None,
+    };
+    let ok = checker.feasible(&exec, &lin, &mut Vec::new());
+    StrongReport {
+        strongly_linearizable: ok,
+        nodes: checker.nodes,
+        witness: checker.witness,
+    }
+}
+
+struct Checker<'a, A: Algorithm> {
+    alg: &'a A,
+    spec: A::Spec,
+    scenario: &'a Scenario<A::Spec>,
+    memo: HashMap<u64, bool>,
+    memoize: bool,
+    nodes: usize,
+    node_limit: usize,
+    witness: Option<Witness>,
+}
+
+impl<'a, A: Algorithm> Checker<'a, A> {
+    fn feasible(
+        &mut self,
+        exec: &ExecState<A>,
+        lin: &LinState<A::Spec>,
+        path: &mut Vec<String>,
+    ) -> bool {
+        let enabled: Vec<usize> = (0..self.scenario.processes())
+            .filter(|&p| {
+                exec.machines[p].is_some()
+                    || exec.status[p]
+                        .iter()
+                        .any(|s| matches!(s, OpStatus::NotInvoked))
+            })
+            .collect();
+        if enabled.is_empty() {
+            return true;
+        }
+
+        let key = self.key(exec, lin);
+        if self.memoize {
+            if let Some(&cached) = self.memo.get(&key) {
+                return cached;
+            }
+        }
+        self.nodes += 1;
+        assert!(
+            self.nodes <= self.node_limit,
+            "strong-linearizability search exceeded {} states",
+            self.node_limit
+        );
+
+        let mut ok = true;
+        for p in enabled {
+            let (child, label, completed) = self.step_child(exec, p);
+            path.push(label);
+            let child_ok = match &completed {
+                Some((k, r)) if lin.contains(*k) => {
+                    // Already linearized as pending: response must match.
+                    if lin.resp_of(*k) == Some(r) {
+                        self.extensions(&child, lin, None, path)
+                    } else {
+                        false
+                    }
+                }
+                Some((k, _)) => self.extensions(&child, lin, Some(*k), path),
+                None => self.extensions(&child, lin, None, path),
+            };
+            if !child_ok {
+                if self.witness.is_none() {
+                    let detail = match &completed {
+                        Some((k, r)) => format!(
+                            "after this step, op {k:?} completed with {r:?} but no \
+                             linearization extension of {:?} can accommodate it \
+                             across all futures",
+                            lin.assigned
+                        ),
+                        None => format!(
+                            "no linearization extension of {:?} survives all futures \
+                             of this step",
+                            lin.assigned
+                        ),
+                    };
+                    self.witness = Some(Witness {
+                        path: path.clone(),
+                        detail,
+                    });
+                }
+                path.pop();
+                ok = false;
+                break;
+            }
+            path.pop();
+        }
+        if self.memoize {
+            self.memo.insert(key, ok);
+        }
+        ok
+    }
+
+    /// EXISTS-side: tries all linearization extensions σ (sequences of
+    /// unlinearized invoked ops) such that `must` (the op that just
+    /// completed, if any) ends up linearized, recursing into
+    /// `feasible`.
+    fn extensions(
+        &mut self,
+        child: &ExecState<A>,
+        lin: &LinState<A::Spec>,
+        must: Option<OpKey>,
+        path: &mut Vec<String>,
+    ) -> bool {
+        // σ = ε allowed iff nothing is forced.
+        if must.is_none() && self.feasible(child, lin, path) {
+            return true;
+        }
+        // Candidates: invoked, unlinearized ops.
+        let mut cands: Vec<OpKey> = Vec::new();
+        for (p, stats) in child.status.iter().enumerate() {
+            for (i, st) in stats.iter().enumerate() {
+                let k = OpKey { process: p, index: i };
+                if !matches!(st, OpStatus::NotInvoked) && !lin.contains(k) {
+                    cands.push(k);
+                }
+            }
+        }
+        for &k in &cands {
+            let op = &self.scenario.ops[k.process][k.index];
+            let resp_options: Vec<<A::Spec as Spec>::Resp> =
+                match &child.status[k.process][k.index] {
+                    OpStatus::Done(r) => vec![r.clone()],
+                    OpStatus::Active => {
+                        let mut opts = Vec::new();
+                        for s in &lin.states {
+                            for (_, r) in self.spec.step(s, op) {
+                                if !opts.contains(&r) {
+                                    opts.push(r);
+                                }
+                            }
+                        }
+                        opts
+                    }
+                    OpStatus::NotInvoked => unreachable!("filtered above"),
+                };
+            for resp in resp_options {
+                if let Some(next_lin) = lin.extended(&self.spec, k, op, &resp) {
+                    let still_must = match must {
+                        Some(m) if m == k => None,
+                        other => other,
+                    };
+                    if self.extensions(child, &next_lin, still_must, path) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Executes one step of process `p` (invoking its next operation if
+    /// idle). Returns the child state, an event label, and the
+    /// completion `(op, resp)` if the step finished an operation.
+    #[allow(clippy::type_complexity)]
+    fn step_child(
+        &self,
+        exec: &ExecState<A>,
+        p: usize,
+    ) -> (
+        ExecState<A>,
+        String,
+        Option<(OpKey, <A::Spec as Spec>::Resp)>,
+    ) {
+        let mut child = exec.clone();
+        let mut label;
+        let key;
+        if child.machines[p].is_none() {
+            let index = child.status[p]
+                .iter()
+                .position(|s| matches!(s, OpStatus::NotInvoked))
+                .expect("caller ensured an op remains");
+            let op = &self.scenario.ops[p][index];
+            key = OpKey { process: p, index };
+            child.status[p][index] = OpStatus::Active;
+            child.machines[p] = Some(self.alg.machine(p, op));
+            label = format!("p{p}: invoke {op:?}; step");
+        } else {
+            let index = child.status[p]
+                .iter()
+                .position(|s| matches!(s, OpStatus::Active))
+                .expect("an active machine implies an active op");
+            key = OpKey { process: p, index };
+            label = format!("p{p}: step");
+        }
+        let mut machine = child.machines[p].take().expect("set above");
+        let completed = match machine.step(&mut child.mem) {
+            Step::Pending => {
+                child.machines[p] = Some(machine);
+                None
+            }
+            Step::Ready(resp) => {
+                child.status[key.process][key.index] = OpStatus::Done(resp.clone());
+                label.push_str(&format!(" → {resp:?}"));
+                Some((key, resp))
+            }
+        };
+        (child, label, completed)
+    }
+
+    fn key(&self, exec: &ExecState<A>, lin: &LinState<A::Spec>) -> u64 {
+        let mut h = DefaultHasher::new();
+        exec.mem.hash(&mut h);
+        exec.machines.hash(&mut h);
+        exec.status.hash(&mut h);
+        let mut assigned = lin.assigned.clone();
+        assigned.sort_by_key(|(k, _)| *k);
+        assigned.hash(&mut h);
+        // Order-independent hash of the spec-state set.
+        let mut acc: u64 = 0;
+        for s in &lin.states {
+            let mut sh = DefaultHasher::new();
+            s.hash(&mut sh);
+            acc = acc.wrapping_add(sh.finish());
+        }
+        acc.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Enumerates every distinct complete history of `alg` on `scenario`
+/// (all interleavings), calling `f` on each. Used to check plain
+/// linearizability over a whole scenario and for differential tests.
+///
+/// # Panics
+///
+/// Panics if more than `limit` histories are produced.
+pub fn for_each_history<A: Algorithm>(
+    alg: &A,
+    mem: SimMemory,
+    scenario: &Scenario<A::Spec>,
+    limit: usize,
+    f: &mut dyn FnMut(&History<A::Spec>),
+) {
+    let n = scenario.processes();
+    let exec = ExecState::<A> {
+        mem,
+        machines: (0..n).map(|_| None).collect(),
+        status: scenario
+            .ops
+            .iter()
+            .map(|l| l.iter().map(|_| OpStatus::NotInvoked).collect())
+            .collect(),
+    };
+    let mut history = History::new();
+    let mut count = 0usize;
+    recurse(alg, scenario, &exec, &mut history, &mut count, limit, f);
+}
+
+fn recurse<A: Algorithm>(
+    alg: &A,
+    scenario: &Scenario<A::Spec>,
+    exec: &ExecState<A>,
+    history: &mut History<A::Spec>,
+    count: &mut usize,
+    limit: usize,
+    f: &mut dyn FnMut(&History<A::Spec>),
+) {
+    let enabled: Vec<usize> = (0..scenario.processes())
+        .filter(|&p| {
+            exec.machines[p].is_some()
+                || exec.status[p]
+                    .iter()
+                    .any(|s| matches!(s, OpStatus::NotInvoked))
+        })
+        .collect();
+    if enabled.is_empty() {
+        *count += 1;
+        assert!(*count <= limit, "history enumeration exceeded {limit}");
+        f(history);
+        return;
+    }
+    for p in enabled {
+        let mut child = exec.clone();
+        let mut events = 0usize;
+        if child.machines[p].is_none() {
+            let index = child.status[p]
+                .iter()
+                .position(|s| matches!(s, OpStatus::NotInvoked))
+                .expect("op remains");
+            let op = scenario.ops[p][index].clone();
+            child.status[p][index] = OpStatus::Active;
+            child.machines[p] = Some(alg.machine(p, &op));
+            history.invoke(OpKey { process: p, index }.id(), p, op);
+            events += 1;
+        }
+        let index = child.status[p]
+            .iter()
+            .position(|s| matches!(s, OpStatus::Active))
+            .expect("active op");
+        let mut machine = child.machines[p].take().expect("active machine");
+        match machine.step(&mut child.mem) {
+            Step::Pending => child.machines[p] = Some(machine),
+            Step::Ready(resp) => {
+                child.status[p][index] = OpStatus::Done(resp.clone());
+                history.ret(OpKey { process: p, index }.id(), resp);
+                events += 1;
+            }
+        }
+        recurse(alg, scenario, &child, history, count, limit, f);
+        for _ in 0..events {
+            history.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lin::is_linearizable;
+    use crate::mem::{Cell, Loc};
+    use sl2_spec::counters::{CounterOp, CounterResp, CounterSpec};
+    use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
+
+    /// Max register whose ops are single atomic steps — trivially SL.
+    #[derive(Debug, Clone)]
+    struct AtomicMax {
+        loc: Loc,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum AtomicMaxMachine {
+        Write(Loc, u64),
+        Read(Loc),
+    }
+
+    impl OpMachine for AtomicMaxMachine {
+        type Resp = MaxResp;
+        fn step(&mut self, mem: &mut SimMemory) -> Step<MaxResp> {
+            match *self {
+                AtomicMaxMachine::Write(loc, v) => {
+                    mem.max_write(loc, v);
+                    Step::Ready(MaxResp::Ok)
+                }
+                AtomicMaxMachine::Read(loc) => Step::Ready(MaxResp::Value(mem.max_read(loc))),
+            }
+        }
+    }
+
+    impl Algorithm for AtomicMax {
+        type Spec = MaxRegisterSpec;
+        type Machine = AtomicMaxMachine;
+        fn spec(&self) -> MaxRegisterSpec {
+            MaxRegisterSpec
+        }
+        fn machine(&self, _p: usize, op: &MaxOp) -> AtomicMaxMachine {
+            match op {
+                MaxOp::Write(v) => AtomicMaxMachine::Write(self.loc, *v),
+                MaxOp::Read => AtomicMaxMachine::Read(self.loc),
+            }
+        }
+    }
+
+    /// Non-atomic counter increment (read; write) — not even
+    /// linearizable, a fortiori not strongly linearizable.
+    #[derive(Debug, Clone)]
+    struct RacyCounter {
+        loc: Loc,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum RacyMachine {
+        IncRead(Loc),
+        IncWrite(Loc, u64),
+        Read(Loc),
+    }
+
+    impl OpMachine for RacyMachine {
+        type Resp = CounterResp;
+        fn step(&mut self, mem: &mut SimMemory) -> Step<CounterResp> {
+            match *self {
+                RacyMachine::IncRead(loc) => {
+                    let v = mem.read(loc);
+                    *self = RacyMachine::IncWrite(loc, v);
+                    Step::Pending
+                }
+                RacyMachine::IncWrite(loc, v) => {
+                    mem.write(loc, v + 1);
+                    Step::Ready(CounterResp::Ok)
+                }
+                RacyMachine::Read(loc) => Step::Ready(CounterResp::Value(mem.read(loc))),
+            }
+        }
+    }
+
+    impl Algorithm for RacyCounter {
+        type Spec = CounterSpec;
+        type Machine = RacyMachine;
+        fn spec(&self) -> CounterSpec {
+            CounterSpec
+        }
+        fn machine(&self, _p: usize, op: &CounterOp) -> RacyMachine {
+            match op {
+                CounterOp::Inc => RacyMachine::IncRead(self.loc),
+                CounterOp::Read => RacyMachine::Read(self.loc),
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_max_register_is_strongly_linearizable() {
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(2), MaxOp::Read],
+            vec![MaxOp::Write(5)],
+            vec![MaxOp::Read],
+        ]);
+        let report = check_strong(&alg, mem, &scenario, 2_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+        assert!(report.nodes > 0);
+    }
+
+    #[test]
+    fn racy_counter_is_rejected() {
+        let mut mem = SimMemory::new();
+        let alg = RacyCounter {
+            loc: mem.alloc(Cell::Reg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc],
+            vec![CounterOp::Inc],
+            vec![CounterOp::Read],
+        ]);
+        let report = check_strong(&alg, mem, &scenario, 2_000_000);
+        assert!(!report.strongly_linearizable);
+        let w = report.witness.expect("witness on failure");
+        assert!(!w.path.is_empty());
+    }
+
+    #[test]
+    fn racy_counter_has_a_non_linearizable_history() {
+        let mut mem = SimMemory::new();
+        let alg = RacyCounter {
+            loc: mem.alloc(Cell::Reg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc, CounterOp::Read],
+            vec![CounterOp::Inc],
+        ]);
+        let mut bad = 0usize;
+        let mut total = 0usize;
+        for_each_history(&alg, mem, &scenario, 1_000_000, &mut |h| {
+            total += 1;
+            if !is_linearizable(&CounterSpec, h) {
+                bad += 1;
+            }
+        });
+        assert!(total > 0);
+        assert!(bad > 0, "the lost update must surface in some history");
+    }
+
+    #[test]
+    fn atomic_max_register_histories_all_linearizable() {
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(3), MaxOp::Read],
+            vec![MaxOp::Write(1), MaxOp::Read],
+        ]);
+        for_each_history(&alg, mem, &scenario, 1_000_000, &mut |h| {
+            assert!(is_linearizable(&MaxRegisterSpec, h));
+        });
+    }
+
+    #[test]
+    fn memoization_ablation_agrees_and_saves_states() {
+        // Same verdicts with and without the state-hashing DAG; the
+        // tree mode re-explores joins, so it visits at least as many
+        // states (strictly more on racy scenarios).
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(2), MaxOp::Read],
+            vec![MaxOp::Write(5)],
+            vec![MaxOp::Read],
+        ]);
+        let dag = check_strong_with(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions {
+                node_limit: 4_000_000,
+                memoize: true,
+            },
+        );
+        let tree = check_strong_with(
+            &alg,
+            mem,
+            &scenario,
+            StrongOptions {
+                node_limit: 4_000_000,
+                memoize: false,
+            },
+        );
+        assert!(dag.strongly_linearizable && tree.strongly_linearizable);
+        assert!(
+            tree.nodes > dag.nodes,
+            "tree {} vs dag {}",
+            tree.nodes,
+            dag.nodes
+        );
+
+        let mut mem = SimMemory::new();
+        let alg = RacyCounter {
+            loc: mem.alloc(Cell::Reg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc],
+            vec![CounterOp::Inc],
+            vec![CounterOp::Read],
+        ]);
+        let dag = check_strong_with(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions {
+                node_limit: 4_000_000,
+                memoize: true,
+            },
+        );
+        let tree = check_strong_with(
+            &alg,
+            mem,
+            &scenario,
+            StrongOptions {
+                node_limit: 4_000_000,
+                memoize: false,
+            },
+        );
+        assert!(!dag.strongly_linearizable && !tree.strongly_linearizable);
+    }
+}

@@ -1,0 +1,147 @@
+//! Growable, lock-free arrays of base objects.
+//!
+//! Sections 4.2 and 4.3 of the paper use *infinite arrays* of test&set
+//! and read/write objects. [`ChunkedArray`] realizes them: an
+//! append-only chunked vector with a fixed spine of exponentially-sized
+//! chunks, so that (a) any index up to `2^63` is addressable, (b)
+//! elements are allocated on first touch, and (c) no element ever moves
+//! once created — references stay valid and reads are lock-free.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Number of spine slots; chunk `k` holds `2^k` elements.
+const SPINE: usize = 64;
+
+/// A lock-free growable array of default-initialized cells.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_primitives::{ChunkedArray, ReadableTestAndSet};
+///
+/// let arr: ChunkedArray<ReadableTestAndSet> = ChunkedArray::new();
+/// assert_eq!(arr.get(100).test_and_set(), 0);
+/// assert_eq!(arr.get(100).read(), 1);
+/// assert_eq!(arr.get(0).read(), 0);
+/// ```
+pub struct ChunkedArray<T> {
+    spine: Box<[OnceLock<Box<[T]>>; SPINE]>,
+}
+
+impl<T: Default> ChunkedArray<T> {
+    /// Creates an empty array; cells spring into existence (with
+    /// `T::default()`) on first access.
+    pub fn new() -> Self {
+        ChunkedArray {
+            spine: Box::new(std::array::from_fn(|_| OnceLock::new())),
+        }
+    }
+
+    /// Returns the cell at `index`, allocating its chunk on first touch.
+    ///
+    /// Lock-free: allocation races are resolved by `OnceLock` (the loser
+    /// drops its chunk).
+    pub fn get(&self, index: usize) -> &T {
+        let slot = index + 1; // 1-based so chunk k covers [2^k - 1, 2^(k+1) - 1)
+        let bucket = (usize::BITS - 1 - slot.leading_zeros()) as usize;
+        let offset = slot - (1usize << bucket);
+        let chunk = self.spine[bucket].get_or_init(|| {
+            (0..(1usize << bucket))
+                .map(|_| T::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        &chunk[offset]
+    }
+
+    /// Number of cells currently allocated (for diagnostics/tests).
+    pub fn allocated(&self) -> usize {
+        self.spine
+            .iter()
+            .filter_map(|c| c.get().map(|chunk| chunk.len()))
+            .sum()
+    }
+}
+
+impl<T: Default> Default for ChunkedArray<T> {
+    fn default() -> Self {
+        ChunkedArray::new()
+    }
+}
+
+impl<T> fmt::Debug for ChunkedArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let chunks = self.spine.iter().filter(|c| c.get().is_some()).count();
+        write!(f, "ChunkedArray {{ chunks: {chunks} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReadableTestAndSet, Register};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn indexing_is_stable_and_disjoint() {
+        let arr: ChunkedArray<Register> = ChunkedArray::new();
+        for i in 0..1000 {
+            arr.get(i).write(i as u64);
+        }
+        for i in 0..1000 {
+            assert_eq!(arr.get(i).read(), i as u64, "index {i}");
+        }
+    }
+
+    #[test]
+    fn first_touch_allocates_lazily() {
+        let arr: ChunkedArray<Register> = ChunkedArray::new();
+        assert_eq!(arr.allocated(), 0);
+        arr.get(0);
+        assert_eq!(arr.allocated(), 1); // chunk 0: 1 cell
+        arr.get(5); // slot 6 -> bucket 2 (cells 3..6)
+        assert_eq!(arr.allocated(), 1 + 4);
+    }
+
+    #[test]
+    fn sparse_high_indices_work() {
+        let arr: ChunkedArray<Register> = ChunkedArray::new();
+        arr.get(1_000_000).write(42);
+        assert_eq!(arr.get(1_000_000).read(), 42);
+        assert_eq!(arr.get(999_999).read(), 0);
+    }
+
+    #[test]
+    fn element_identity_is_preserved() {
+        let arr: ChunkedArray<Register> = ChunkedArray::new();
+        let a = arr.get(17) as *const Register;
+        let _ = arr.get(100_000); // grow elsewhere
+        let b = arr.get(17) as *const Register;
+        assert_eq!(a, b, "cells never move");
+    }
+
+    #[test]
+    fn concurrent_first_touch_yields_one_winner_per_cell() {
+        for _ in 0..20 {
+            let arr: ChunkedArray<ReadableTestAndSet> = ChunkedArray::new();
+            let winners = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        if arr.get(77).test_and_set() == 0 {
+                            winners.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let arr: ChunkedArray<Register> = ChunkedArray::new();
+        assert!(!format!("{arr:?}").is_empty());
+    }
+}

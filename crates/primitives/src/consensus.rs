@@ -1,0 +1,59 @@
+//! Consensus numbers (Herlihy \[20\]) as a first-class annotation.
+//!
+//! The paper's entire premise is the consensus hierarchy: read/write
+//! registers sit at level 1, test&set / fetch&add / swap at level 2, and
+//! compare&swap at level ∞. Every base object in this crate declares its
+//! level so that constructions can state — and tests can assert — which
+//! part of the hierarchy they live in.
+
+use std::fmt;
+
+/// Position of an object in Herlihy's consensus hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConsensusNumber {
+    /// Level 1: read/write registers. No wait-free 2-process consensus.
+    One,
+    /// Level 2: test&set, fetch&add, swap — the paper's subject.
+    Two,
+    /// Level ∞: compare&swap and other universal primitives.
+    Infinite,
+}
+
+impl fmt::Display for ConsensusNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusNumber::One => write!(f, "1"),
+            ConsensusNumber::Two => write!(f, "2"),
+            ConsensusNumber::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// A shared base object with a declared consensus number.
+pub trait BaseObject {
+    /// The object's level in the consensus hierarchy.
+    const CONSENSUS_NUMBER: ConsensusNumber;
+
+    /// The object's level, as a method (for trait objects).
+    fn consensus_number(&self) -> ConsensusNumber {
+        Self::CONSENSUS_NUMBER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_the_hierarchy() {
+        assert!(ConsensusNumber::One < ConsensusNumber::Two);
+        assert!(ConsensusNumber::Two < ConsensusNumber::Infinite);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(ConsensusNumber::One.to_string(), "1");
+        assert_eq!(ConsensusNumber::Two.to_string(), "2");
+        assert_eq!(ConsensusNumber::Infinite.to_string(), "∞");
+    }
+}

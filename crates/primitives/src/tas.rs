@@ -1,0 +1,204 @@
+//! Test&set primitives (consensus number 2).
+//!
+//! [`TestAndSet`] is the plain one-shot primitive: the first caller
+//! of [`TestAndSet::test_and_set`] obtains 0 (wins), everyone else
+//! obtains 1. [`ReadableTestAndSet`] additionally exposes `read` — the
+//! "readable" base-object variant the paper's Section 5 reduction
+//! requires, and which Theorem 5 shows is implementable from the
+//! non-readable one. [`TwoProcessTestAndSet`] enforces the 2-process
+//! restriction appearing in Theorem 19 (`n > 2k` impossibility from
+//! 2-process test&set).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::consensus::{BaseObject, ConsensusNumber};
+
+/// One-shot test&set: first caller wins.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_primitives::TestAndSet;
+///
+/// let ts = TestAndSet::new();
+/// assert_eq!(ts.test_and_set(), 0); // winner
+/// assert_eq!(ts.test_and_set(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TestAndSet {
+    bit: AtomicBool,
+}
+
+impl TestAndSet {
+    /// Creates a test&set object in state 0.
+    pub fn new() -> Self {
+        TestAndSet::default()
+    }
+
+    /// Atomically sets the bit and returns its previous value (0 or 1).
+    pub fn test_and_set(&self) -> u8 {
+        self.bit.swap(true, Ordering::SeqCst) as u8
+    }
+}
+
+impl BaseObject for TestAndSet {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+/// Atomic *readable* test&set: test&set plus a read of the current
+/// state.
+///
+/// Hardware test&set bits are naturally readable; the paper keeps the
+/// readable and non-readable variants distinct because the Section 5
+/// reduction needs readability while Theorem 5 shows it can be
+/// recovered from the plain primitive.
+#[derive(Debug, Default)]
+pub struct ReadableTestAndSet {
+    bit: AtomicBool,
+}
+
+impl ReadableTestAndSet {
+    /// Creates a readable test&set object in state 0.
+    pub fn new() -> Self {
+        ReadableTestAndSet::default()
+    }
+
+    /// Atomically sets the bit and returns its previous value (0 or 1).
+    pub fn test_and_set(&self) -> u8 {
+        self.bit.swap(true, Ordering::SeqCst) as u8
+    }
+
+    /// Reads the current state (0 or 1).
+    pub fn read(&self) -> u8 {
+        self.bit.load(Ordering::SeqCst) as u8
+    }
+}
+
+impl BaseObject for ReadableTestAndSet {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+/// A test&set object restricted to two fixed participants.
+///
+/// 2-process test&set is equivalent to 2-process consensus \[20\]; Theorem
+/// 19 shows that `k`-set agreement for `n > 2k` — and hence lock-free
+/// strongly-linearizable `k`-ordering objects — is impossible from this
+/// primitive alone. The restriction is enforced dynamically: at most two
+/// distinct participant identifiers may ever call
+/// [`TwoProcessTestAndSet::test_and_set`].
+#[derive(Debug, Default)]
+pub struct TwoProcessTestAndSet {
+    bit: AtomicBool,
+    // Participant slots: 0 = vacant, otherwise id + 1.
+    slots: [AtomicU64; 2],
+}
+
+impl TwoProcessTestAndSet {
+    /// Creates a 2-process test&set object in state 0.
+    pub fn new() -> Self {
+        TwoProcessTestAndSet::default()
+    }
+
+    /// Atomically sets the bit and returns its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participant` is the third distinct identifier to
+    /// access this object — the primitive is only defined for two
+    /// processes.
+    pub fn test_and_set(&self, participant: usize) -> u8 {
+        self.register(participant);
+        self.bit.swap(true, Ordering::SeqCst) as u8
+    }
+
+    fn register(&self, participant: usize) {
+        let tag = participant as u64 + 1;
+        for slot in &self.slots {
+            let seen = slot.load(Ordering::SeqCst);
+            if seen == tag {
+                return;
+            }
+            if seen == 0
+                && slot
+                    .compare_exchange(0, tag, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return;
+            }
+            if slot.load(Ordering::SeqCst) == tag {
+                return;
+            }
+        }
+        panic!("TwoProcessTestAndSet accessed by a third participant ({participant})");
+    }
+}
+
+impl BaseObject for TwoProcessTestAndSet {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn exactly_one_winner_across_threads() {
+        for _ in 0..50 {
+            let ts = TestAndSet::new();
+            let winners = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        if ts.test_and_set() == 0 {
+                            winners.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn readable_read_tracks_state() {
+        let ts = ReadableTestAndSet::new();
+        assert_eq!(ts.read(), 0);
+        assert_eq!(ts.test_and_set(), 0);
+        assert_eq!(ts.read(), 1);
+        assert_eq!(ts.test_and_set(), 1);
+    }
+
+    #[test]
+    fn two_process_allows_two_participants() {
+        let ts = TwoProcessTestAndSet::new();
+        assert_eq!(ts.test_and_set(4), 0);
+        assert_eq!(ts.test_and_set(9), 1);
+        assert_eq!(ts.test_and_set(4), 1); // repeat access is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "third participant")]
+    fn two_process_rejects_third_participant() {
+        let ts = TwoProcessTestAndSet::new();
+        ts.test_and_set(0);
+        ts.test_and_set(1);
+        ts.test_and_set(2);
+    }
+
+    #[test]
+    fn consensus_numbers_are_two() {
+        assert_eq!(
+            TestAndSet::new().consensus_number(),
+            ConsensusNumber::Two
+        );
+        assert_eq!(
+            ReadableTestAndSet::new().consensus_number(),
+            ConsensusNumber::Two
+        );
+        assert_eq!(
+            TwoProcessTestAndSet::new().consensus_number(),
+            ConsensusNumber::Two
+        );
+    }
+}

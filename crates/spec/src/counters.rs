@@ -1,0 +1,269 @@
+//! Counter-family specifications: monotonic counter (§3.3 simple type),
+//! readable fetch&increment (§4.2) and fetch&add.
+//!
+//! The paper's readable fetch&increment (Theorem 9) returns, per its
+//! test&set-array implementation, the 1-based index of the first
+//! test&set object won — so the object's value starts at 1 and
+//! `FetchInc` returns the *pre*-increment value.
+
+use crate::{Spec, Value};
+
+/// Operations of a monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// Increment by one; returns `Ok`.
+    Inc,
+    /// Read the current count.
+    Read,
+}
+
+/// Responses of a monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterResp {
+    /// Response of `Inc`.
+    Ok,
+    /// Response of `Read`.
+    Value(Value),
+}
+
+/// Monotonic counter: a simple type (increments commute; increments
+/// overwrite reads; reads commute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSpec;
+
+impl Spec for CounterSpec {
+    type State = Value;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &CounterOp) -> Vec<(Value, CounterResp)> {
+        match op {
+            CounterOp::Inc => vec![(s + 1, CounterResp::Ok)],
+            CounterOp::Read => vec![(*s, CounterResp::Value(*s))],
+        }
+    }
+}
+
+/// Operations of a readable fetch&increment object (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchIncOp {
+    /// `fetch&increment()`: returns the current value, then increments.
+    FetchInc,
+    /// `read()`: returns the current value.
+    Read,
+}
+
+/// Responses of a readable fetch&increment object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchIncResp {
+    /// The value observed (pre-increment for `FetchInc`).
+    Value(Value),
+}
+
+/// Readable fetch&increment, initial value 1 (matching the §4.2
+/// implementation whose first winner obtains index 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchIncSpec;
+
+impl Spec for FetchIncSpec {
+    type State = Value;
+    type Op = FetchIncOp;
+    type Resp = FetchIncResp;
+
+    fn initial(&self) -> Value {
+        1
+    }
+
+    fn step(&self, s: &Value, op: &FetchIncOp) -> Vec<(Value, FetchIncResp)> {
+        match op {
+            FetchIncOp::FetchInc => vec![(s + 1, FetchIncResp::Value(*s))],
+            FetchIncOp::Read => vec![(*s, FetchIncResp::Value(*s))],
+        }
+    }
+}
+
+/// Operations of a fetch&add object (the primitive's own sequential
+/// spec, used to validate the primitive wrappers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaaOp {
+    /// `fetch&add(k)`: returns the previous value.
+    Add(Value),
+    /// `read()` (= `fetch&add(0)`).
+    Read,
+}
+
+/// Responses of a fetch&add object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaaResp {
+    /// The previous value.
+    Value(Value),
+}
+
+/// Fetch&add on a `u64`, wrapping on overflow (matching hardware).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaaSpec;
+
+impl Spec for FaaSpec {
+    type State = Value;
+    type Op = FaaOp;
+    type Resp = FaaResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &FaaOp) -> Vec<(Value, FaaResp)> {
+        match op {
+            FaaOp::Add(k) => vec![(s.wrapping_add(*k), FaaResp::Value(*s))],
+            FaaOp::Read => vec![(*s, FaaResp::Value(*s))],
+        }
+    }
+}
+
+/// Operations of a non-monotonic (up/down) counter — the paper's §3.3
+/// lists "(monotonic and non-monotonic) counter" among the simple
+/// types: increments and decrements commute with each other, and both
+/// overwrite reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntCounterOp {
+    /// Increment by one; returns `Ok`.
+    Inc,
+    /// Decrement by one; returns `Ok`.
+    Dec,
+    /// Read the current count.
+    Read,
+}
+
+/// Responses of a non-monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntCounterResp {
+    /// Response of `Inc` / `Dec`.
+    Ok,
+    /// Response of `Read` (may be negative).
+    Value(i64),
+}
+
+/// Non-monotonic counter (§3.3 simple type).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntCounterSpec;
+
+impl Spec for IntCounterSpec {
+    type State = i64;
+    type Op = IntCounterOp;
+    type Resp = IntCounterResp;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn step(&self, s: &i64, op: &IntCounterOp) -> Vec<(i64, IntCounterResp)> {
+        match op {
+            IntCounterOp::Inc => vec![(s + 1, IntCounterResp::Ok)],
+            IntCounterOp::Dec => vec![(s - 1, IntCounterResp::Ok)],
+            IntCounterOp::Read => vec![(*s, IntCounterResp::Value(*s))],
+        }
+    }
+}
+
+/// Operations of a logical clock (a simple type from §3.3: "counters,
+/// logical clocks and certain set objects").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalClockOp {
+    /// Merge a remote timestamp: state becomes `max(state, v + 1)`.
+    Send(Value),
+    /// Read the clock.
+    Observe,
+}
+
+/// Responses of a logical clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalClockResp {
+    /// Response of `Send`.
+    Ok,
+    /// Response of `Observe`.
+    Time(Value),
+}
+
+/// Lamport-style logical clock: `Send(v)` merges a remote timestamp
+/// (sends commute — `max` is commutative), `Observe` reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicalClockSpec;
+
+impl Spec for LogicalClockSpec {
+    type State = Value;
+    type Op = LogicalClockOp;
+    type Resp = LogicalClockResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &LogicalClockOp) -> Vec<(Value, LogicalClockResp)> {
+        match op {
+            LogicalClockOp::Send(v) => vec![((*s).max(v + 1), LogicalClockResp::Ok)],
+            LogicalClockOp::Observe => vec![(*s, LogicalClockResp::Time(*s))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_merges_monotonically() {
+        let spec = LogicalClockSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &LogicalClockOp::Send(5));
+        spec.apply(&mut s, &LogicalClockOp::Send(2));
+        assert_eq!(
+            spec.apply(&mut s, &LogicalClockOp::Observe),
+            LogicalClockResp::Time(6)
+        );
+    }
+
+    #[test]
+    fn counter_counts() {
+        let spec = CounterSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &CounterOp::Read), CounterResp::Value(0));
+        spec.apply(&mut s, &CounterOp::Inc);
+        spec.apply(&mut s, &CounterOp::Inc);
+        assert_eq!(spec.apply(&mut s, &CounterOp::Read), CounterResp::Value(2));
+    }
+
+    #[test]
+    fn fetch_inc_starts_at_one_and_returns_pre_value() {
+        let spec = FetchIncSpec;
+        let mut s = spec.initial();
+        assert_eq!(
+            spec.apply(&mut s, &FetchIncOp::Read),
+            FetchIncResp::Value(1)
+        );
+        assert_eq!(
+            spec.apply(&mut s, &FetchIncOp::FetchInc),
+            FetchIncResp::Value(1)
+        );
+        assert_eq!(
+            spec.apply(&mut s, &FetchIncOp::FetchInc),
+            FetchIncResp::Value(2)
+        );
+        assert_eq!(
+            spec.apply(&mut s, &FetchIncOp::Read),
+            FetchIncResp::Value(3)
+        );
+    }
+
+    #[test]
+    fn faa_returns_previous_and_wraps() {
+        let spec = FaaSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &FaaOp::Add(5)), FaaResp::Value(0));
+        assert_eq!(spec.apply(&mut s, &FaaOp::Add(u64::MAX)), FaaResp::Value(5));
+        assert_eq!(spec.apply(&mut s, &FaaOp::Read), FaaResp::Value(4));
+    }
+}

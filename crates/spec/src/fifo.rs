@@ -1,0 +1,165 @@
+//! Queue and stack specifications (Section 5).
+//!
+//! Queues and stacks are the paper's flagship *1-ordering* objects
+//! (Definition 11): per Theorem 17 they have **no** lock-free
+//! strongly-linearizable implementation from test&set, swap and
+//! fetch&add. Empty-returning `deq`/`pop` answer `Empty` (the paper's
+//! ε).
+
+use std::collections::VecDeque;
+
+use crate::{Spec, Value};
+
+/// Operations of a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// `enq(v)`.
+    Enq(Value),
+    /// `deq()`.
+    Deq,
+}
+
+/// Responses of a queue (also used by the relaxed queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueResp {
+    /// Response of `enq`.
+    Ok,
+    /// `deq` returned this item.
+    Item(Value),
+    /// `deq` found the queue empty (ε).
+    Empty,
+}
+
+/// FIFO queue specification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueSpec;
+
+impl Spec for QueueSpec {
+    type State = VecDeque<Value>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> VecDeque<Value> {
+        VecDeque::new()
+    }
+
+    fn step(&self, s: &VecDeque<Value>, op: &QueueOp) -> Vec<(VecDeque<Value>, QueueResp)> {
+        match op {
+            QueueOp::Enq(v) => {
+                let mut next = s.clone();
+                next.push_back(*v);
+                vec![(next, QueueResp::Ok)]
+            }
+            QueueOp::Deq => match s.front().copied() {
+                None => vec![(s.clone(), QueueResp::Empty)],
+                Some(v) => {
+                    let mut next = s.clone();
+                    next.pop_front();
+                    vec![(next, QueueResp::Item(v))]
+                }
+            },
+        }
+    }
+}
+
+/// Operations of a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackOp {
+    /// `push(v)`.
+    Push(Value),
+    /// `pop()`.
+    Pop,
+}
+
+/// Responses of a stack (also used by the relaxed stacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackResp {
+    /// Response of `push`.
+    Ok,
+    /// `pop` returned this item.
+    Item(Value),
+    /// `pop` found the stack empty (ε).
+    Empty,
+}
+
+/// LIFO stack specification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackSpec;
+
+impl Spec for StackSpec {
+    type State = Vec<Value>;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    fn step(&self, s: &Vec<Value>, op: &StackOp) -> Vec<(Vec<Value>, StackResp)> {
+        match op {
+            StackOp::Push(v) => {
+                let mut next = s.clone();
+                next.push(*v);
+                vec![(next, StackResp::Ok)]
+            }
+            StackOp::Pop => match s.last().copied() {
+                None => vec![(s.clone(), StackResp::Empty)],
+                Some(v) => {
+                    let mut next = s.clone();
+                    next.pop();
+                    vec![(next, StackResp::Item(v))]
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_legal;
+
+    #[test]
+    fn queue_is_fifo() {
+        let spec = QueueSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &QueueOp::Enq(1));
+        spec.apply(&mut s, &QueueOp::Enq(2));
+        assert_eq!(spec.apply(&mut s, &QueueOp::Deq), QueueResp::Item(1));
+        assert_eq!(spec.apply(&mut s, &QueueOp::Deq), QueueResp::Item(2));
+        assert_eq!(spec.apply(&mut s, &QueueOp::Deq), QueueResp::Empty);
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let spec = StackSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &StackOp::Push(1));
+        spec.apply(&mut s, &StackOp::Push(2));
+        assert_eq!(spec.apply(&mut s, &StackOp::Pop), StackResp::Item(2));
+        assert_eq!(spec.apply(&mut s, &StackOp::Pop), StackResp::Item(1));
+        assert_eq!(spec.apply(&mut s, &StackOp::Pop), StackResp::Empty);
+    }
+
+    #[test]
+    fn queue_rejects_out_of_order_dequeues() {
+        let spec = QueueSpec;
+        let bad = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Enq(2), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(2)),
+        ];
+        assert!(!is_legal(&spec, &bad));
+    }
+
+    #[test]
+    fn stack_rejects_fifo_order() {
+        let spec = StackSpec;
+        let bad = vec![
+            (StackOp::Push(1), StackResp::Ok),
+            (StackOp::Push(2), StackResp::Ok),
+            (StackOp::Pop, StackResp::Item(1)),
+        ];
+        assert!(!is_legal(&spec, &bad));
+    }
+}

@@ -1,0 +1,82 @@
+//! Max register specification (§3.1).
+//!
+//! `WriteMax(v)` records `v`; `ReadMax` returns the largest value
+//! previously written (0 if none). A max register has consensus number 1
+//! and — per Theorem 1 — a wait-free strongly-linearizable
+//! implementation from fetch&add.
+
+use crate::{Spec, Value};
+
+/// Operations of a max register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxOp {
+    /// `WriteMax(v)`.
+    Write(Value),
+    /// `ReadMax()`.
+    Read,
+}
+
+/// Responses of a max register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxResp {
+    /// Response of `WriteMax`.
+    Ok,
+    /// Response of `ReadMax`: the current maximum.
+    Value(Value),
+}
+
+/// The max register specification; state is the running maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxRegisterSpec;
+
+impl Spec for MaxRegisterSpec {
+    type State = Value;
+    type Op = MaxOp;
+    type Resp = MaxResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &MaxOp) -> Vec<(Value, MaxResp)> {
+        match op {
+            MaxOp::Write(v) => vec![((*s).max(*v), MaxResp::Ok)],
+            MaxOp::Read => vec![(*s, MaxResp::Value(*s))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_running_maximum() {
+        let spec = MaxRegisterSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &MaxOp::Read), MaxResp::Value(0));
+        spec.apply(&mut s, &MaxOp::Write(9));
+        spec.apply(&mut s, &MaxOp::Write(4));
+        assert_eq!(spec.apply(&mut s, &MaxOp::Read), MaxResp::Value(9));
+        spec.apply(&mut s, &MaxOp::Write(11));
+        assert_eq!(spec.apply(&mut s, &MaxOp::Read), MaxResp::Value(11));
+    }
+
+    #[test]
+    fn writes_are_idempotent_on_smaller_values() {
+        let spec = MaxRegisterSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &MaxOp::Write(5));
+        let before = s;
+        spec.apply(&mut s, &MaxOp::Write(5));
+        spec.apply(&mut s, &MaxOp::Write(1));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn step_is_deterministic() {
+        let spec = MaxRegisterSpec;
+        assert_eq!(spec.step(&3, &MaxOp::Write(7)).len(), 1);
+        assert_eq!(spec.step(&3, &MaxOp::Read).len(), 1);
+    }
+}

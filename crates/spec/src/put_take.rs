@@ -1,0 +1,124 @@
+//! Put/take set specification (§4.3).
+//!
+//! A set object provides `put(x)`, adding item `x` and returning `OK`,
+//! and `take()`, which returns `EMPTY` if the set is empty and otherwise
+//! removes and returns **any** item — the choice is nondeterministic, so
+//! [`Spec::step`] returns one outcome per removable item. Per the paper
+//! we assume every item is put at most once (callers enforce this; the
+//! spec tolerates re-puts by treating the state as a set).
+
+use std::collections::BTreeSet;
+
+use crate::{Spec, Value};
+
+/// Operations of the put/take set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// `put(x)`.
+    Put(Value),
+    /// `take()`.
+    Take,
+}
+
+/// Responses of the put/take set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetResp {
+    /// Response of `put`.
+    Ok,
+    /// `take` removed and returned this item.
+    Item(Value),
+    /// `take` found the set empty.
+    Empty,
+}
+
+/// The put/take set specification; state is the set of present items.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PutTakeSetSpec;
+
+impl Spec for PutTakeSetSpec {
+    type State = BTreeSet<Value>;
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn initial(&self) -> BTreeSet<Value> {
+        BTreeSet::new()
+    }
+
+    fn step(&self, s: &BTreeSet<Value>, op: &SetOp) -> Vec<(BTreeSet<Value>, SetResp)> {
+        match op {
+            SetOp::Put(x) => {
+                let mut next = s.clone();
+                next.insert(*x);
+                vec![(next, SetResp::Ok)]
+            }
+            SetOp::Take => {
+                if s.is_empty() {
+                    vec![(s.clone(), SetResp::Empty)]
+                } else {
+                    s.iter()
+                        .map(|&x| {
+                            let mut next = s.clone();
+                            next.remove(&x);
+                            (next, SetResp::Item(x))
+                        })
+                        .collect()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_legal;
+
+    #[test]
+    fn take_on_empty_returns_empty() {
+        let spec = PutTakeSetSpec;
+        let outcomes = spec.step(&spec.initial(), &SetOp::Take);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1, SetResp::Empty);
+    }
+
+    #[test]
+    fn take_is_nondeterministic_over_items() {
+        let spec = PutTakeSetSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &SetOp::Put(1));
+        spec.apply(&mut s, &SetOp::Put(2));
+        let outcomes = spec.step(&s, &SetOp::Take);
+        let resps: Vec<_> = outcomes.iter().map(|(_, r)| *r).collect();
+        assert!(resps.contains(&SetResp::Item(1)));
+        assert!(resps.contains(&SetResp::Item(2)));
+        assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn each_item_taken_at_most_once() {
+        let spec = PutTakeSetSpec;
+        // put 1; take→1; take→1 again is illegal
+        let bad = vec![
+            (SetOp::Put(1), SetResp::Ok),
+            (SetOp::Take, SetResp::Item(1)),
+            (SetOp::Take, SetResp::Item(1)),
+        ];
+        assert!(!is_legal(&spec, &bad));
+        let good = vec![
+            (SetOp::Put(1), SetResp::Ok),
+            (SetOp::Take, SetResp::Item(1)),
+            (SetOp::Take, SetResp::Empty),
+        ];
+        assert!(is_legal(&spec, &good));
+    }
+
+    #[test]
+    fn cannot_take_an_item_never_put() {
+        let spec = PutTakeSetSpec;
+        let bad = vec![
+            (SetOp::Put(1), SetResp::Ok),
+            (SetOp::Take, SetResp::Item(2)),
+        ];
+        assert!(!is_legal(&spec, &bad));
+    }
+}

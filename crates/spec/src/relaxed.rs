@@ -1,0 +1,461 @@
+//! Relaxed queues and stacks from Section 5.
+//!
+//! These are the relaxations the paper proves are still *k-ordering*
+//! (Definition 11) and hence still impossible to implement lock-free and
+//! strongly-linearizably from consensus-number-2 primitives:
+//!
+//! * **multiplicity** \[11\] — consecutive (concurrent) `deq`/`pop`
+//!   operations may return the same item;
+//! * **m-stuttering** \[19\] — an operation may have no effect, at most
+//!   `m` times consecutively per operation type;
+//! * **k-out-of-order** \[19\] — `deq` returns one of the `k` oldest
+//!   items.
+//!
+//! All three are genuinely nondeterministic sequential specifications:
+//! [`crate::Spec::step`] returns every allowed outcome.
+
+use std::collections::VecDeque;
+
+use crate::fifo::{QueueOp, QueueResp, StackOp, StackResp};
+use crate::{Spec, Value};
+
+// ---------------------------------------------------------------------
+// Multiplicity
+// ---------------------------------------------------------------------
+
+/// State of a multiplicity queue: the queue, plus the item returned by
+/// the immediately preceding `deq` (if the preceding operation was a
+/// `deq`), which the next `deq` may duplicate.
+///
+/// This encodes, as a sequential machine, the set-linearizability
+/// relaxation of \[11\]: a *block of consecutive* dequeues may return the
+/// same item; the item is removed once. Any interleaved `enq` ends the
+/// block (footnote 3 of the paper: duplication only among operations
+/// linearized consecutively).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct MultiplicityQueueState {
+    /// Items currently in the queue.
+    pub items: VecDeque<Value>,
+    /// Item returned by the immediately preceding `deq`, if any.
+    pub last_deq: Option<Value>,
+}
+
+/// Queue with multiplicity \[11\].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiplicityQueueSpec;
+
+impl Spec for MultiplicityQueueSpec {
+    type State = MultiplicityQueueState;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> Self::State {
+        MultiplicityQueueState::default()
+    }
+
+    fn step(&self, s: &Self::State, op: &QueueOp) -> Vec<(Self::State, QueueResp)> {
+        match op {
+            QueueOp::Enq(v) => {
+                let mut next = s.clone();
+                next.items.push_back(*v);
+                next.last_deq = None;
+                vec![(next, QueueResp::Ok)]
+            }
+            QueueOp::Deq => {
+                let mut outcomes = Vec::new();
+                match s.items.front().copied() {
+                    None => {
+                        let mut next = s.clone();
+                        next.last_deq = None;
+                        outcomes.push((next, QueueResp::Empty));
+                    }
+                    Some(v) => {
+                        let mut next = s.clone();
+                        next.items.pop_front();
+                        next.last_deq = Some(v);
+                        outcomes.push((next, QueueResp::Item(v)));
+                    }
+                }
+                // Duplicate the previous deq's item (concurrent block).
+                if let Some(d) = s.last_deq {
+                    outcomes.push((s.clone(), QueueResp::Item(d)));
+                }
+                outcomes
+            }
+        }
+    }
+}
+
+/// State of a multiplicity stack (mirror of the queue state).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct MultiplicityStackState {
+    /// Items currently in the stack (top is last).
+    pub items: Vec<Value>,
+    /// Item returned by the immediately preceding `pop`, if any.
+    pub last_pop: Option<Value>,
+}
+
+/// Stack with multiplicity \[11\].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiplicityStackSpec;
+
+impl Spec for MultiplicityStackSpec {
+    type State = MultiplicityStackState;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Self::State {
+        MultiplicityStackState::default()
+    }
+
+    fn step(&self, s: &Self::State, op: &StackOp) -> Vec<(Self::State, StackResp)> {
+        match op {
+            StackOp::Push(v) => {
+                let mut next = s.clone();
+                next.items.push(*v);
+                next.last_pop = None;
+                vec![(next, StackResp::Ok)]
+            }
+            StackOp::Pop => {
+                let mut outcomes = Vec::new();
+                match s.items.last().copied() {
+                    None => {
+                        let mut next = s.clone();
+                        next.last_pop = None;
+                        outcomes.push((next, StackResp::Empty));
+                    }
+                    Some(v) => {
+                        let mut next = s.clone();
+                        next.items.pop();
+                        next.last_pop = Some(v);
+                        outcomes.push((next, StackResp::Item(v)));
+                    }
+                }
+                if let Some(d) = s.last_pop {
+                    outcomes.push((s.clone(), StackResp::Item(d)));
+                }
+                outcomes
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// m-stuttering
+// ---------------------------------------------------------------------
+
+/// State of an m-stuttering queue: the queue plus one stutter counter
+/// per operation type (the paper's footnote 4: "the state of the object
+/// has a counter per operation type, and if the corresponding counter is
+/// less than m, the object non-deterministically decides whether the
+/// operation has effect or not, and if it takes effect, the counter is
+/// set to zero").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct StutteringQueueState {
+    /// Items currently in the queue.
+    pub items: VecDeque<Value>,
+    /// Consecutive ineffective enqueues.
+    pub enq_stutter: u32,
+    /// Consecutive ineffective dequeues.
+    pub deq_stutter: u32,
+}
+
+/// m-stuttering queue \[19\]: an operation may have no effect, at most `m`
+/// times consecutively per operation type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StutteringQueueSpec {
+    /// Maximum consecutive stutters per operation type.
+    pub m: u32,
+}
+
+impl Spec for StutteringQueueSpec {
+    type State = StutteringQueueState;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> Self::State {
+        StutteringQueueState::default()
+    }
+
+    fn step(&self, s: &Self::State, op: &QueueOp) -> Vec<(Self::State, QueueResp)> {
+        match op {
+            QueueOp::Enq(v) => {
+                let mut effect = s.clone();
+                effect.items.push_back(*v);
+                effect.enq_stutter = 0;
+                let mut outcomes = vec![(effect, QueueResp::Ok)];
+                if s.enq_stutter < self.m {
+                    let mut stutter = s.clone();
+                    stutter.enq_stutter += 1;
+                    outcomes.push((stutter, QueueResp::Ok));
+                }
+                outcomes
+            }
+            QueueOp::Deq => match s.items.front().copied() {
+                None => {
+                    // An empty dequeue changes nothing; count it as
+                    // effectful (it faithfully reports the state).
+                    let mut next = s.clone();
+                    next.deq_stutter = 0;
+                    vec![(next, QueueResp::Empty)]
+                }
+                Some(v) => {
+                    let mut effect = s.clone();
+                    effect.items.pop_front();
+                    effect.deq_stutter = 0;
+                    let mut outcomes = vec![(effect, QueueResp::Item(v))];
+                    if s.deq_stutter < self.m {
+                        // Stutter: return the oldest item without removing it.
+                        let mut stutter = s.clone();
+                        stutter.deq_stutter += 1;
+                        outcomes.push((stutter, QueueResp::Item(v)));
+                    }
+                    outcomes
+                }
+            },
+        }
+    }
+}
+
+/// State of an m-stuttering stack.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct StutteringStackState {
+    /// Items currently in the stack (top is last).
+    pub items: Vec<Value>,
+    /// Consecutive ineffective pushes.
+    pub push_stutter: u32,
+    /// Consecutive ineffective pops.
+    pub pop_stutter: u32,
+}
+
+/// m-stuttering stack \[19\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StutteringStackSpec {
+    /// Maximum consecutive stutters per operation type.
+    pub m: u32,
+}
+
+impl Spec for StutteringStackSpec {
+    type State = StutteringStackState;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Self::State {
+        StutteringStackState::default()
+    }
+
+    fn step(&self, s: &Self::State, op: &StackOp) -> Vec<(Self::State, StackResp)> {
+        match op {
+            StackOp::Push(v) => {
+                let mut effect = s.clone();
+                effect.items.push(*v);
+                effect.push_stutter = 0;
+                let mut outcomes = vec![(effect, StackResp::Ok)];
+                if s.push_stutter < self.m {
+                    let mut stutter = s.clone();
+                    stutter.push_stutter += 1;
+                    outcomes.push((stutter, StackResp::Ok));
+                }
+                outcomes
+            }
+            StackOp::Pop => match s.items.last().copied() {
+                None => {
+                    let mut next = s.clone();
+                    next.pop_stutter = 0;
+                    vec![(next, StackResp::Empty)]
+                }
+                Some(v) => {
+                    let mut effect = s.clone();
+                    effect.items.pop();
+                    effect.pop_stutter = 0;
+                    let mut outcomes = vec![(effect, StackResp::Item(v))];
+                    if s.pop_stutter < self.m {
+                        let mut stutter = s.clone();
+                        stutter.pop_stutter += 1;
+                        outcomes.push((stutter, StackResp::Item(v)));
+                    }
+                    outcomes
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// k-out-of-order
+// ---------------------------------------------------------------------
+
+/// k-out-of-order queue \[19\]: `deq` removes and returns one of the `k`
+/// oldest items (1-out-of-order is an exact queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderQueueSpec {
+    /// Window size: `deq` may return any of the `k` oldest items.
+    pub k: usize,
+}
+
+impl Spec for OutOfOrderQueueSpec {
+    type State = VecDeque<Value>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> VecDeque<Value> {
+        VecDeque::new()
+    }
+
+    fn step(&self, s: &VecDeque<Value>, op: &QueueOp) -> Vec<(VecDeque<Value>, QueueResp)> {
+        match op {
+            QueueOp::Enq(v) => {
+                let mut next = s.clone();
+                next.push_back(*v);
+                vec![(next, QueueResp::Ok)]
+            }
+            QueueOp::Deq => {
+                if s.is_empty() {
+                    return vec![(s.clone(), QueueResp::Empty)];
+                }
+                (0..self.k.min(s.len()))
+                    .map(|idx| {
+                        let mut next = s.clone();
+                        let v = next.remove(idx).expect("index in range");
+                        (next, QueueResp::Item(v))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_legal;
+
+    #[test]
+    fn multiplicity_queue_allows_duplicate_in_block() {
+        let spec = MultiplicityQueueSpec;
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Enq(2), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(1)),
+            (QueueOp::Deq, QueueResp::Item(1)), // duplicate of the block
+            (QueueOp::Deq, QueueResp::Item(2)),
+        ];
+        assert!(is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn multiplicity_queue_enq_breaks_the_block() {
+        let spec = MultiplicityQueueSpec;
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(1)),
+            (QueueOp::Enq(2), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(1)), // block ended: illegal
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn multiplicity_queue_never_invents_items() {
+        let spec = MultiplicityQueueSpec;
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(9)),
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn multiplicity_stack_allows_duplicate_pop() {
+        let spec = MultiplicityStackSpec;
+        let seq = vec![
+            (StackOp::Push(7), StackResp::Ok),
+            (StackOp::Pop, StackResp::Item(7)),
+            (StackOp::Pop, StackResp::Item(7)),
+            (StackOp::Pop, StackResp::Empty),
+        ];
+        assert!(is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn stuttering_queue_bounded_stutter() {
+        let spec = StutteringQueueSpec { m: 1 };
+        // Two ineffective enqueues in a row exceed m=1; at least one of
+        // the first two must land, so three dequeues of the same item
+        // (with one removal + one stutter allowed) cannot all succeed
+        // after only one effective enqueue... construct directly:
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(1)), // stutter (not removed)
+            (QueueOp::Deq, QueueResp::Item(1)), // effect (removed)
+            (QueueOp::Deq, QueueResp::Empty),
+        ];
+        assert!(is_legal(&spec, &seq));
+        let too_many = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(1)),
+            (QueueOp::Deq, QueueResp::Item(1)),
+            (QueueOp::Deq, QueueResp::Item(1)), // needs 2 consecutive stutters
+        ];
+        assert!(!is_legal(&spec, &too_many));
+    }
+
+    #[test]
+    fn stuttering_queue_one_of_m_plus_one_enqueues_lands() {
+        let spec = StutteringQueueSpec { m: 2 };
+        // m+1 = 3 consecutive enqueues: at least one lands, so a deq
+        // cannot see empty afterwards.
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Enq(2), QueueResp::Ok),
+            (QueueOp::Enq(3), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Empty),
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn stuttering_stack_mirrors_queue() {
+        let spec = StutteringStackSpec { m: 1 };
+        let seq = vec![
+            (StackOp::Push(1), StackResp::Ok),
+            (StackOp::Pop, StackResp::Item(1)),
+            (StackOp::Pop, StackResp::Item(1)),
+            (StackOp::Pop, StackResp::Empty),
+        ];
+        assert!(is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn out_of_order_queue_window() {
+        let spec = OutOfOrderQueueSpec { k: 2 };
+        let mut s = spec.initial();
+        for v in [1, 2, 3] {
+            spec.apply(&mut s, &QueueOp::Enq(v));
+        }
+        let outcomes = spec.step(&s, &QueueOp::Deq);
+        let resps: Vec<_> = outcomes.iter().map(|(_, r)| *r).collect();
+        assert!(resps.contains(&QueueResp::Item(1)));
+        assert!(resps.contains(&QueueResp::Item(2)));
+        assert!(!resps.contains(&QueueResp::Item(3)));
+    }
+
+    #[test]
+    fn one_out_of_order_is_exact_queue() {
+        let spec = OutOfOrderQueueSpec { k: 1 };
+        let seq = vec![
+            (QueueOp::Enq(1), QueueResp::Ok),
+            (QueueOp::Enq(2), QueueResp::Ok),
+            (QueueOp::Deq, QueueResp::Item(2)),
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn out_of_order_empty_is_epsilon() {
+        let spec = OutOfOrderQueueSpec { k: 3 };
+        let outcomes = spec.step(&spec.initial(), &QueueOp::Deq);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1, QueueResp::Empty);
+    }
+}

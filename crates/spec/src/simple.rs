@@ -1,0 +1,335 @@
+//! Simple types (§3.3, after Aspnes & Herlihy \[7\], Ovens & Woelfel \[27\]).
+//!
+//! A *simple type* is an object where any two operations either
+//! **commute** (the state after executing both consecutively is
+//! order-independent) or one **overwrites** the other (the state after
+//! the overwriting operation is unaffected by whether the other executed
+//! immediately before it). Algorithm 1 of the paper gives a wait-free
+//! implementation of any simple type from atomic snapshots, which is
+//! strongly linearizable when the snapshot is (Theorem 3).
+//!
+//! [`SimpleTypeSpec`] declares the commute/overwrite structure; the
+//! *dominance* relation used by Algorithm 1's `lingraph` is derived from
+//! it. [`check_simple_type`] validates the declared structure against
+//! the spec's semantics and is used by property tests.
+
+use crate::counters::{CounterOp, CounterSpec, IntCounterOp, IntCounterSpec, LogicalClockOp, LogicalClockSpec};
+use crate::max_register::{MaxOp, MaxRegisterSpec};
+use crate::union_set::{UnionSetOp, UnionSetSpec};
+use crate::Spec;
+
+/// A sequential spec with declared commute/overwrite structure.
+///
+/// Laws (checked by [`check_simple_type`]):
+/// * every ordered pair `(a, b)` satisfies `commutes(a, b)` or
+///   `overwrites(a, b)` or `overwrites(b, a)`;
+/// * if `commutes(a, b)`, applying `a; b` and `b; a` from any reachable
+///   state yields the same state;
+/// * if `overwrites(later, earlier)`, applying `earlier; later` from any
+///   reachable state yields the same state as applying `later` alone.
+pub trait SimpleTypeSpec: Spec {
+    /// Does `later` overwrite `earlier`?
+    fn overwrites(&self, later: &Self::Op, earlier: &Self::Op) -> bool;
+
+    /// Do `a` and `b` commute (state-wise)?
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool;
+
+    /// The dominance relation of Theorem 3's proof: `o1` (by process
+    /// `p1`) is dominated by `o2` (by process `p2`) iff `o2` overwrites
+    /// `o1` but not vice versa, or they overwrite each other and `p1 <
+    /// p2`.
+    fn dominated(&self, o1: (&Self::Op, usize), o2: (&Self::Op, usize)) -> bool {
+        let ow21 = self.overwrites(o2.0, o1.0);
+        let ow12 = self.overwrites(o1.0, o2.0);
+        ow21 && (!ow12 || o1.1 < o2.1)
+    }
+}
+
+impl SimpleTypeSpec for MaxRegisterSpec {
+    fn overwrites(&self, later: &MaxOp, earlier: &MaxOp) -> bool {
+        match (later, earlier) {
+            // WriteMax(v1) overwrites WriteMax(v2) iff v1 >= v2.
+            (MaxOp::Write(v1), MaxOp::Write(v2)) => v1 >= v2,
+            // Any write overwrites a read (reads don't change state).
+            (MaxOp::Write(_), MaxOp::Read) => true,
+            // Reads overwrite reads (both leave the state unchanged).
+            (MaxOp::Read, MaxOp::Read) => true,
+            (MaxOp::Read, MaxOp::Write(_)) => false,
+        }
+    }
+
+    fn commutes(&self, a: &MaxOp, b: &MaxOp) -> bool {
+        match (a, b) {
+            (MaxOp::Read, MaxOp::Read) => true,
+            // Writes commute state-wise (max is commutative).
+            (MaxOp::Write(_), MaxOp::Write(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl SimpleTypeSpec for CounterSpec {
+    fn overwrites(&self, later: &CounterOp, earlier: &CounterOp) -> bool {
+        matches!(
+            (later, earlier),
+            (CounterOp::Inc, CounterOp::Read) | (CounterOp::Read, CounterOp::Read)
+        )
+    }
+
+    fn commutes(&self, a: &CounterOp, b: &CounterOp) -> bool {
+        matches!(
+            (a, b),
+            (CounterOp::Inc, CounterOp::Inc) | (CounterOp::Read, CounterOp::Read)
+        )
+    }
+}
+
+impl SimpleTypeSpec for IntCounterSpec {
+    fn overwrites(&self, later: &IntCounterOp, earlier: &IntCounterOp) -> bool {
+        match (later, earlier) {
+            // Mutations overwrite reads; reads overwrite reads.
+            (IntCounterOp::Inc | IntCounterOp::Dec, IntCounterOp::Read) => true,
+            (IntCounterOp::Read, IntCounterOp::Read) => true,
+            _ => false,
+        }
+    }
+
+    fn commutes(&self, a: &IntCounterOp, b: &IntCounterOp) -> bool {
+        match (a, b) {
+            // +1 and −1 commute in every combination.
+            (
+                IntCounterOp::Inc | IntCounterOp::Dec,
+                IntCounterOp::Inc | IntCounterOp::Dec,
+            ) => true,
+            (IntCounterOp::Read, IntCounterOp::Read) => true,
+            _ => false,
+        }
+    }
+}
+
+impl SimpleTypeSpec for UnionSetSpec {
+    fn overwrites(&self, later: &UnionSetOp, earlier: &UnionSetOp) -> bool {
+        let later_reads = !matches!(later, UnionSetOp::Insert(_));
+        let earlier_reads = !matches!(earlier, UnionSetOp::Insert(_));
+        match (later_reads, earlier_reads) {
+            // Inserts overwrite reads; reads overwrite reads.
+            (_, true) => true,
+            // Insert(x) overwrites Insert(x) (idempotent).
+            (false, false) => later == earlier,
+            (true, false) => false,
+        }
+    }
+
+    fn commutes(&self, a: &UnionSetOp, b: &UnionSetOp) -> bool {
+        let a_reads = !matches!(a, UnionSetOp::Insert(_));
+        let b_reads = !matches!(b, UnionSetOp::Insert(_));
+        (a_reads && b_reads) || (!a_reads && !b_reads)
+    }
+}
+
+impl SimpleTypeSpec for LogicalClockSpec {
+    fn overwrites(&self, later: &LogicalClockOp, earlier: &LogicalClockOp) -> bool {
+        match (later, earlier) {
+            (LogicalClockOp::Send(v1), LogicalClockOp::Send(v2)) => v1 >= v2,
+            (LogicalClockOp::Send(_), LogicalClockOp::Observe) => true,
+            (LogicalClockOp::Observe, LogicalClockOp::Observe) => true,
+            (LogicalClockOp::Observe, LogicalClockOp::Send(_)) => false,
+        }
+    }
+
+    fn commutes(&self, a: &LogicalClockOp, b: &LogicalClockOp) -> bool {
+        matches!(
+            (a, b),
+            (LogicalClockOp::Send(_), LogicalClockOp::Send(_))
+                | (LogicalClockOp::Observe, LogicalClockOp::Observe)
+        )
+    }
+}
+
+/// A violation of the simple-type laws found by [`check_simple_type`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimpleTypeViolation<S: Spec> {
+    /// Neither commutes nor overwrites holds for the pair.
+    Unrelated(S::Op, S::Op),
+    /// Declared commuting, but states diverge from some reachable state.
+    BadCommute(S::Op, S::Op, S::State),
+    /// Declared overwriting, but the earlier op leaks into the state.
+    BadOverwrite {
+        /// The overwriting operation.
+        later: S::Op,
+        /// The supposedly-overwritten operation.
+        earlier: S::Op,
+        /// Reachable state exhibiting the violation.
+        state: S::State,
+    },
+}
+
+/// Validates the declared commute/overwrite structure of `spec` against
+/// its semantics, over every state reachable from the initial state by
+/// executing up to `depth` operations drawn from `ops`.
+///
+/// Returns every violation found (empty = the declaration is sound on
+/// the explored state space). Only meaningful for deterministic specs.
+pub fn check_simple_type<S: SimpleTypeSpec>(
+    spec: &S,
+    ops: &[S::Op],
+    depth: usize,
+) -> Vec<SimpleTypeViolation<S>> {
+    let mut violations = Vec::new();
+    let mut states = vec![spec.initial()];
+    let mut frontier = states.clone();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for op in ops {
+                let mut t = s.clone();
+                spec.apply(&mut t, op);
+                if !states.contains(&t) {
+                    states.push(t.clone());
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    for a in ops {
+        for b in ops {
+            let related =
+                spec.commutes(a, b) || spec.overwrites(a, b) || spec.overwrites(b, a);
+            if !related {
+                violations.push(SimpleTypeViolation::Unrelated(a.clone(), b.clone()));
+            }
+            for s in &states {
+                if spec.commutes(a, b) {
+                    let mut ab = s.clone();
+                    spec.apply(&mut ab, a);
+                    spec.apply(&mut ab, b);
+                    let mut ba = s.clone();
+                    spec.apply(&mut ba, b);
+                    spec.apply(&mut ba, a);
+                    if ab != ba {
+                        violations.push(SimpleTypeViolation::BadCommute(
+                            a.clone(),
+                            b.clone(),
+                            s.clone(),
+                        ));
+                    }
+                }
+                if spec.overwrites(a, b) {
+                    // state after (b; a) must equal state after (a)
+                    let mut ba = s.clone();
+                    spec.apply(&mut ba, b);
+                    spec.apply(&mut ba, a);
+                    let mut only_a = s.clone();
+                    spec.apply(&mut only_a, a);
+                    if ba != only_a {
+                        violations.push(SimpleTypeViolation::BadOverwrite {
+                            later: a.clone(),
+                            earlier: b.clone(),
+                            state: s.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_register_structure_is_sound() {
+        let ops = vec![MaxOp::Read, MaxOp::Write(1), MaxOp::Write(3), MaxOp::Write(3)];
+        let violations = check_simple_type(&MaxRegisterSpec, &ops, 3);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn counter_structure_is_sound() {
+        let ops = vec![CounterOp::Inc, CounterOp::Read];
+        let violations = check_simple_type(&CounterSpec, &ops, 4);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn int_counter_structure_is_sound() {
+        let ops = vec![IntCounterOp::Inc, IntCounterOp::Dec, IntCounterOp::Read];
+        let violations = check_simple_type(&IntCounterSpec, &ops, 4);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn union_set_structure_is_sound() {
+        let ops = vec![
+            UnionSetOp::Insert(1),
+            UnionSetOp::Insert(2),
+            UnionSetOp::Contains(1),
+            UnionSetOp::ReadAll,
+        ];
+        let violations = check_simple_type(&UnionSetSpec, &ops, 3);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn logical_clock_structure_is_sound() {
+        let ops = vec![
+            LogicalClockOp::Observe,
+            LogicalClockOp::Send(1),
+            LogicalClockOp::Send(4),
+        ];
+        let violations = check_simple_type(&LogicalClockSpec, &ops, 3);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn dominance_follows_the_paper() {
+        let spec = MaxRegisterSpec;
+        // Write(5) overwrites Write(3) but not vice versa: Write(3) dominated.
+        assert!(spec.dominated((&MaxOp::Write(3), 0), (&MaxOp::Write(5), 1)));
+        assert!(!spec.dominated((&MaxOp::Write(5), 1), (&MaxOp::Write(3), 0)));
+        // Equal writes overwrite each other: smaller pid dominated.
+        assert!(spec.dominated((&MaxOp::Write(4), 0), (&MaxOp::Write(4), 1)));
+        assert!(!spec.dominated((&MaxOp::Write(4), 1), (&MaxOp::Write(4), 0)));
+        // Read dominated by writes.
+        assert!(spec.dominated((&MaxOp::Read, 2), (&MaxOp::Write(1), 0)));
+    }
+
+    #[test]
+    fn checker_catches_a_bogus_declaration() {
+        // A deliberately wrong simple-type declaration over the counter:
+        // claim Read overwrites Inc (it does not).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        struct BogusCounter;
+        impl Spec for BogusCounter {
+            type State = u64;
+            type Op = CounterOp;
+            type Resp = crate::counters::CounterResp;
+            fn initial(&self) -> u64 {
+                0
+            }
+            fn step(&self, s: &u64, op: &CounterOp) -> Vec<(u64, Self::Resp)> {
+                CounterSpec.step(s, op)
+            }
+        }
+        impl SimpleTypeSpec for BogusCounter {
+            fn overwrites(&self, later: &CounterOp, _earlier: &CounterOp) -> bool {
+                matches!(later, CounterOp::Read)
+            }
+            fn commutes(&self, a: &CounterOp, b: &CounterOp) -> bool {
+                a == b
+            }
+        }
+        let violations =
+            check_simple_type(&BogusCounter, &[CounterOp::Inc, CounterOp::Read], 2);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SimpleTypeViolation::BadOverwrite { .. })));
+    }
+}

@@ -1,0 +1,110 @@
+//! Single-writer atomic snapshot specification (§3.2, after Afek et
+//! al. \[1\]).
+//!
+//! The object has `n` components, one per process, each initially 0.
+//! `Update(i, v)` sets component `i` (only process `i` issues it);
+//! `Scan` returns the whole view. Snapshots have consensus number 1 and
+//! — per Theorem 2 — a wait-free strongly-linearizable implementation
+//! from fetch&add.
+
+use crate::{Spec, Value};
+
+/// Operations of an `n`-component snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SnapOp {
+    /// `update(v)` by process `i` (single-writer: `i` is the component).
+    Update {
+        /// Component (= writing process) index.
+        i: usize,
+        /// New value.
+        v: Value,
+    },
+    /// `scan()`.
+    Scan,
+}
+
+/// Responses of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SnapResp {
+    /// Response of `update`.
+    Ok,
+    /// Response of `scan`: the view.
+    View(Vec<Value>),
+}
+
+/// The snapshot specification; state is the current view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSpec {
+    /// Number of components / processes.
+    pub n: usize,
+}
+
+impl SnapshotSpec {
+    /// Creates a spec with `n` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "snapshot needs at least one component");
+        SnapshotSpec { n }
+    }
+}
+
+impl Spec for SnapshotSpec {
+    type State = Vec<Value>;
+    type Op = SnapOp;
+    type Resp = SnapResp;
+
+    fn initial(&self) -> Vec<Value> {
+        vec![0; self.n]
+    }
+
+    fn step(&self, s: &Vec<Value>, op: &SnapOp) -> Vec<(Vec<Value>, SnapResp)> {
+        match op {
+            SnapOp::Update { i, v } => {
+                assert!(*i < self.n, "component {i} out of range");
+                let mut next = s.clone();
+                next[*i] = *v;
+                vec![(next, SnapResp::Ok)]
+            }
+            SnapOp::Scan => vec![(s.clone(), SnapResp::View(s.clone()))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_sees_latest_updates() {
+        let spec = SnapshotSpec::new(3);
+        let mut s = spec.initial();
+        spec.apply(&mut s, &SnapOp::Update { i: 0, v: 7 });
+        spec.apply(&mut s, &SnapOp::Update { i: 2, v: 9 });
+        spec.apply(&mut s, &SnapOp::Update { i: 0, v: 3 });
+        assert_eq!(
+            spec.apply(&mut s, &SnapOp::Scan),
+            SnapResp::View(vec![3, 0, 9])
+        );
+    }
+
+    #[test]
+    fn initial_view_is_zero() {
+        let spec = SnapshotSpec::new(2);
+        let mut s = spec.initial();
+        assert_eq!(
+            spec.apply(&mut s, &SnapOp::Scan),
+            SnapResp::View(vec![0, 0])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_bad_component() {
+        let spec = SnapshotSpec::new(2);
+        let mut s = spec.initial();
+        spec.apply(&mut s, &SnapOp::Update { i: 5, v: 1 });
+    }
+}

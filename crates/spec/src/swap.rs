@@ -1,0 +1,60 @@
+//! Swap register specification.
+//!
+//! `swap(v)` writes `v` and returns the previous value. Swap has
+//! consensus number 2; the paper lists it among the "interfering"
+//! primitives covered by the Section 5 impossibility (Corollary 15) and
+//! cites the Afek–Morrison–Wertheim wait-free swap implementation \[3\] as
+//! linearizable but not strongly linearizable.
+
+use crate::{Spec, Value};
+
+/// Operations of a swap register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapOp {
+    /// `swap(v)`: write `v`, return the previous value.
+    Swap(Value),
+    /// `read()`: return the current value.
+    Read,
+}
+
+/// Responses of a swap register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapResp {
+    /// The previous (for `swap`) or current (for `read`) value.
+    Value(Value),
+}
+
+/// The swap register specification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapSpec;
+
+impl Spec for SwapSpec {
+    type State = Value;
+    type Op = SwapOp;
+    type Resp = SwapResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &SwapOp) -> Vec<(Value, SwapResp)> {
+        match op {
+            SwapOp::Swap(v) => vec![(*v, SwapResp::Value(*s))],
+            SwapOp::Read => vec![(*s, SwapResp::Value(*s))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_returns_previous() {
+        let spec = SwapSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &SwapOp::Swap(4)), SwapResp::Value(0));
+        assert_eq!(spec.apply(&mut s, &SwapOp::Swap(9)), SwapResp::Value(4));
+        assert_eq!(spec.apply(&mut s, &SwapOp::Read), SwapResp::Value(9));
+    }
+}

@@ -1,0 +1,147 @@
+//! Test&set-family specifications (§4.1).
+//!
+//! * [`TestAndSetSpec`] — the one-shot primitive: the first `test&set`
+//!   returns 0 (the winner), all later ones return 1.
+//! * [`ReadableTasSpec`] — adds a `read` returning the current state
+//!   (Theorem 5).
+//! * [`MultiShotTasSpec`] — adds `reset`, returning the object to state
+//!   0 (Theorem 6 / Corollaries 7–8).
+
+use crate::Spec;
+
+/// Operations of a (readable, multi-shot) test&set object. Which subset
+/// is legal depends on the concrete spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasOp {
+    /// `test&set()`: sets state to 1, returns the previous state.
+    TestAndSet,
+    /// `read()`: returns the current state (readable variants only).
+    Read,
+    /// `reset()`: sets state to 0 (multi-shot variant only).
+    Reset,
+}
+
+/// Responses of test&set objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasResp {
+    /// A bit value (0 or 1), from `test&set` or `read`.
+    Bit(u8),
+    /// Response of `reset`.
+    Ok,
+}
+
+/// One-shot test&set (consensus number 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestAndSetSpec;
+
+impl Spec for TestAndSetSpec {
+    type State = u8;
+    type Op = TasOp;
+    type Resp = TasResp;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&self, s: &u8, op: &TasOp) -> Vec<(u8, TasResp)> {
+        match op {
+            TasOp::TestAndSet => vec![(1, TasResp::Bit(*s))],
+            TasOp::Read => panic!("plain test&set is not readable"),
+            TasOp::Reset => panic!("one-shot test&set has no reset"),
+        }
+    }
+}
+
+/// Readable test&set (Theorem 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadableTasSpec;
+
+impl Spec for ReadableTasSpec {
+    type State = u8;
+    type Op = TasOp;
+    type Resp = TasResp;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&self, s: &u8, op: &TasOp) -> Vec<(u8, TasResp)> {
+        match op {
+            TasOp::TestAndSet => vec![(1, TasResp::Bit(*s))],
+            TasOp::Read => vec![(*s, TasResp::Bit(*s))],
+            TasOp::Reset => panic!("readable test&set has no reset"),
+        }
+    }
+}
+
+/// Readable multi-shot test&set (Theorem 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiShotTasSpec;
+
+impl Spec for MultiShotTasSpec {
+    type State = u8;
+    type Op = TasOp;
+    type Resp = TasResp;
+
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    fn step(&self, s: &u8, op: &TasOp) -> Vec<(u8, TasResp)> {
+        match op {
+            TasOp::TestAndSet => vec![(1, TasResp::Bit(*s))],
+            TasOp::Read => vec![(*s, TasResp::Bit(*s))],
+            TasOp::Reset => vec![(0, TasResp::Ok)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_first_tas_wins() {
+        let spec = TestAndSetSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(0));
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(1));
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(1));
+    }
+
+    #[test]
+    fn readable_read_reflects_state() {
+        let spec = ReadableTasSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &TasOp::Read), TasResp::Bit(0));
+        spec.apply(&mut s, &TasOp::TestAndSet);
+        assert_eq!(spec.apply(&mut s, &TasOp::Read), TasResp::Bit(1));
+    }
+
+    #[test]
+    fn reset_reopens_the_competition() {
+        let spec = MultiShotTasSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(0));
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(1));
+        assert_eq!(spec.apply(&mut s, &TasOp::Reset), TasResp::Ok);
+        assert_eq!(spec.apply(&mut s, &TasOp::Read), TasResp::Bit(0));
+        assert_eq!(spec.apply(&mut s, &TasOp::TestAndSet), TasResp::Bit(0));
+    }
+
+    #[test]
+    fn reset_when_zero_is_a_noop() {
+        let spec = MultiShotTasSpec;
+        let mut s = spec.initial();
+        assert_eq!(spec.apply(&mut s, &TasOp::Reset), TasResp::Ok);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not readable")]
+    fn plain_tas_rejects_read() {
+        let spec = TestAndSetSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &TasOp::Read);
+    }
+}

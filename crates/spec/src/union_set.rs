@@ -1,0 +1,100 @@
+//! Grow-only ("union") set: a simple type from §3.3.
+//!
+//! The paper lists "certain set objects" among the simple types
+//! implementable via Algorithm 1: a set with `insert` (no removal) and
+//! read operations. Inserts commute with each other; inserts overwrite
+//! reads; reads commute.
+
+use std::collections::BTreeSet;
+
+use crate::{Spec, Value};
+
+/// Operations of the grow-only set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnionSetOp {
+    /// Insert an item (idempotent).
+    Insert(Value),
+    /// Does the set contain the item?
+    Contains(Value),
+    /// Read the whole set (sorted).
+    ReadAll,
+}
+
+/// Responses of the grow-only set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UnionSetResp {
+    /// Response of `Insert`.
+    Ok,
+    /// Response of `Contains`.
+    Bool(bool),
+    /// Response of `ReadAll` (sorted ascending).
+    Items(Vec<Value>),
+}
+
+/// The grow-only set specification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnionSetSpec;
+
+impl Spec for UnionSetSpec {
+    type State = BTreeSet<Value>;
+    type Op = UnionSetOp;
+    type Resp = UnionSetResp;
+
+    fn initial(&self) -> BTreeSet<Value> {
+        BTreeSet::new()
+    }
+
+    fn step(&self, s: &BTreeSet<Value>, op: &UnionSetOp) -> Vec<(BTreeSet<Value>, UnionSetResp)> {
+        match op {
+            UnionSetOp::Insert(x) => {
+                let mut next = s.clone();
+                next.insert(*x);
+                vec![(next, UnionSetResp::Ok)]
+            }
+            UnionSetOp::Contains(x) => {
+                vec![(s.clone(), UnionSetResp::Bool(s.contains(x)))]
+            }
+            UnionSetOp::ReadAll => {
+                vec![(s.clone(), UnionSetResp::Items(s.iter().copied().collect()))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_accumulate() {
+        let spec = UnionSetSpec;
+        let mut s = spec.initial();
+        spec.apply(&mut s, &UnionSetOp::Insert(3));
+        spec.apply(&mut s, &UnionSetOp::Insert(1));
+        spec.apply(&mut s, &UnionSetOp::Insert(3));
+        assert_eq!(
+            spec.apply(&mut s, &UnionSetOp::ReadAll),
+            UnionSetResp::Items(vec![1, 3])
+        );
+        assert_eq!(
+            spec.apply(&mut s, &UnionSetOp::Contains(1)),
+            UnionSetResp::Bool(true)
+        );
+        assert_eq!(
+            spec.apply(&mut s, &UnionSetOp::Contains(2)),
+            UnionSetResp::Bool(false)
+        );
+    }
+
+    #[test]
+    fn insert_order_is_immaterial() {
+        let spec = UnionSetSpec;
+        let mut a = spec.initial();
+        spec.apply(&mut a, &UnionSetOp::Insert(1));
+        spec.apply(&mut a, &UnionSetOp::Insert(2));
+        let mut b = spec.initial();
+        spec.apply(&mut b, &UnionSetOp::Insert(2));
+        spec.apply(&mut b, &UnionSetOp::Insert(1));
+        assert_eq!(a, b);
+    }
+}

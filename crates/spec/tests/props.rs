@@ -1,0 +1,188 @@
+//! Property tests for the sequential specifications: refinement
+//! between the relaxed (§5) objects and their exact counterparts, and
+//! basic sanity laws every spec must satisfy.
+
+use proptest::prelude::*;
+use sl2_spec::counters::{CounterOp, CounterSpec};
+use sl2_spec::fifo::{QueueOp, QueueResp, QueueSpec, StackOp, StackSpec};
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
+use sl2_spec::put_take::{PutTakeSetSpec, SetOp};
+use sl2_spec::relaxed::{
+    MultiplicityQueueSpec, MultiplicityStackSpec, OutOfOrderQueueSpec, StutteringQueueSpec,
+    StutteringStackSpec,
+};
+use sl2_spec::{is_legal, Spec};
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![(1u64..6).prop_map(QueueOp::Enq), Just(QueueOp::Deq)],
+        0..10,
+    )
+}
+
+fn stack_ops() -> impl Strategy<Value = Vec<StackOp>> {
+    prop::collection::vec(
+        prop_oneof![(1u64..6).prop_map(StackOp::Push), Just(StackOp::Pop)],
+        0..10,
+    )
+}
+
+/// Runs `ops` through the exact spec deterministically, returning the
+/// (op, resp) trace.
+fn exact_trace<S: Spec>(spec: &S, ops: &[S::Op]) -> Vec<(S::Op, S::Resp)> {
+    let mut state = spec.initial();
+    ops.iter()
+        .map(|op| (op.clone(), spec.apply(&mut state, op)))
+        .collect()
+}
+
+proptest! {
+    /// Every exact-queue execution is legal for every relaxation of
+    /// the queue (the relaxations only ADD behaviors).
+    #[test]
+    fn relaxed_queues_refine_exact_queue(ops in queue_ops()) {
+        let trace = exact_trace(&QueueSpec, &ops);
+        let stutter1 = StutteringQueueSpec { m: 1 };
+        let stutter3 = StutteringQueueSpec { m: 3 };
+        let ooo1 = OutOfOrderQueueSpec { k: 1 };
+        let ooo4 = OutOfOrderQueueSpec { k: 4 };
+        prop_assert!(is_legal(&MultiplicityQueueSpec, &trace));
+        prop_assert!(is_legal(&stutter1, &trace));
+        prop_assert!(is_legal(&stutter3, &trace));
+        prop_assert!(is_legal(&ooo1, &trace));
+        prop_assert!(is_legal(&ooo4, &trace));
+    }
+
+    /// Same for stacks.
+    #[test]
+    fn relaxed_stacks_refine_exact_stack(ops in stack_ops()) {
+        let trace = exact_trace(&StackSpec, &ops);
+        let stutter1 = StutteringStackSpec { m: 1 };
+        let stutter2 = StutteringStackSpec { m: 2 };
+        prop_assert!(is_legal(&MultiplicityStackSpec, &trace));
+        prop_assert!(is_legal(&stutter1, &trace));
+        prop_assert!(is_legal(&stutter2, &trace));
+    }
+
+    /// A wider out-of-order window accepts everything a narrower one
+    /// does.
+    #[test]
+    fn out_of_order_windows_are_monotone(ops in queue_ops(), seed in 0u64..100) {
+        // Generate a legal k=2 execution by random choice, then check
+        // it against k=3.
+        let spec2 = OutOfOrderQueueSpec { k: 2 };
+        let mut state = spec2.initial();
+        let mut rng = seed;
+        let mut trace = Vec::new();
+        for op in &ops {
+            let outcomes = spec2.step(&state, op);
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (rng >> 33) as usize % outcomes.len();
+            let (next, resp) = outcomes[pick].clone();
+            state = next;
+            trace.push((*op, resp));
+        }
+        let ooo3 = OutOfOrderQueueSpec { k: 3 };
+        prop_assert!(is_legal(&ooo3, &trace));
+    }
+
+    /// `step` is total and deterministic specs have singleton
+    /// outcomes.
+    #[test]
+    fn deterministic_specs_have_singleton_outcomes(ops in queue_ops()) {
+        let spec = QueueSpec;
+        let mut state = spec.initial();
+        for op in &ops {
+            let outcomes = spec.step(&state, op);
+            prop_assert_eq!(outcomes.len(), 1);
+            state = outcomes[0].0.clone();
+        }
+    }
+
+    /// The queue never invents items: every dequeued value was
+    /// previously enqueued.
+    #[test]
+    fn queue_items_come_from_enqueues(ops in queue_ops()) {
+        let trace = exact_trace(&QueueSpec, &ops);
+        let mut seen = Vec::new();
+        for (op, resp) in &trace {
+            if let QueueOp::Enq(v) = op {
+                seen.push(*v);
+            }
+            if let QueueResp::Item(v) = resp {
+                prop_assert!(seen.contains(v));
+            }
+        }
+    }
+
+    /// Max register responses are monotone in prefix order.
+    #[test]
+    fn max_register_reads_are_monotone(vals in prop::collection::vec(0u64..50, 0..20)) {
+        let spec = MaxRegisterSpec;
+        let mut state = spec.initial();
+        let mut last = 0;
+        for v in vals {
+            spec.apply(&mut state, &MaxOp::Write(v));
+            let resp = spec.apply(&mut state, &MaxOp::Read);
+            if let sl2_spec::max_register::MaxResp::Value(r) = resp {
+                prop_assert!(r >= last);
+                last = r;
+            }
+        }
+    }
+
+    /// Counter reads equal the number of preceding increments.
+    #[test]
+    fn counter_counts_increments(flips in prop::collection::vec(any::<bool>(), 0..30)) {
+        let spec = CounterSpec;
+        let mut state = spec.initial();
+        let mut incs = 0u64;
+        for inc in flips {
+            if inc {
+                spec.apply(&mut state, &CounterOp::Inc);
+                incs += 1;
+            } else {
+                let resp = spec.apply(&mut state, &CounterOp::Read);
+                prop_assert_eq!(resp, sl2_spec::counters::CounterResp::Value(incs));
+            }
+        }
+    }
+
+    /// Put/take set: the multiset of taken items is always a subset of
+    /// the put items, whatever nondeterministic branch is taken.
+    #[test]
+    fn set_takes_subset_of_puts(
+        puts in prop::collection::vec(0u64..20, 0..8),
+        takes in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let spec = PutTakeSetSpec;
+        let mut state = spec.initial();
+        for &p in &puts {
+            spec.apply(&mut state, &SetOp::Put(p));
+        }
+        let mut rng = seed;
+        let mut taken = Vec::new();
+        for _ in 0..takes {
+            let outcomes = spec.step(&state, &SetOp::Take);
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let pick = (rng >> 33) as usize % outcomes.len();
+            let (next, resp) = outcomes[pick].clone();
+            state = next;
+            if let sl2_spec::put_take::SetResp::Item(x) = resp {
+                taken.push(x);
+            }
+        }
+        let mut remaining: Vec<u64> = puts.clone();
+        remaining.sort_unstable();
+        remaining.dedup();
+        for t in &taken {
+            prop_assert!(remaining.contains(t));
+        }
+        // no duplicates among taken
+        let mut uniq = taken.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), taken.len());
+    }
+}

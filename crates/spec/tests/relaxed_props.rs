@@ -1,0 +1,230 @@
+//! Property tests for the §5 relaxed specifications: multiplicity,
+//! m-stuttering and k-out-of-order queues/stacks are nondeterministic
+//! state machines, and these laws pin down exactly how much slack each
+//! relaxation is allowed — no more.
+
+use proptest::prelude::*;
+use sl2_spec::fifo::{QueueOp, QueueResp, StackOp, StackResp};
+use sl2_spec::relaxed::{
+    MultiplicityQueueSpec, MultiplicityStackSpec, OutOfOrderQueueSpec, StutteringQueueSpec,
+    StutteringStackSpec,
+};
+use sl2_spec::Spec;
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![3 => (1u64..9).prop_map(QueueOp::Enq), 2 => Just(QueueOp::Deq)],
+        1..24,
+    )
+}
+
+fn stack_ops() -> impl Strategy<Value = Vec<StackOp>> {
+    prop::collection::vec(
+        prop_oneof![3 => (1u64..9).prop_map(StackOp::Push), 2 => Just(StackOp::Pop)],
+        1..24,
+    )
+}
+
+/// Resolves nondeterminism with a seeded choice, returning the response
+/// trace. `pick` selects which outcome index to take (mod #outcomes).
+fn run_chain<S: Spec>(spec: &S, ops: &[S::Op], mut pick: impl FnMut(usize) -> usize) -> Vec<S::Resp> {
+    let mut state = spec.initial();
+    let mut resps = Vec::new();
+    for op in ops {
+        let outcomes = spec.step(&state, op);
+        assert!(!outcomes.is_empty(), "specs are total");
+        let (next, resp) = outcomes[pick(outcomes.len()) % outcomes.len()].clone();
+        state = next;
+        resps.push(resp);
+    }
+    resps
+}
+
+proptest! {
+    /// Multiplicity queue: every dequeued item was enqueued earlier in
+    /// the sequence, and duplicates only ever repeat the immediately
+    /// preceding dequeue's item (a whole consecutive block may return
+    /// the same item — the paper's set-linearizability reading).
+    #[test]
+    fn mult_queue_items_come_from_enqueues(ops in queue_ops(), seed in 0u64..1000) {
+        let mut x = seed;
+        let mut rnd = move |_n: usize| { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        let resps = run_chain(&MultiplicityQueueSpec, &ops, &mut rnd);
+        let mut enqueued: Vec<u64> = Vec::new();
+        let mut last_item: Option<u64> = None;
+        let mut removed = 0usize;
+        for (op, resp) in ops.iter().zip(&resps) {
+            match (op, resp) {
+                (QueueOp::Enq(v), QueueResp::Ok) => { enqueued.push(*v); last_item = None; }
+                (QueueOp::Deq, QueueResp::Item(v)) => {
+                    prop_assert!(enqueued.contains(v), "dequeued {v} never enqueued");
+                    if last_item != Some(*v) {
+                        removed += 1;
+                    }
+                    last_item = Some(*v);
+                }
+                (QueueOp::Deq, QueueResp::Empty) => { last_item = None; }
+                other => prop_assert!(false, "impossible pair {other:?}"),
+            }
+        }
+        // Distinct removal blocks never exceed the number of enqueues.
+        prop_assert!(removed <= enqueued.len(), "{removed} blocks > {} enqueues", enqueued.len());
+    }
+
+    /// Multiplicity queue: the duplication outcome exists exactly when
+    /// the previous operation was a successful dequeue.
+    #[test]
+    fn mult_queue_duplication_window_is_exact(ops in queue_ops()) {
+        let spec = MultiplicityQueueSpec;
+        let mut state = spec.initial();
+        for op in &ops {
+            let outcomes = spec.step(&state, op);
+            match op {
+                QueueOp::Enq(_) => prop_assert_eq!(outcomes.len(), 1),
+                QueueOp::Deq => {
+                    let expect = if state.last_deq.is_some() { 2 } else { 1 };
+                    prop_assert_eq!(outcomes.len(), expect, "state {:?}", state);
+                }
+            }
+            state = outcomes[0].0.clone();
+        }
+    }
+
+    /// Multiplicity stack mirror of the sourcing law.
+    #[test]
+    fn mult_stack_items_come_from_pushes(ops in stack_ops(), seed in 0u64..1000) {
+        let mut x = seed;
+        let mut rnd = move |_n: usize| { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        let resps = run_chain(&MultiplicityStackSpec, &ops, &mut rnd);
+        let mut pushed: Vec<u64> = Vec::new();
+        for (op, resp) in ops.iter().zip(&resps) {
+            match (op, resp) {
+                (StackOp::Push(v), StackResp::Ok) => pushed.push(*v),
+                (StackOp::Pop, StackResp::Item(v)) => {
+                    prop_assert!(pushed.contains(v), "popped {v} never pushed");
+                }
+                (StackOp::Pop, StackResp::Empty) => {}
+                other => prop_assert!(false, "impossible pair {other:?}"),
+            }
+        }
+    }
+
+    /// m-stuttering queue: m+1 consecutive enqueues add at least one
+    /// item, whatever the nondeterministic choices — the paper's "at
+    /// least one out of m+1 consecutive operations of the same type is
+    /// guaranteed to have effect".
+    #[test]
+    fn stuttering_queue_progress_law(m in 0u32..4, len_before in 0usize..5, seed in 0u64..1000) {
+        let spec = StutteringQueueSpec { m };
+        let mut state = spec.initial();
+        for i in 0..len_before {
+            state = spec.step(&state, &QueueOp::Enq(i as u64)).swap_remove(0).0;
+        }
+        let baseline = state.items.len();
+        // Adversarially stutter as often as allowed.
+        let mut x = seed;
+        let mut rnd = move || { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        for round in 0..3u64 {
+            let mut s = state.clone();
+            for i in 0..=(m as u64) {
+                let mut outcomes = spec.step(&s, &QueueOp::Enq(100 + round * 10 + i));
+                // Prefer the stuttering outcome when available, else random.
+                s = if outcomes.len() > 1 && rnd() % 2 == 0 {
+                    outcomes.into_iter().last().unwrap().0
+                } else {
+                    outcomes.swap_remove(0).0
+                };
+            }
+            prop_assert!(
+                s.items.len() > baseline,
+                "m+1 = {} enqueues added nothing (m = {m})",
+                m + 1
+            );
+        }
+    }
+
+    /// m-stuttering queue: a stuttering dequeue still reports the
+    /// oldest item, and never fabricates values.
+    #[test]
+    fn stuttering_queue_deq_reports_front(m in 1u32..4, ops in queue_ops(), seed in 0u64..1000) {
+        let spec = StutteringQueueSpec { m };
+        let mut state = spec.initial();
+        let mut x = seed;
+        let mut rnd = move |_n: usize| { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        for op in &ops {
+            let outcomes = spec.step(&state, op);
+            let pick = rnd(outcomes.len()) % outcomes.len();
+            let (next, resp) = outcomes[pick].clone();
+            if let (QueueOp::Deq, QueueResp::Item(v)) = (op, &resp) {
+                prop_assert_eq!(Some(*v), state.items.front().copied(), "deq must report the front");
+            }
+            state = next;
+        }
+    }
+
+    /// m-stuttering stack: m+1 consecutive pops from a big stack remove
+    /// at least one item.
+    #[test]
+    fn stuttering_stack_pop_progress_law(m in 0u32..4, seed in 0u64..1000) {
+        let spec = StutteringStackSpec { m };
+        let mut state = spec.initial();
+        for i in 0..10u64 {
+            state = spec.step(&state, &StackOp::Push(i)).swap_remove(0).0;
+        }
+        let mut x = seed;
+        let mut rnd = move || { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        let before = state.items.len();
+        for i in 0..=(m as usize) {
+            let mut outcomes = spec.step(&state, &StackOp::Pop);
+            state = if outcomes.len() > 1 && rnd() % 2 == 0 {
+                outcomes.into_iter().last().unwrap().0
+            } else {
+                outcomes.swap_remove(0).0
+            };
+            let _ = i;
+        }
+        prop_assert!(state.items.len() < before, "m+1 pops removed nothing");
+    }
+
+    /// k-out-of-order queue: every dequeue returns one of the k oldest
+    /// items of the pre-state, and removes exactly that item.
+    #[test]
+    fn out_of_order_queue_window_law(k in 1usize..5, ops in queue_ops(), seed in 0u64..1000) {
+        let spec = OutOfOrderQueueSpec { k };
+        let mut state = spec.initial();
+        let mut x = seed;
+        let mut rnd = move |_n: usize| { x = x.wrapping_mul(6364136223846793005).wrapping_add(1); (x >> 33) as usize };
+        for op in &ops {
+            let outcomes = spec.step(&state, op);
+            if matches!(op, QueueOp::Deq) && !state.is_empty() {
+                prop_assert_eq!(outcomes.len(), state.len().min(k), "window size");
+            }
+            let pick = rnd(outcomes.len()) % outcomes.len();
+            let (next, resp) = outcomes[pick].clone();
+            if let (QueueOp::Deq, QueueResp::Item(v)) = (op, &resp) {
+                let window: Vec<u64> = state.iter().take(k).copied().collect();
+                prop_assert!(window.contains(v), "{v} outside the {k}-oldest window {window:?}");
+                prop_assert_eq!(next.len() + 1, state.len());
+            }
+            state = next;
+        }
+    }
+
+    /// 1-out-of-order is an exact queue: deterministic and FIFO.
+    #[test]
+    fn one_out_of_order_is_exact(ops in queue_ops()) {
+        let spec = OutOfOrderQueueSpec { k: 1 };
+        let exact = sl2_spec::fifo::QueueSpec;
+        let mut s_relaxed = spec.initial();
+        let mut s_exact = exact.initial();
+        for op in &ops {
+            let mut relaxed = spec.step(&s_relaxed, op);
+            prop_assert_eq!(relaxed.len(), 1, "k = 1 must be deterministic");
+            let (nr, rr) = relaxed.swap_remove(0);
+            let re = exact.apply(&mut s_exact, op);
+            prop_assert_eq!(rr, re);
+            s_relaxed = nr;
+            prop_assert_eq!(&s_relaxed, &s_exact);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Quickstart: the strongly-linearizable toolkit from
+//! consensus-number-2 primitives, used from real threads.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sl2::prelude::*;
+use sl2_spec::counters::CounterOp;
+
+fn main() {
+    println!("== sl2 quickstart ==\n");
+
+    // ------------------------------------------------------------------
+    // Theorem 1: wait-free strongly-linearizable max register from
+    // fetch&add. 4 threads publish high-water marks.
+    // ------------------------------------------------------------------
+    let n = 4;
+    let max = SlMaxRegister::new(n);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let max = &max;
+            s.spawn(move || {
+                for v in 1..=100u64 {
+                    max.write_max(p, v * (p as u64 + 1));
+                }
+            });
+        }
+    });
+    println!("max register      : read_max = {} (expected 400)", max.read_max());
+    println!("                    backing register is {} bits wide", max.register_bits());
+
+    // ------------------------------------------------------------------
+    // Theorem 2: wait-free strongly-linearizable snapshot from
+    // fetch&add. Each thread owns one component.
+    // ------------------------------------------------------------------
+    let snap = SlSnapshot::new(n);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let snap = &snap;
+            s.spawn(move || {
+                for v in 1..=50u64 {
+                    snap.update(p, v);
+                }
+            });
+        }
+    });
+    println!("snapshot          : scan = {:?}", snap.scan());
+
+    // ------------------------------------------------------------------
+    // Theorem 4: any simple type from fetch&add (Algorithm 1 over the
+    // §3.2 snapshot). A shared counter that never loses increments.
+    // ------------------------------------------------------------------
+    let counter = SlCounter::new_from_faa(n);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let counter = &counter;
+            s.spawn(move || {
+                for _ in 0..25 {
+                    counter.invoke(p, &CounterOp::Inc);
+                }
+            });
+        }
+    });
+    println!(
+        "simple-type counter: value = {:?} (expected Value(100))",
+        counter.invoke(0, &CounterOp::Read)
+    );
+
+    // ------------------------------------------------------------------
+    // Theorem 5 + 9: readable test&set, and fetch&increment built from
+    // an array of them — unique tickets from nothing but test&set.
+    // ------------------------------------------------------------------
+    let tickets = SlFetchInc::new();
+    let mut all: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let tickets = &tickets;
+                s.spawn(move || (0..10).map(|_| tickets.fetch_inc()).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("no panics"));
+        }
+    });
+    all.sort_unstable();
+    println!(
+        "fetch&increment   : {} distinct tickets 1..={}",
+        all.len(),
+        all.last().copied().unwrap_or(0)
+    );
+
+    // ------------------------------------------------------------------
+    // Corollary 7: wait-free multi-shot test&set — leader election you
+    // can rerun.
+    // ------------------------------------------------------------------
+    let election = SlMultiShotTas::new_wait_free(n);
+    for round in 1..=3 {
+        let winners = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|p| {
+                    let e = &election;
+                    s.spawn(move || (e.test_and_set() == 0).then_some(p))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("no panics"))
+                .collect::<Vec<_>>()
+        });
+        println!("multi-shot TS     : round {round} winners = {winners:?} (exactly one)");
+        election.reset_as(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 10: the put/take set from test&set.
+    // ------------------------------------------------------------------
+    let set = SlSet::new();
+    std::thread::scope(|s| {
+        for p in 0..n as u64 {
+            let set = &set;
+            s.spawn(move || {
+                for k in 0..10 {
+                    set.put(p * 10 + k);
+                }
+            });
+        }
+    });
+    let mut drained = 0;
+    while set.take().is_some() {
+        drained += 1;
+    }
+    println!("put/take set      : drained {drained} items (expected 40)");
+
+    println!("\nEverything above is strongly linearizable and uses nothing");
+    println!("above consensus number 2 — the paper's positive program.");
+}

@@ -1,0 +1,101 @@
+//! The obstruction-freedom boundary (\[18\]): *any* object — even a
+//! queue, which Theorem 17 puts beyond lock-free strong
+//! linearizability — can be implemented from single-writer registers
+//! if operations must complete only when they eventually run alone.
+//!
+//! The construction is a log of operations where each position is
+//! agreed by shared-memory single-disk Paxos (safe always, live when
+//! uncontended). This example shows the boundary from both sides:
+//!
+//! * a queue served through the universal construction works perfectly
+//!   under low contention and linearizes under every random schedule;
+//! * an adaptive adversary livelocks two proposers forever — the
+//!   construction is obstruction-free but **not** lock-free, exactly
+//!   the gap the paper's Figure 1 world starts from.
+//!
+//! ```sh
+//! cargo run --release --example universal_of
+//! ```
+
+use sl2::prelude::*;
+use sl2_spec::counters::{CounterOp, CounterSpec};
+use sl2_spec::fifo::{QueueOp, QueueResp, QueueSpec};
+
+fn main() {
+    println!("== obstruction-free universal construction from SW registers ==\n");
+
+    // 1. A queue, from registers, via consensus-per-log-slot.
+    let mut mem = SimMemory::new();
+    let alg = UniversalAlg::new(&mut mem, 2, QueueSpec);
+    for v in [10, 20, 30] {
+        let (r, steps) = sl2_exec::machine::run_solo(
+            &mut alg.machine(0, &QueueOp::Enq(v)),
+            &mut mem,
+        );
+        assert_eq!(r, QueueResp::Ok);
+        println!("enq({v}) solo: {steps} steps (scan decided log + one Paxos instance)");
+    }
+    let (r, _) = sl2_exec::machine::run_solo(&mut alg.machine(1, &QueueOp::Deq), &mut mem);
+    println!("deq() solo → {r:?} (FIFO preserved through the log)");
+    assert_eq!(r, QueueResp::Item(10));
+
+    // 2. Random schedules: always linearizable.
+    let mut base = SimMemory::new();
+    let alg = UniversalAlg::new(&mut base, 3, QueueSpec);
+    let scenario = Scenario::new(vec![
+        vec![QueueOp::Enq(1), QueueOp::Deq],
+        vec![QueueOp::Enq(2)],
+        vec![QueueOp::Deq],
+    ]);
+    let mut checked = 0;
+    for seed in 0..500 {
+        let exec = sl2_exec::sched::run(
+            &alg,
+            base.clone(),
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(3),
+        );
+        assert!(is_linearizable(&QueueSpec, &exec.history));
+        checked += 1;
+    }
+    println!("\n{checked} random schedules of enq/deq races: all linearizable");
+
+    // 3. The boundary: a strong (full-information) adversary starves
+    //    both proposers by preempting each right after its phase-1
+    //    write — the freshly raised ballot forces the other to restart
+    //    with an even higher one, forever.
+    let mut mem = SimMemory::new();
+    let alg = UniversalAlg::new(&mut mem, 2, CounterSpec);
+    let mut machines = [
+        alg.machine(0, &CounterOp::Inc),
+        alg.machine(1, &CounterOp::Inc),
+    ];
+    let mut steps = 0u64;
+    let mut cur = 0usize;
+    for _ in 0..40_000 {
+        let done = machines[cur].step(&mut mem).ready().is_some();
+        assert!(!done, "adversary failed to livelock");
+        steps += 1;
+        if machines[cur].race().just_wrote_phase1() {
+            cur = 1 - cur;
+        }
+    }
+    let mut m0 = machines.into_iter().next().expect("two machines");
+    println!(
+        "adversarial alternation: {steps} steps, zero completions — obstruction-free, \
+         not lock-free"
+    );
+
+    // 4. …and the moment the adversary relents, progress resumes.
+    let (r, solo_steps) = {
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if let Step::Ready(r) = m0.step(&mut mem) {
+                break (r, steps);
+            }
+        }
+    };
+    println!("p0 runs alone: completes in {solo_steps} steps → {r:?}");
+}

@@ -1,0 +1,119 @@
+//! # sl2 — Strong Linearizability from Consensus-Number-2 Primitives
+//!
+//! A reproduction, as a production-quality Rust workspace, of
+//! *Strong Linearizability using Primitives with Consensus Number 2*
+//! (Hagit Attiya, Armando Castañeda, Constantin Enea; PODC 2024,
+//! arXiv:2402.13618).
+//!
+//! Strongly-linearizable objects keep their linearization order fixed
+//! under every extension of an execution, which is what lets
+//! randomized and security-sensitive programs compose with them. The
+//! paper shows which objects admit such implementations from the
+//! *realistic* consensus-number-2 primitives (`test&set`,
+//! `fetch&add`, `swap`) — and which never will.
+//!
+//! ## Crates
+//!
+//! * [`sl2_bignum`] / [`sl2_primitives`] — the base objects:
+//!   arbitrary-width fetch&add, test&set, swap, CAS, registers,
+//!   infinite arrays; every object annotated with its consensus
+//!   number.
+//! * [`sl2_spec`] — sequential specifications (including the relaxed
+//!   queues/stacks of §5, as nondeterministic state machines).
+//! * [`sl2_exec`] — the interleaving substrate: simulated memory, step
+//!   machines, schedulers (round-robin / random / burst-adversary /
+//!   crash), a linearizability checker and a **strong-linearizability
+//!   checker** (prefix-closed linearization functions over bounded
+//!   execution trees).
+//! * [`sl2_core`] — every construction from the paper, in checkable
+//!   step-machine form *and* production real-atomics form, plus the
+//!   baselines (AGM stack, Afek et al. snapshot, Treiber stack, CAS
+//!   queue).
+//! * [`sl2_agreement`] — Section 5: k-ordering objects (Definition
+//!   11), Algorithm B (Lemma 12), test&set consensus; the executable
+//!   content of the impossibility theorems.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sl2::prelude::*;
+//!
+//! // A wait-free strongly-linearizable max register from fetch&add
+//! // (Theorem 1), shared by 4 threads.
+//! let max = SlMaxRegister::new(4);
+//! std::thread::scope(|s| {
+//!     for p in 0..4 {
+//!         let max = &max;
+//!         s.spawn(move || max.write_max(p, 10 * (p as u64 + 1)));
+//!     }
+//! });
+//! assert_eq!(max.read_max(), 40);
+//! ```
+//!
+//! ## Verifying strong linearizability yourself
+//!
+//! ```
+//! use sl2::prelude::*;
+//! use sl2_spec::max_register::MaxOp;
+//!
+//! let mut mem = SimMemory::new();
+//! let alg = MaxRegAlg::new(&mut mem, 2);
+//! let scenario = Scenario::new(vec![
+//!     vec![MaxOp::Write(3), MaxOp::Read],
+//!     vec![MaxOp::Write(5)],
+//! ]);
+//! let report = check_strong(&alg, mem, &scenario, 1_000_000);
+//! assert!(report.strongly_linearizable);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figure1;
+
+pub use sl2_agreement as agreement;
+pub use sl2_bignum as bignum;
+pub use sl2_core as core;
+pub use sl2_exec as exec;
+pub use sl2_primitives as primitives;
+pub use sl2_spec as spec;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sl2_agreement::{
+        run_agreement, AlgoB, AtomicOooQueueAlg, AtomicQueueAlg, KOrdering,
+        MultiplicityQueueOrdering, OutOfOrderQueueOrdering, QueueOrdering, StackOrdering,
+        TasConsensusShared,
+    };
+    pub use sl2_bignum::{BigNat, Layout, WideFaa};
+    pub use sl2_core::algos::fetch_inc::SlFetchInc;
+    pub use sl2_core::algos::max_register::SlMaxRegister;
+    pub use sl2_core::algos::mult_queue::MultQueue;
+    pub use sl2_core::algos::multishot_ts::SlMultiShotTas;
+    pub use sl2_core::algos::readable_ts::SlReadableTas;
+    pub use sl2_core::algos::rw_max_register::RwMaxRegister;
+    pub use sl2_core::algos::simple::{
+        SimpleObject, SlCounter, SlIntCounter, SlLogicalClock, SlUnionSet,
+    };
+    pub use sl2_core::algos::sl_set::SlSet;
+    pub use sl2_core::algos::snapshot::SlSnapshot;
+    pub use sl2_core::algos::{MaxRegister, Snapshot};
+    pub use sl2_core::baselines::multiplicity::{MultQueueAlg, MultStackAlg};
+    pub use sl2_core::machines::fetch_inc::FetchIncAlg;
+    pub use sl2_core::machines::fetch_inc_composed::FetchIncComposedAlg;
+    pub use sl2_core::machines::max_register::MaxRegAlg;
+    pub use sl2_core::machines::multishot_ts::MultiShotTasAlg;
+    pub use sl2_core::machines::readable_ts::ReadableTasAlg;
+    pub use sl2_core::machines::simple::SimpleAlg;
+    pub use sl2_core::machines::sl_set::SlSetAlg;
+    pub use sl2_core::machines::snapshot::SnapshotAlg;
+    pub use sl2_core::universal::{CodedOp, PaxosRace, UniversalAlg};
+    pub use sl2_exec::{
+        check_strong, check_strong_with, for_each_history, is_linearizable, linearize, Algorithm,
+        BurstSched, CrashPlan, OpMachine, RandomSched, RoundRobin, Scenario, SimMemory, Step,
+        StrongOptions,
+    };
+    pub use sl2_primitives::{
+        BaseObject, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Swap, TestAndSet,
+    };
+    pub use sl2_spec::Spec;
+}

@@ -1,0 +1,373 @@
+//! Property tests for the verification substrate itself: the
+//! linearizability and strong-linearizability checkers must be sound
+//! on randomly generated scenarios.
+
+use proptest::prelude::*;
+use sl2::prelude::*;
+use sl2_exec::history::{History, OpId};
+use sl2_exec::lin::validate_linearization;
+use sl2_exec::mem::Cell;
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
+
+/// Atomic max register machine: every operation is one step. Such an
+/// object is strongly linearizable on EVERY scenario — if the checker
+/// ever disagrees, the checker is broken.
+#[derive(Debug, Clone)]
+struct AtomicMax {
+    loc: sl2_exec::Loc,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum AtomicMaxMachine {
+    Write(sl2_exec::Loc, u64),
+    Read(sl2_exec::Loc),
+}
+
+impl sl2_exec::OpMachine for AtomicMaxMachine {
+    type Resp = MaxResp;
+    fn step(&mut self, mem: &mut SimMemory) -> Step<MaxResp> {
+        match *self {
+            AtomicMaxMachine::Write(loc, v) => {
+                mem.max_write(loc, v);
+                Step::Ready(MaxResp::Ok)
+            }
+            AtomicMaxMachine::Read(loc) => Step::Ready(MaxResp::Value(mem.max_read(loc))),
+        }
+    }
+}
+
+impl Algorithm for AtomicMax {
+    type Spec = MaxRegisterSpec;
+    type Machine = AtomicMaxMachine;
+    fn spec(&self) -> MaxRegisterSpec {
+        MaxRegisterSpec
+    }
+    fn machine(&self, _p: usize, op: &MaxOp) -> AtomicMaxMachine {
+        match op {
+            MaxOp::Write(v) => AtomicMaxMachine::Write(self.loc, *v),
+            MaxOp::Read => AtomicMaxMachine::Read(self.loc),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = MaxOp> {
+    prop_oneof![
+        (1u64..5).prop_map(MaxOp::Write),
+        Just(MaxOp::Read),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Vec<Vec<MaxOp>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 0..3), 2..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Soundness: atomic objects are strongly linearizable on every
+    /// scenario.
+    #[test]
+    fn atomic_objects_always_pass_strong_check(ops in scenario_strategy()) {
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax { loc: mem.alloc(Cell::AMaxReg(0)) };
+        let scenario = Scenario::new(ops);
+        let report = check_strong(&alg, mem, &scenario, 8_000_000);
+        prop_assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    /// Soundness: every history the Theorem 1 machine produces under a
+    /// random schedule is linearizable, and the linearization the
+    /// checker returns validates.
+    #[test]
+    fn theorem1_histories_linearize_and_validate(
+        ops in scenario_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut mem = SimMemory::new();
+        let alg = MaxRegAlg::new(&mut mem, 3);
+        let scenario = Scenario::new({
+            let mut v = ops;
+            v.resize(3, Vec::new());
+            v.truncate(3);
+            v
+        });
+        let exec = sl2_exec::sched::run(
+            &alg,
+            mem,
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(3),
+        );
+        let lin = linearize(&MaxRegisterSpec, &exec.history);
+        prop_assert!(lin.is_some(), "history: {:?}", exec.history);
+        validate_linearization(&MaxRegisterSpec, &exec.history, &lin.expect("checked"))
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// Completeness-ish: corrupting a completed response in a real
+    /// history makes it non-linearizable whenever the corruption
+    /// contradicts the running maximum.
+    #[test]
+    fn corrupted_histories_are_rejected(seed in 0u64..500) {
+        let mut mem = SimMemory::new();
+        let alg = MaxRegAlg::new(&mut mem, 2);
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(3), MaxOp::Read],
+            vec![MaxOp::Write(1)],
+        ]);
+        let exec = sl2_exec::sched::run(
+            &alg,
+            mem,
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(2),
+        );
+        // Rebuild the history with the Read's response inflated beyond
+        // any written value: never linearizable.
+        let mut h: History<MaxRegisterSpec> = History::new();
+        for ev in exec.history.events() {
+            match ev {
+                sl2_exec::history::Event::Invoke { id, process, op } => {
+                    h.invoke(*id, *process, *op)
+                }
+                sl2_exec::history::Event::Return { id, resp } => {
+                    let resp = match resp {
+                        MaxResp::Value(_) => MaxResp::Value(99),
+                        other => *other,
+                    };
+                    h.ret(*id, resp);
+                }
+            }
+        }
+        prop_assert!(!is_linearizable(&MaxRegisterSpec, &h));
+    }
+
+    /// The execution-tree explorer and the scheduler runner agree:
+    /// every history produced by a random schedule also appears in the
+    /// exhaustive enumeration.
+    #[test]
+    fn random_schedules_are_a_subset_of_the_tree(seed in 0u64..200) {
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(2)],
+            vec![MaxOp::Read],
+        ]);
+        let mut mem = SimMemory::new();
+        let alg = MaxRegAlg::new(&mut mem, 2);
+        let exec = sl2_exec::sched::run(
+            &alg,
+            mem.clone(),
+            &scenario,
+            &mut RandomSched::seeded(seed),
+            &CrashPlan::none(2),
+        );
+        // Histories in the tree use canonical (process-derived) op
+        // ids; compare on the event *shapes* instead.
+        let shape = |h: &History<MaxRegisterSpec>| -> Vec<String> {
+            h.events()
+                .iter()
+                .map(|e| match e {
+                    sl2_exec::history::Event::Invoke { process, op, .. } => {
+                        format!("I{process}{op:?}")
+                    }
+                    sl2_exec::history::Event::Return { resp, .. } => format!("R{resp:?}"),
+                })
+                .collect()
+        };
+        let target = shape(&exec.history);
+        let mut found = false;
+        for_each_history(&alg, mem, &scenario, 1_000_000, &mut |h| {
+            if shape(h) == target {
+                found = true;
+            }
+        });
+        prop_assert!(found, "missing history shape {target:?}");
+    }
+}
+
+#[test]
+fn checker_witness_replays_to_a_real_execution() {
+    // The strong-checker witness for the AGM stack describes a genuine
+    // schedule prefix: its length is meaningful and mentions only real
+    // processes.
+    use sl2_core::baselines::agm_stack::AgmStackAlg;
+    use sl2_spec::fifo::StackOp;
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let scenario = Scenario::new(vec![
+        vec![StackOp::Push(1)],
+        vec![StackOp::Push(2)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ]);
+    let report = check_strong(&alg, mem, &scenario, 16_000_000);
+    let witness = report.witness.expect("AGM refuted");
+    for event in &witness.path {
+        assert!(
+            event.starts_with("p0") || event.starts_with("p1") || event.starts_with("p2"),
+            "unexpected event: {event}"
+        );
+    }
+}
+
+#[test]
+fn op_ids_in_enumerated_histories_are_canonical() {
+    let scenario: Scenario<MaxRegisterSpec> =
+        Scenario::new(vec![vec![MaxOp::Write(1)], vec![MaxOp::Read]]);
+    let mut mem = SimMemory::new();
+    let alg = MaxRegAlg::new(&mut mem, 2);
+    for_each_history(&alg, mem, &scenario, 100_000, &mut |h| {
+        let ids: Vec<OpId> = h.ops().iter().map(|r| r.id).collect();
+        for id in ids {
+            assert!(id.0 == 0 || id.0 == 1024, "canonical ids: {id:?}");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Nondeterministic-spec positive controls: deterministic single-step
+// machines checked against the *relaxed* multiplicity queue spec. Both
+// resolution policies (exact dequeue; greedy duplication) must pass —
+// if the checker mishandles multi-outcome specs, these fail.
+// ---------------------------------------------------------------------
+
+mod relaxed_controls {
+    use sl2::prelude::*;
+    use sl2_exec::mem::Cell;
+    use sl2_spec::fifo::{QueueOp, QueueResp};
+    use sl2_spec::relaxed::MultiplicityQueueSpec;
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone)]
+    struct AtomicRelaxedQueue {
+        loc: sl2_exec::Loc,
+        duplicate: bool,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum QMachine {
+        Enq(sl2_exec::Loc, u64),
+        Deq(sl2_exec::Loc, bool),
+    }
+
+    impl OpMachine for QMachine {
+        type Resp = QueueResp;
+        fn step(&mut self, mem: &mut SimMemory) -> Step<QueueResp> {
+            match *self {
+                QMachine::Enq(loc, v) => {
+                    mem.queue_enq(loc, v);
+                    Step::Ready(QueueResp::Ok)
+                }
+                QMachine::Deq(loc, dup) => {
+                    let got = if dup {
+                        mem.queue_deq_dup(loc)
+                    } else {
+                        mem.queue_deq(loc)
+                    };
+                    Step::Ready(match got {
+                        Some(v) => QueueResp::Item(v),
+                        None => QueueResp::Empty,
+                    })
+                }
+            }
+        }
+    }
+
+    impl Algorithm for AtomicRelaxedQueue {
+        type Spec = MultiplicityQueueSpec;
+        type Machine = QMachine;
+        fn spec(&self) -> MultiplicityQueueSpec {
+            MultiplicityQueueSpec
+        }
+        fn machine(&self, _p: usize, op: &QueueOp) -> QMachine {
+            match op {
+                QueueOp::Enq(v) => QMachine::Enq(self.loc, *v),
+                QueueOp::Deq => QMachine::Deq(self.loc, self.duplicate),
+            }
+        }
+    }
+
+    fn fresh(duplicate: bool) -> (SimMemory, AtomicRelaxedQueue) {
+        let mut mem = SimMemory::new();
+        let loc = mem.alloc(Cell::AQueue {
+            items: VecDeque::new(),
+            last: None,
+        });
+        (mem, AtomicRelaxedQueue { loc, duplicate })
+    }
+
+    fn scenarios() -> Vec<Scenario<MultiplicityQueueSpec>> {
+        vec![
+            Scenario::new(vec![
+                vec![QueueOp::Enq(1)],
+                vec![QueueOp::Enq(2)],
+                vec![QueueOp::Deq, QueueOp::Deq],
+            ]),
+            Scenario::new(vec![
+                vec![QueueOp::Enq(1), QueueOp::Deq],
+                vec![QueueOp::Deq],
+                vec![QueueOp::Deq],
+            ]),
+            Scenario::new(vec![
+                vec![QueueOp::Enq(1), QueueOp::Enq(2)],
+                vec![QueueOp::Deq, QueueOp::Deq, QueueOp::Deq],
+            ]),
+        ]
+    }
+
+    #[test]
+    fn exact_atomic_queue_is_sl_wrt_multiplicity_spec() {
+        for scenario in scenarios() {
+            let (mem, alg) = fresh(false);
+            let report = check_strong(&alg, mem, &scenario, 4_000_000);
+            assert!(
+                report.strongly_linearizable,
+                "{scenario:?}: {:?}",
+                report.witness
+            );
+        }
+    }
+
+    #[test]
+    fn greedily_duplicating_atomic_queue_is_sl_wrt_multiplicity_spec() {
+        for scenario in scenarios() {
+            let (mem, alg) = fresh(true);
+            let report = check_strong(&alg, mem, &scenario, 4_000_000);
+            assert!(
+                report.strongly_linearizable,
+                "{scenario:?}: {:?}",
+                report.witness
+            );
+        }
+    }
+
+    #[test]
+    fn exact_atomic_queue_is_not_sl_wrt_exact_spec_control() {
+        // Control of the control: the duplicating machine checked
+        // against the EXACT queue spec must fail (its duplicate
+        // responses are simply wrong there).
+        use sl2_spec::fifo::QueueSpec;
+
+        #[derive(Debug, Clone)]
+        struct DupVsExact(AtomicRelaxedQueue);
+        impl Algorithm for DupVsExact {
+            type Spec = QueueSpec;
+            type Machine = QMachine;
+            fn spec(&self) -> QueueSpec {
+                QueueSpec
+            }
+            fn machine(&self, p: usize, op: &QueueOp) -> QMachine {
+                self.0.machine(p, op)
+            }
+        }
+
+        let (mem, alg) = fresh(true);
+        let scenario = Scenario::new(vec![
+            vec![QueueOp::Enq(1), QueueOp::Enq(2)],
+            vec![QueueOp::Deq, QueueOp::Deq],
+        ]);
+        let report = check_strong(&DupVsExact(alg), mem, &scenario, 4_000_000);
+        assert!(
+            !report.strongly_linearizable,
+            "duplicates must violate the exact queue spec"
+        );
+    }
+}

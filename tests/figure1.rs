@@ -1,0 +1,58 @@
+//! Integration test for experiment E1: the regenerated Figure 1 must
+//! agree with the paper on every edge.
+
+use sl2::figure1::{evaluate, render, Verdict};
+
+#[test]
+fn figure1_agrees_with_the_paper() {
+    let rows = evaluate(true);
+    assert_eq!(rows.len(), 13, "all edges evaluated");
+    for row in &rows {
+        assert!(
+            row.matches_paper(),
+            "edge '{}' ({} → {}) disagrees with the paper:\n{}",
+            row.claim,
+            row.from,
+            row.to,
+            render(&rows)
+        );
+    }
+}
+
+#[test]
+fn figure1_negative_edge_carries_a_witness() {
+    let rows = evaluate(true);
+    let agm = rows
+        .iter()
+        .find(|r| r.claim.contains("Thm 17"))
+        .expect("Theorem 17 row present");
+    match &agm.verdict {
+        Verdict::RefutedSl { witness } => {
+            assert!(
+                witness.contains("step"),
+                "witness describes a schedule: {witness}"
+            );
+        }
+        other => panic!("AGM stack must be refuted, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure1_wait_free_edges_have_constant_bounds() {
+    use sl2::figure1::Progress;
+    let rows = evaluate(true);
+    for row in rows.iter().filter(|r| {
+        r.positive && r.progress == Progress::WaitFree && !r.claim.contains("contrast")
+    }) {
+        match &row.verdict {
+            Verdict::VerifiedSl { max_op_steps, .. } => {
+                assert!(
+                    *max_op_steps <= 3,
+                    "edge '{}' exceeded the paper's constant step bound: {max_op_steps}",
+                    row.claim
+                );
+            }
+            other => panic!("positive edge '{}' not verified: {other:?}", row.claim),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Experiment E11: the linearizable-but-NOT-strongly-linearizable
+//! witnesses, machine-checked.
+//!
+//! The paper's related work asserts (and \[9\] proves by example) that
+//! the AGM wait-free stack \[2\] is linearizable but not strongly
+//! linearizable. The checker reproduces that counterexample — and, on
+//! the very same scenario, certifies the compare&swap implementations,
+//! exhibiting the consensus-number boundary of Theorem 17.
+
+use sl2::prelude::*;
+use sl2_core::baselines::agm_stack::AgmStackAlg;
+use sl2_core::baselines::cas_queue::CasQueueAlg;
+use sl2_core::baselines::treiber_stack::TreiberStackAlg;
+use sl2_spec::fifo::{QueueOp, StackOp, StackSpec};
+
+fn witness_scenario() -> Scenario<StackSpec> {
+    Scenario::new(vec![
+        vec![StackOp::Push(1)],
+        vec![StackOp::Push(2)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ])
+}
+
+#[test]
+fn agm_stack_every_history_linearizable_but_not_strongly() {
+    // Linearizable on every interleaving of the witness scenario...
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let mut histories = 0usize;
+    for_each_history(&alg, mem.clone(), &witness_scenario(), 4_000_000, &mut |h| {
+        histories += 1;
+        assert!(is_linearizable(&StackSpec, h), "history: {h:?}");
+    });
+    assert!(histories > 100, "the scenario has real interleaving depth");
+
+    // ...yet no prefix-closed linearization function exists.
+    let report = check_strong(&alg, mem, &witness_scenario(), 16_000_000);
+    assert!(!report.strongly_linearizable);
+    let witness = report.witness.expect("refutation carries a witness");
+    // The witness pins the failure to the push/push/pop race.
+    assert!(
+        witness.path.iter().any(|e| e.contains("Push")),
+        "witness path: {:?}",
+        witness.path
+    );
+}
+
+#[test]
+fn treiber_stack_passes_the_same_scenario() {
+    let mut mem = SimMemory::new();
+    let alg = TreiberStackAlg::new(&mut mem);
+    let report = check_strong(&alg, mem, &witness_scenario(), 32_000_000);
+    assert!(
+        report.strongly_linearizable,
+        "Treiber (CAS) must pass: {:?}",
+        report.witness
+    );
+}
+
+#[test]
+fn cas_queue_passes_the_queue_shaped_scenario() {
+    let mut mem = SimMemory::new();
+    let alg = CasQueueAlg::new(&mut mem);
+    let scenario = Scenario::new(vec![
+        vec![QueueOp::Enq(1)],
+        vec![QueueOp::Enq(2)],
+        vec![QueueOp::Deq, QueueOp::Deq],
+    ]);
+    let report = check_strong(&alg, mem, &scenario, 16_000_000);
+    assert!(
+        report.strongly_linearizable,
+        "CAS queue must pass: {:?}",
+        report.witness
+    );
+}
+
+#[test]
+fn agm_witness_is_robust_to_scenario_variations() {
+    // The refutation is not an artifact of one magic scenario: a
+    // variant with an extra pop also fails.
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let scenario = Scenario::new(vec![
+        vec![StackOp::Push(1), StackOp::Pop],
+        vec![StackOp::Push(2)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ]);
+    let report = check_strong(&alg, mem, &scenario, 32_000_000);
+    assert!(!report.strongly_linearizable);
+}
+
+#[test]
+fn agm_stack_smallest_scenarios_are_fine() {
+    // Strong linearizability only breaks once the future can
+    // distinguish linearization orders: single-pusher scenarios pass.
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let scenario = Scenario::new(vec![
+        vec![StackOp::Push(1)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ]);
+    let report = check_strong(&alg, mem, &scenario, 8_000_000);
+    assert!(
+        report.strongly_linearizable,
+        "one pusher cannot create the ambiguity: {:?}",
+        report.witness
+    );
+}

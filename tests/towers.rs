@@ -1,0 +1,197 @@
+//! Cross-crate composition towers: the paper's corollaries built
+//! end-to-end from real primitives and exercised from real threads.
+//!
+//! * Corollary 7: multi-shot TS ← readable TS (Thm 5) + F&A max
+//!   register (Thm 1).
+//! * Corollary 8: multi-shot TS ← readable TS + read/write max
+//!   register (\[18, 27\]).
+//! * Theorem 10: set ← fetch&inc (Thm 9) ← readable TS (Thm 5) ←
+//!   test&set.
+//! * Theorem 4: simple types ← Algorithm 1 ← F&A snapshot (Thm 2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sl2::prelude::*;
+use sl2_spec::counters::{CounterOp, CounterResp};
+use sl2_spec::max_register::{MaxOp, MaxResp};
+
+#[test]
+fn corollary7_tower_under_contention() {
+    let n = 8;
+    let ts = Arc::new(SlMultiShotTas::new_wait_free(n));
+    for round in 0..30 {
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    if ts.test_and_set() == 0 {
+                        winners.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "round {round}");
+        assert_eq!(ts.read(), 1);
+        ts.reset_as(round % n);
+        assert_eq!(ts.read(), 0);
+    }
+}
+
+#[test]
+fn corollary8_tower_under_contention() {
+    let n = 6;
+    let ts = Arc::new(SlMultiShotTas::new_lock_free(n));
+    for round in 0..20 {
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    if ts.test_and_set() == 0 {
+                        winners.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "round {round}");
+        ts.reset_as(0);
+    }
+}
+
+#[test]
+fn theorem10_tower_conserves_items_under_churn() {
+    let set = Arc::new(SlSet::new());
+    let produced: u64 = 4 * 150;
+    let taken = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
+    std::thread::scope(|s| {
+        for p in 0..4u64 {
+            let set = Arc::clone(&set);
+            s.spawn(move || {
+                for k in 0..150 {
+                    set.put(p * 150 + k);
+                }
+            });
+        }
+        for _ in 0..3 {
+            let set = Arc::clone(&set);
+            let taken = Arc::clone(&taken);
+            s.spawn(move || {
+                let mut dry = 0;
+                while dry < 5 {
+                    match set.take() {
+                        Some(x) => {
+                            taken.lock().expect("no poison").push(x);
+                            dry = 0;
+                        }
+                        None => dry += 1,
+                    }
+                }
+            });
+        }
+    });
+    let mut got = taken.lock().expect("no poison").clone();
+    while let Some(x) = set.take() {
+        got.push(x);
+    }
+    got.sort_unstable();
+    let expect: Vec<u64> = (0..produced).collect();
+    assert_eq!(got, expect, "every item taken exactly once");
+}
+
+#[test]
+fn theorem4_counter_tower_exact_under_contention() {
+    let n = 6;
+    let counter = Arc::new(SlCounter::new_from_faa(n));
+    let per = 40u64;
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for _ in 0..per {
+                    counter.invoke(p, &CounterOp::Inc);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        counter.invoke(0, &CounterOp::Read),
+        CounterResp::Value(per * n as u64)
+    );
+}
+
+#[test]
+fn max_register_implementations_agree() {
+    // Three routes to a max register — Theorem 1 (F&A unary),
+    // [18,27] (read/write double-collect), CAS — give identical
+    // sequential semantics.
+    let n = 3;
+    let faa = SlMaxRegister::new(n);
+    let rw = RwMaxRegister::new(n);
+    let cas = sl2_core::algos::max_register::CasMaxRegister::new();
+    let script: [(usize, u64); 7] = [
+        (0, 5),
+        (1, 3),
+        (2, 9),
+        (0, 9),
+        (1, 12),
+        (2, 1),
+        (0, 7),
+    ];
+    for (p, v) in script {
+        faa.write_max(p, v);
+        rw.write_max(p, v);
+        cas.write_max(p, v);
+        assert_eq!(faa.read_max(), rw.read_max());
+        assert_eq!(rw.read_max(), cas.read_max());
+    }
+    assert_eq!(faa.read_max(), 12);
+}
+
+#[test]
+fn production_and_machine_forms_agree_sequentially() {
+    // Drive the machine form and the production form through the same
+    // operation script; responses must match exactly.
+    let script = [
+        MaxOp::Read,
+        MaxOp::Write(4),
+        MaxOp::Read,
+        MaxOp::Write(2),
+        MaxOp::Read,
+        MaxOp::Write(9),
+        MaxOp::Read,
+    ];
+    let mut mem = SimMemory::new();
+    let machine_form = MaxRegAlg::new(&mut mem, 2);
+    let production = SlMaxRegister::new(2);
+    for op in &script {
+        let (machine_resp, _) =
+            sl2_exec::machine::run_solo(&mut machine_form.machine(0, op), &mut mem);
+        let production_resp = match op {
+            MaxOp::Write(v) => {
+                production.write_max(0, *v);
+                MaxResp::Ok
+            }
+            MaxOp::Read => MaxResp::Value(production.read_max()),
+        };
+        assert_eq!(machine_resp, production_resp, "op {op:?}");
+    }
+}
+
+#[test]
+fn consensus_number_annotations_are_consistent() {
+    use sl2_primitives::{
+        BaseObject, CompareAndSwap, ConsensusNumber, FetchAdd, Register, Swap, TestAndSet,
+    };
+    assert_eq!(Register::new(0).consensus_number(), ConsensusNumber::One);
+    for cn in [
+        TestAndSet::new().consensus_number(),
+        FetchAdd::new(0).consensus_number(),
+        Swap::new(0).consensus_number(),
+    ] {
+        assert_eq!(cn, ConsensusNumber::Two);
+    }
+    assert_eq!(
+        CompareAndSwap::new(0).consensus_number(),
+        ConsensusNumber::Infinite
+    );
+}
