@@ -166,13 +166,14 @@ where
                 // T[i].write(t + 1) — announced before every A step.
                 self.t_counter += 1;
                 mem.write(self.b.t[self.i], self.t_counter);
-                let machine = machine.unwrap_or_else(|| {
-                    self.b.alg.machine(self.i, &prop[op_idx])
-                });
+                let machine = machine.unwrap_or_else(|| self.b.alg.machine(self.i, &prop[op_idx]));
                 self.phase = BPhase::PropStep { op_idx, machine };
                 Step::Pending
             }
-            BPhase::PropStep { op_idx, mut machine } => {
+            BPhase::PropStep {
+                op_idx,
+                mut machine,
+            } => {
                 match machine.step(mem) {
                     Step::Pending => {
                         self.phase = BPhase::PropTick {
@@ -351,8 +352,7 @@ where
     loop {
         let enabled: Vec<usize> = (0..n)
             .filter(|&p| {
-                procs[p].is_some()
-                    && crash_after[p].is_none_or(|limit| steps_taken[p] < limit)
+                procs[p].is_some() && crash_after[p].is_none_or(|limit| steps_taken[p] < limit)
             })
             .collect();
         if enabled.is_empty() {
@@ -523,10 +523,7 @@ mod tests {
                 400_000,
             );
             assert!(run.is_valid());
-            assert!(
-                run.distinct_decisions().len() <= 1,
-                "seed {seed}: {run:?}"
-            );
+            assert!(run.distinct_decisions().len() <= 1, "seed {seed}: {run:?}");
         }
     }
 

@@ -165,11 +165,11 @@ impl OpMachine for AtomicOooQueueMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sl2_exec::is_linearizable;
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::Scenario;
-    use sl2_exec::strong::check_strong;
-    use sl2_exec::is_linearizable;
     use sl2_exec::sched::{run, CrashPlan, RandomSched};
+    use sl2_exec::strong::check_strong;
 
     #[test]
     fn atomic_queue_is_exact_fifo() {

@@ -31,7 +31,10 @@ impl TasConsensus {
     /// Allocates the shared objects.
     pub fn new(mem: &mut SimMemory) -> Self {
         TasConsensus {
-            announce: [mem.alloc(Cell::Reg(NO_VALUE)), mem.alloc(Cell::Reg(NO_VALUE))],
+            announce: [
+                mem.alloc(Cell::Reg(NO_VALUE)),
+                mem.alloc(Cell::Reg(NO_VALUE)),
+            ],
             ts: mem.alloc(Cell::Tas(false)),
         }
     }

@@ -29,7 +29,7 @@ pub use algo_b::{run_agreement, AgreementRun, AlgoB, BProcess};
 pub use atomic::{AtomicOooQueueAlg, AtomicQueueAlg};
 pub use consensus::{verify_tas_consensus_exhaustively, TasConsensus, TasConsensusShared};
 pub use ordering::{
-    KOrdering, MultiplicityQueueOrdering, MultiplicityStackOrdering, OutOfOrderQueueOrdering,
-    QueueOrdering, StackOrdering, StutteringQueueOrdering, StutteringStackOrdering,
-    validate_k_ordering,
+    validate_k_ordering, KOrdering, MultiplicityQueueOrdering, MultiplicityStackOrdering,
+    OutOfOrderQueueOrdering, QueueOrdering, StackOrdering, StutteringQueueOrdering,
+    StutteringStackOrdering,
 };

@@ -368,8 +368,7 @@ pub fn validate_k_ordering<O: KOrdering>(
             Vec<Vec<<<O as KOrdering>::Spec as Spec>::Resp>>,
             Vec<usize>,
         );
-        let mut timeline: Vec<Snapshot<O>> =
-            vec![(state.clone(), resps.clone(), progress.clone())];
+        let mut timeline: Vec<Snapshot<O>> = vec![(state.clone(), resps.clone(), progress.clone())];
         while !pending.is_empty() {
             let pick = rng.gen_range(0..pending.len());
             let (i, _) = pending[pick];

@@ -90,5 +90,10 @@ fn bench_tas_consensus(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algo_b, bench_k_set_agreement, bench_tas_consensus);
+criterion_group!(
+    benches,
+    bench_algo_b,
+    bench_k_set_agreement,
+    bench_tas_consensus
+);
 criterion_main!(benches);

@@ -43,9 +43,7 @@ pub struct ValueStream {
 impl ValueStream {
     /// Creates a stream from a non-zero seed.
     pub fn new(seed: u64) -> Self {
-        ValueStream {
-            state: seed.max(1),
-        }
+        ValueStream { state: seed.max(1) }
     }
 
     /// Next pseudo-random value.

@@ -300,8 +300,7 @@ impl Sub<&BigNat> for &BigNat {
     /// Panics if `rhs > self`; use [`BigNat::checked_sub`] to handle that
     /// case.
     fn sub(self, rhs: &BigNat) -> BigNat {
-        self.checked_sub(rhs)
-            .expect("BigNat subtraction underflow")
+        self.checked_sub(rhs).expect("BigNat subtraction underflow")
     }
 }
 
@@ -464,10 +463,7 @@ mod tests {
         let base = BigNat::from(0b1100u64);
         let pos = BigNat::from(0b0010u64);
         let neg = BigNat::from(0b1000u64);
-        assert_eq!(
-            base.apply_adjustment(&pos, &neg),
-            BigNat::from(0b0110u64)
-        );
+        assert_eq!(base.apply_adjustment(&pos, &neg), BigNat::from(0b0110u64));
     }
 
     #[test]

@@ -83,9 +83,7 @@ mod tests {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let c = Arc::clone(&c);
-                    s.spawn(move || {
-                        (0..per_thread).map(|_| c.fetch_inc()).collect::<Vec<u64>>()
-                    })
+                    s.spawn(move || (0..per_thread).map(|_| c.fetch_inc()).collect::<Vec<u64>>())
                 })
                 .collect();
             for h in handles {

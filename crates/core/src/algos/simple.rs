@@ -153,10 +153,7 @@ mod tests {
             }
         });
         // 50 increments and 50 decrements cancel exactly.
-        assert_eq!(
-            c.invoke(0, &IntCounterOp::Read),
-            IntCounterResp::Value(0)
-        );
+        assert_eq!(c.invoke(0, &IntCounterOp::Read), IntCounterResp::Value(0));
     }
 
     #[test]

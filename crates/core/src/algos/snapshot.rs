@@ -89,7 +89,9 @@ impl DoubleCollectSnapshot {
     /// Creates an `n`-component snapshot.
     pub fn new(n: usize) -> Self {
         DoubleCollectSnapshot {
-            cells: (0..n).map(|_| (Register::new(0), Register::new(0))).collect(),
+            cells: (0..n)
+                .map(|_| (Register::new(0), Register::new(0)))
+                .collect(),
             write_guards: (0..n).map(|_| Mutex::new(())).collect(),
         }
     }

@@ -252,10 +252,10 @@ impl OpMachine for AacMaxMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sl2_exec::is_linearizable;
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
     use sl2_exec::strong::check_strong;
-    use sl2_exec::is_linearizable;
 
     #[test]
     fn solo_semantics_across_the_domain() {
@@ -364,7 +364,12 @@ mod tests {
 
     #[test]
     fn sweep_small_scenarios() {
-        let alphabet = [MaxOp::Write(1), MaxOp::Write(2), MaxOp::Write(3), MaxOp::Read];
+        let alphabet = [
+            MaxOp::Write(1),
+            MaxOp::Write(2),
+            MaxOp::Write(3),
+            MaxOp::Read,
+        ];
         for a in &alphabet {
             for b in &alphabet {
                 for c in &alphabet {

@@ -221,8 +221,7 @@ impl OpMachine for AfekMachine {
                             if prev[j] != done[j] {
                                 move_counts[j] += 1;
                                 if move_counts[j] >= 2 {
-                                    borrowed =
-                                        Some(self.alg.record(done[j], n).view.clone());
+                                    borrowed = Some(self.alg.record(done[j], n).view.clone());
                                 }
                             }
                         }
@@ -231,10 +230,7 @@ impl OpMachine for AfekMachine {
                     None => None,
                 };
                 match result {
-                    Some(view) => {
-                        
-                        self.finish_scan(view)
-                    }
+                    Some(view) => self.finish_scan(view),
                     None => {
                         *previous = Some(done);
                         Step::Pending
@@ -280,8 +276,14 @@ mod tests {
     fn solo_update_scan() {
         let mut mem = SimMemory::new();
         let alg = AfekSnapshotAlg::new(&mut mem, 3);
-        run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }), &mut mem);
-        run_solo(&mut alg.machine(2, &SnapOp::Update { i: 2, v: 9 }), &mut mem);
+        run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }),
+            &mut mem,
+        );
+        run_solo(
+            &mut alg.machine(2, &SnapOp::Update { i: 2, v: 9 }),
+            &mut mem,
+        );
         let (r, _) = run_solo(&mut alg.machine(1, &SnapOp::Scan), &mut mem);
         assert_eq!(r, SnapResp::View(vec![4, 0, 9]));
     }
@@ -343,12 +345,18 @@ mod tests {
         assert!(matches!(scanner.step(&mut mem), Step::Pending));
         assert!(matches!(scanner.step(&mut mem), Step::Pending));
         // p0 completes an update (move 1).
-        run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 5 }), &mut mem);
+        run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 5 }),
+            &mut mem,
+        );
         // Collect 2 (2 steps) — sees the move.
         assert!(matches!(scanner.step(&mut mem), Step::Pending));
         assert!(matches!(scanner.step(&mut mem), Step::Pending));
         // p0 moves again.
-        run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 7 }), &mut mem);
+        run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 7 }),
+            &mut mem,
+        );
         // Collect 3 — double mover detected, view borrowed.
         assert!(matches!(scanner.step(&mut mem), Step::Pending));
         let out = scanner.step(&mut mem);

@@ -100,11 +100,7 @@ impl OpMachine for CasQueueMachine {
                 if obs == EMPTY {
                     Step::Ready(QueueResp::Ok)
                 } else {
-                    *self = CasQueueMachine::Enq {
-                        items,
-                        c: c + 1,
-                        v,
-                    };
+                    *self = CasQueueMachine::Enq { items, c: c + 1, v };
                     Step::Pending
                 }
             }

@@ -60,7 +60,10 @@ const VAL_BITS: u32 = 20;
 const MAX_VALUE: u64 = (1 << VAL_BITS) - 2;
 
 fn pack_item(ts: u64, v: u64) -> u64 {
-    assert!(v <= MAX_VALUE, "multiplicity baseline supports values ≤ {MAX_VALUE}");
+    assert!(
+        v <= MAX_VALUE,
+        "multiplicity baseline supports values ≤ {MAX_VALUE}"
+    );
     (ts << VAL_BITS) | (v + 1)
 }
 
@@ -155,7 +158,11 @@ impl InsertMachine {
                 if j + 1 == self.layout.n {
                     self.phase = InsertPhase::WriteToken { slot, ts: max + 1 };
                 } else {
-                    self.phase = InsertPhase::Collect { slot, j: j + 1, max };
+                    self.phase = InsertPhase::Collect {
+                        slot,
+                        j: j + 1,
+                        max,
+                    };
                 }
                 None
             }
@@ -296,14 +303,18 @@ impl RemoveMachine {
                 } else {
                     let (ts, v) = unpack_item(raw);
                     let cand = (ts, j as u64, k, v);
-                    let eligible = ts <= bound
-                        && !self.taken_ids.contains(&item_id(j as u64, k));
+                    let eligible = ts <= bound && !self.taken_ids.contains(&item_id(j as u64, k));
                     let best = if eligible && self.better(cand, best) {
                         Some(cand)
                     } else {
                         best
                     };
-                    self.phase = RemovePhase::ScanItems { j, k: k + 1, bound, best };
+                    self.phase = RemovePhase::ScanItems {
+                        j,
+                        k: k + 1,
+                        bound,
+                        best,
+                    };
                 }
                 None
             }

@@ -122,10 +122,7 @@ impl OpMachine for MultiwordFaaMachine {
                 // (already suspect, but the linearizability failure the
                 // tests pin down is about *other* operations' reads).
                 if old_lo + k >= BASE {
-                    *self = MultiwordFaaMachine::Borrow {
-                        alg,
-                        prev: old_lo,
-                    };
+                    *self = MultiwordFaaMachine::Borrow { alg, prev: old_lo };
                 } else {
                     *self = MultiwordFaaMachine::AddReadHi {
                         alg,
@@ -195,10 +192,7 @@ mod tests {
         let mut mem = SimMemory::new();
         let alg = MultiwordFaaAlg::new(&mut mem);
         run_solo(&mut alg.machine(0, &FaaOp::Add(3)), &mut mem);
-        let scenario = Scenario::new(vec![
-            vec![FaaOp::Add(2)],
-            vec![FaaOp::Read, FaaOp::Read],
-        ]);
+        let scenario = Scenario::new(vec![vec![FaaOp::Add(2)], vec![FaaOp::Read, FaaOp::Read]]);
         // p0: lo-add; p1: full read (sees 5); p0: borrow; p1: full
         // read (sees 1); p0: carry.
         let script = vec![0, 1, 1, 0, 1, 1, 0];
@@ -233,10 +227,7 @@ mod tests {
         let mut mem = SimMemory::new();
         let alg = MultiwordFaaAlg::new(&mut mem);
         run_solo(&mut alg.machine(0, &FaaOp::Add(3)), &mut mem);
-        let scenario = Scenario::new(vec![
-            vec![FaaOp::Add(2)],
-            vec![FaaOp::Read, FaaOp::Read],
-        ]);
+        let scenario = Scenario::new(vec![vec![FaaOp::Add(2)], vec![FaaOp::Read, FaaOp::Read]]);
         let mut bad = 0usize;
         for_each_history(&alg, mem.clone(), &scenario, 1_000_000, &mut |h| {
             if !is_linearizable(&FaaSpec, h) {

@@ -201,10 +201,10 @@ impl OpMachine for TreiberMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sl2_exec::is_linearizable;
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
     use sl2_exec::strong::check_strong;
-    use sl2_exec::is_linearizable;
 
     #[test]
     fn solo_lifo_order() {

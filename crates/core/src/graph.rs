@@ -271,8 +271,7 @@ fn topo_sort_indexed<S: Spec>(
 
 /// Builds the real-time edge space (`preceding → node`).
 fn real_time_space<S: Spec>(arena: &Arena<S>, nodes: &[NodeId]) -> EdgeSpace {
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut space = EdgeSpace::new(nodes.len());
     for (vi, &n) in nodes.iter().enumerate() {
         for &p in &arena.get(n).preceding {
@@ -293,8 +292,7 @@ fn real_time_space<S: Spec>(arena: &Arena<S>, nodes: &[NodeId]) -> EdgeSpace {
 pub fn lingraph<S: SimpleTypeSpec>(spec: &S, arena: &Arena<S>, nodes: &[NodeId]) -> Vec<NodeId> {
     let mut space = real_time_space(arena, nodes);
     let order = topo_sort_indexed(arena, nodes, &space);
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     for i in 0..order.len() {
         for j in (i + 1)..order.len() {
             let (a, b) = (order[i], order[j]);

@@ -131,10 +131,10 @@ impl OpMachine for FetchIncComposedMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sl2_exec::is_linearizable;
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::{run, BurstSched, CrashPlan, RandomSched, Scenario};
     use sl2_exec::strong::check_strong;
-    use sl2_exec::is_linearizable;
 
     #[test]
     fn solo_counts_from_one() {
@@ -291,10 +291,17 @@ mod tests {
             &mut RandomSched::seeded(7),
             &CrashPlan::none(2).crash_after(0, 1),
         );
-        assert!(is_linearizable(&FetchIncSpec, &exec.history), "{:?}", exec.history);
+        assert!(
+            is_linearizable(&FetchIncSpec, &exec.history),
+            "{:?}",
+            exec.history
+        );
         for r in exec.history.complete_ops() {
             if r.op == FetchIncOp::Read {
-                assert_eq!(r.returned.as_ref().map(|(v, _)| v), Some(&FetchIncResp::Value(1)));
+                assert_eq!(
+                    r.returned.as_ref().map(|(v, _)| v),
+                    Some(&FetchIncResp::Value(1))
+                );
             }
         }
     }

@@ -138,7 +138,7 @@ mod tests {
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::{run, CrashPlan, RandomSched, RoundRobin, Scenario};
     use sl2_exec::strong::check_strong;
-    use sl2_exec::{is_linearizable, for_each_history};
+    use sl2_exec::{for_each_history, is_linearizable};
 
     #[test]
     fn solo_semantics_match_spec() {
@@ -223,10 +223,7 @@ mod tests {
     fn crash_mid_write_leaves_consistent_register() {
         let mut mem = SimMemory::new();
         let alg = MaxRegAlg::new(&mut mem, 2);
-        let scenario = Scenario::new(vec![
-            vec![MaxOp::Write(4)],
-            vec![MaxOp::Read, MaxOp::Read],
-        ]);
+        let scenario = Scenario::new(vec![vec![MaxOp::Write(4)], vec![MaxOp::Read, MaxOp::Read]]);
         // p0 crashes after its probe step: register unchanged, reads
         // stay linearizable.
         let exec = run(

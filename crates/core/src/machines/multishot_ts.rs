@@ -159,8 +159,11 @@ mod tests {
     use sl2_exec::strong::check_strong;
     use sl2_exec::{for_each_history, is_linearizable};
 
-    fn solo<A: Algorithm>(alg: &A, mem: &mut SimMemory, op: &<A::Spec as sl2_spec::Spec>::Op)
-    -> <A::Spec as sl2_spec::Spec>::Resp {
+    fn solo<A: Algorithm>(
+        alg: &A,
+        mem: &mut SimMemory,
+        op: &<A::Spec as sl2_spec::Spec>::Op,
+    ) -> <A::Spec as sl2_spec::Spec>::Resp {
         run_solo(&mut alg.machine(0, op), mem).0
     }
 

@@ -85,19 +85,14 @@ impl OpMachine for ReadableTasMachine {
         match self {
             ReadableTasMachine::TasAccess { ts, state } => {
                 let won = mem.tas(*ts);
-                *self = ReadableTasMachine::WriteState {
-                    state: *state,
-                    won,
-                };
+                *self = ReadableTasMachine::WriteState { state: *state, won };
                 Step::Pending
             }
             ReadableTasMachine::WriteState { state, won } => {
                 mem.write(*state, 1);
                 Step::Ready(TasResp::Bit(*won))
             }
-            ReadableTasMachine::Read { state } => {
-                Step::Ready(TasResp::Bit(mem.read(*state) as u8))
-            }
+            ReadableTasMachine::Read { state } => Step::Ready(TasResp::Bit(mem.read(*state) as u8)),
         }
     }
 }

@@ -28,7 +28,6 @@ use sl2_exec::machine::{Algorithm, OpMachine, Step};
 use sl2_exec::mem::{Cell, Loc, SimMemory};
 use sl2_spec::simple::SimpleTypeSpec;
 
-
 use crate::graph::{lingraph, response_after, Arena, NodeId, OpNode};
 
 /// Factory for the Algorithm 1 simple-type object.
@@ -89,10 +88,7 @@ enum Phase<R> {
     /// node.
     Scan,
     /// Step 2: publish the node and return.
-    Publish {
-        id: NodeId,
-        resp: R,
-    },
+    Publish { id: NodeId, resp: R },
 }
 
 /// Step machine for Algorithm 1 operations (`execute_p`).
@@ -352,10 +348,7 @@ mod tests {
     fn crash_between_scan_and_publish_is_invisible() {
         let mut mem = SimMemory::new();
         let alg = SimpleAlg::new(&mut mem, 2, CounterSpec);
-        let scenario = Scenario::new(vec![
-            vec![CounterOp::Inc],
-            vec![CounterOp::Read],
-        ]);
+        let scenario = Scenario::new(vec![vec![CounterOp::Inc], vec![CounterOp::Read]]);
         let exec = run(
             &alg,
             mem,

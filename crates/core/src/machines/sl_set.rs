@@ -204,8 +204,7 @@ impl OpMachine for SlSetMachine {
                 let max_new = mem.read(alg.max) - 1;
                 if max_new == 0 {
                     // Empty active region: pass over immediately.
-                    let (next, done) =
-                        SlSetMachine::advance(&alg, 0, 0, 0, taken_old, max_old);
+                    let (next, done) = SlSetMachine::advance(&alg, 0, 0, 0, taken_old, max_old);
                     *self = next;
                     match done {
                         Some(resp) => Step::Ready(resp),
@@ -265,14 +264,8 @@ impl OpMachine for SlSetMachine {
                 if mem.tas_at(alg.ts, c as usize - 1) == 0 {
                     return Step::Ready(SetResp::Item(x));
                 }
-                let (next, done) = SlSetMachine::advance(
-                    &alg,
-                    c,
-                    max_new,
-                    taken_new + 1,
-                    taken_old,
-                    max_old,
-                );
+                let (next, done) =
+                    SlSetMachine::advance(&alg, c, max_new, taken_new + 1, taken_old, max_old);
                 *self = next;
                 match done {
                     Some(resp) => Step::Ready(resp),
@@ -381,10 +374,7 @@ mod tests {
     fn all_histories_linearizable_put_take_race() {
         let mut mem = SimMemory::new();
         let alg = SlSetAlg::new(&mut mem);
-        let scenario = Scenario::new(vec![
-            vec![SetOp::Put(3)],
-            vec![SetOp::Take],
-        ]);
+        let scenario = Scenario::new(vec![vec![SetOp::Put(3)], vec![SetOp::Take]]);
         for_each_history(&alg, mem, &scenario, 2_000_000, &mut |h| {
             assert!(is_linearizable(&PutTakeSetSpec, h), "{h:?}");
         });
@@ -394,10 +384,7 @@ mod tests {
     fn theorem10_strong_linearizability_put_vs_take() {
         let mut mem = SimMemory::new();
         let alg = SlSetAlg::new(&mut mem);
-        let scenario = Scenario::new(vec![
-            vec![SetOp::Put(1)],
-            vec![SetOp::Take],
-        ]);
+        let scenario = Scenario::new(vec![vec![SetOp::Put(1)], vec![SetOp::Take]]);
         let report = check_strong(&alg, mem, &scenario, 6_000_000);
         assert!(report.strongly_linearizable, "{:?}", report.witness);
     }
@@ -408,10 +395,7 @@ mod tests {
         // state starts from the object's initial, empty, state).
         let mut mem = SimMemory::new();
         let alg = SlSetAlg::new(&mut mem);
-        let scenario = Scenario::new(vec![
-            vec![SetOp::Put(5), SetOp::Take],
-            vec![SetOp::Take],
-        ]);
+        let scenario = Scenario::new(vec![vec![SetOp::Put(5), SetOp::Take], vec![SetOp::Take]]);
         let report = check_strong(&alg, mem, &scenario, 6_000_000);
         assert!(report.strongly_linearizable, "{:?}", report.witness);
     }

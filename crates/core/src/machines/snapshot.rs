@@ -33,7 +33,6 @@ impl SnapshotAlg {
             layout: Layout::new(n),
         }
     }
-
 }
 
 impl Algorithm for SnapshotAlg {
@@ -154,13 +153,22 @@ mod tests {
     fn solo_update_scan_round_trip() {
         let mut mem = SimMemory::new();
         let alg = SnapshotAlg::new(&mut mem, 3);
-        run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 6 }), &mut mem);
-        run_solo(&mut alg.machine(2, &SnapOp::Update { i: 2, v: 9 }), &mut mem);
+        run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 6 }),
+            &mut mem,
+        );
+        run_solo(
+            &mut alg.machine(2, &SnapOp::Update { i: 2, v: 9 }),
+            &mut mem,
+        );
         let (r, steps) = run_solo(&mut alg.machine(1, &SnapOp::Scan), &mut mem);
         assert_eq!(r, SnapResp::View(vec![6, 0, 9]));
         assert_eq!(steps, 1);
         // Overwrite with a smaller value (clears bits via negAdj).
-        run_solo(&mut alg.machine(2, &SnapOp::Update { i: 2, v: 1 }), &mut mem);
+        run_solo(
+            &mut alg.machine(2, &SnapOp::Update { i: 2, v: 1 }),
+            &mut mem,
+        );
         let (r, _) = run_solo(&mut alg.machine(1, &SnapOp::Scan), &mut mem);
         assert_eq!(r, SnapResp::View(vec![6, 0, 1]));
     }
@@ -169,8 +177,14 @@ mod tests {
     fn same_value_update_is_single_step() {
         let mut mem = SimMemory::new();
         let alg = SnapshotAlg::new(&mut mem, 2);
-        run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }), &mut mem);
-        let (_, steps) = run_solo(&mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }), &mut mem);
+        run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }),
+            &mut mem,
+        );
+        let (_, steps) = run_solo(
+            &mut alg.machine(0, &SnapOp::Update { i: 0, v: 4 }),
+            &mut mem,
+        );
         assert_eq!(steps, 1);
     }
 

@@ -179,7 +179,11 @@ enum RacePhase {
     /// Phase-1 write of own `mbal`.
     P1Write,
     /// Phase-1 collect: tracking the highest `mbal` and `(bal, val)`.
-    P1Collect { j: usize, mbal_max: u64, best: (u64, u64) },
+    P1Collect {
+        j: usize,
+        mbal_max: u64,
+        best: (u64, u64),
+    },
     /// Phase-2 write of own `(bal, val)`.
     P2Write { val: u64 },
     /// Phase-2 collect: any higher `mbal` aborts the ballot.
@@ -464,8 +468,7 @@ where
                 } else {
                     self.log.push(decided);
                     let k = self.race.k + 1;
-                    self.race =
-                        PaxosRace::new(self.race.layout.clone(), self.p, k, self.proposal);
+                    self.race = PaxosRace::new(self.race.layout.clone(), self.p, k, self.proposal);
                     Step::Pending
                 }
             }
@@ -476,9 +479,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sl2_exec::is_linearizable;
     use sl2_exec::machine::run_solo;
     use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
-    use sl2_exec::is_linearizable;
     use sl2_spec::counters::{CounterResp, CounterSpec};
     use sl2_spec::fifo::{QueueResp, QueueSpec};
 
@@ -580,7 +583,7 @@ mod tests {
             // has not decided within the budget finishes solo (allowed:
             // obstruction-freedom).
             for _ in 0..200 {
-                let p = rng.gen_range(0..3);
+                let p = rng.gen_range(0..3usize);
                 if decided[p].is_none() {
                     decided[p] = races[p].step(&mut mem);
                 }
@@ -709,7 +712,7 @@ mod tests {
                 let mut victim_steps = 0u64;
                 // Random interleaving until the victim (p0) crashes.
                 while victim_steps < crash_at && decided[0].is_none() {
-                    let p = rng.gen_range(0..2);
+                    let p = rng.gen_range(0..2usize);
                     if p == 0 {
                         victim_steps += 1;
                     }

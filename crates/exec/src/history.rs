@@ -118,12 +118,18 @@ impl<S: Spec> History<S> {
 
     /// Operations with both invocation and response.
     pub fn complete_ops(&self) -> Vec<OpRecord<S>> {
-        self.ops().into_iter().filter(|r| r.returned.is_some()).collect()
+        self.ops()
+            .into_iter()
+            .filter(|r| r.returned.is_some())
+            .collect()
     }
 
     /// Operations with only an invocation.
     pub fn pending_ops(&self) -> Vec<OpRecord<S>> {
-        self.ops().into_iter().filter(|r| r.returned.is_none()).collect()
+        self.ops()
+            .into_iter()
+            .filter(|r| r.returned.is_none())
+            .collect()
     }
 
     /// Real-time precedence: does `a` precede `b` (a's return before

@@ -160,7 +160,12 @@ pub fn validate_linearization<S: Spec>(
     for rec in history.complete_ops() {
         let (resp, _) = rec.returned.clone().expect("complete");
         match lin.iter().find(|(id, _, _)| *id == rec.id) {
-            None => return Err(format!("complete op {:?} missing from linearization", rec.id)),
+            None => {
+                return Err(format!(
+                    "complete op {:?} missing from linearization",
+                    rec.id
+                ))
+            }
             Some((_, _, r)) if *r != resp => {
                 return Err(format!("op {:?} response mismatch", rec.id))
             }

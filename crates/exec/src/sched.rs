@@ -56,10 +56,7 @@ impl Scheduler for RoundRobin {
     fn pick(&mut self, enabled: &[usize]) -> usize {
         let next = match self.last {
             None => enabled[0],
-            Some(last) => *enabled
-                .iter()
-                .find(|&&p| p > last)
-                .unwrap_or(&enabled[0]),
+            Some(last) => *enabled.iter().find(|&&p| p > last).unwrap_or(&enabled[0]),
         };
         self.last = Some(next);
         next
@@ -358,7 +355,10 @@ mod tests {
             .events()
             .iter()
             .filter_map(|e| match e {
-                Event::Return { resp: CounterResp::Value(v), .. } => Some(*v),
+                Event::Return {
+                    resp: CounterResp::Value(v),
+                    ..
+                } => Some(*v),
                 _ => None,
             })
             .collect();
@@ -416,7 +416,10 @@ mod tests {
             .events()
             .iter()
             .filter_map(|e| match e {
-                Event::Return { resp: CounterResp::Value(v), .. } => Some(*v),
+                Event::Return {
+                    resp: CounterResp::Value(v),
+                    ..
+                } => Some(*v),
                 _ => None,
             })
             .collect();

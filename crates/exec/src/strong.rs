@@ -356,7 +356,10 @@ impl<'a, A: Algorithm> Checker<'a, A> {
         let mut cands: Vec<OpKey> = Vec::new();
         for (p, stats) in child.status.iter().enumerate() {
             for (i, st) in stats.iter().enumerate() {
-                let k = OpKey { process: p, index: i };
+                let k = OpKey {
+                    process: p,
+                    index: i,
+                };
                 if !matches!(st, OpStatus::NotInvoked) && !lin.contains(k) {
                     cands.push(k);
                 }
@@ -364,22 +367,22 @@ impl<'a, A: Algorithm> Checker<'a, A> {
         }
         for &k in &cands {
             let op = &self.scenario.ops[k.process][k.index];
-            let resp_options: Vec<<A::Spec as Spec>::Resp> =
-                match &child.status[k.process][k.index] {
-                    OpStatus::Done(r) => vec![r.clone()],
-                    OpStatus::Active => {
-                        let mut opts = Vec::new();
-                        for s in &lin.states {
-                            for (_, r) in self.spec.step(s, op) {
-                                if !opts.contains(&r) {
-                                    opts.push(r);
-                                }
+            let resp_options: Vec<<A::Spec as Spec>::Resp> = match &child.status[k.process][k.index]
+            {
+                OpStatus::Done(r) => vec![r.clone()],
+                OpStatus::Active => {
+                    let mut opts = Vec::new();
+                    for s in &lin.states {
+                        for (_, r) in self.spec.step(s, op) {
+                            if !opts.contains(&r) {
+                                opts.push(r);
                             }
                         }
-                        opts
                     }
-                    OpStatus::NotInvoked => unreachable!("filtered above"),
-                };
+                    opts
+                }
+                OpStatus::NotInvoked => unreachable!("filtered above"),
+            };
             for resp in resp_options {
                 if let Some(next_lin) = lin.extended(&self.spec, k, op, &resp) {
                     let still_must = match must {

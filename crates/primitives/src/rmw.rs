@@ -263,10 +263,7 @@ mod tests {
     #[test]
     fn consensus_numbers_match_the_hierarchy() {
         assert_eq!(FetchAdd::new(0).consensus_number(), ConsensusNumber::Two);
-        assert_eq!(
-            FetchAdd128::new(0).consensus_number(),
-            ConsensusNumber::Two
-        );
+        assert_eq!(FetchAdd128::new(0).consensus_number(), ConsensusNumber::Two);
         assert_eq!(Swap::new(0).consensus_number(), ConsensusNumber::Two);
         assert_eq!(
             CompareAndSwap::new(0).consensus_number(),

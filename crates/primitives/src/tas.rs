@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn consensus_numbers_are_two() {
-        assert_eq!(
-            TestAndSet::new().consensus_number(),
-            ConsensusNumber::Two
-        );
+        assert_eq!(TestAndSet::new().consensus_number(), ConsensusNumber::Two);
         assert_eq!(
             ReadableTestAndSet::new().consensus_number(),
             ConsensusNumber::Two

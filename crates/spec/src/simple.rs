@@ -13,7 +13,9 @@
 //! it. [`check_simple_type`] validates the declared structure against
 //! the spec's semantics and is used by property tests.
 
-use crate::counters::{CounterOp, CounterSpec, IntCounterOp, IntCounterSpec, LogicalClockOp, LogicalClockSpec};
+use crate::counters::{
+    CounterOp, CounterSpec, IntCounterOp, IntCounterSpec, LogicalClockOp, LogicalClockSpec,
+};
 use crate::max_register::{MaxOp, MaxRegisterSpec};
 use crate::union_set::{UnionSetOp, UnionSetSpec};
 use crate::Spec;
@@ -97,10 +99,7 @@ impl SimpleTypeSpec for IntCounterSpec {
     fn commutes(&self, a: &IntCounterOp, b: &IntCounterOp) -> bool {
         match (a, b) {
             // +1 and −1 commute in every combination.
-            (
-                IntCounterOp::Inc | IntCounterOp::Dec,
-                IntCounterOp::Inc | IntCounterOp::Dec,
-            ) => true,
+            (IntCounterOp::Inc | IntCounterOp::Dec, IntCounterOp::Inc | IntCounterOp::Dec) => true,
             (IntCounterOp::Read, IntCounterOp::Read) => true,
             _ => false,
         }
@@ -198,8 +197,7 @@ pub fn check_simple_type<S: SimpleTypeSpec>(
 
     for a in ops {
         for b in ops {
-            let related =
-                spec.commutes(a, b) || spec.overwrites(a, b) || spec.overwrites(b, a);
+            let related = spec.commutes(a, b) || spec.overwrites(a, b) || spec.overwrites(b, a);
             if !related {
                 violations.push(SimpleTypeViolation::Unrelated(a.clone(), b.clone()));
             }
@@ -246,7 +244,12 @@ mod tests {
 
     #[test]
     fn max_register_structure_is_sound() {
-        let ops = vec![MaxOp::Read, MaxOp::Write(1), MaxOp::Write(3), MaxOp::Write(3)];
+        let ops = vec![
+            MaxOp::Read,
+            MaxOp::Write(1),
+            MaxOp::Write(3),
+            MaxOp::Write(3),
+        ];
         let violations = check_simple_type(&MaxRegisterSpec, &ops, 3);
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -326,8 +329,7 @@ mod tests {
                 a == b
             }
         }
-        let violations =
-            check_simple_type(&BogusCounter, &[CounterOp::Inc, CounterOp::Read], 2);
+        let violations = check_simple_type(&BogusCounter, &[CounterOp::Inc, CounterOp::Read], 2);
         assert!(violations
             .iter()
             .any(|v| matches!(v, SimpleTypeViolation::BadOverwrite { .. })));

@@ -27,7 +27,11 @@ fn stack_ops() -> impl Strategy<Value = Vec<StackOp>> {
 
 /// Resolves nondeterminism with a seeded choice, returning the response
 /// trace. `pick` selects which outcome index to take (mod #outcomes).
-fn run_chain<S: Spec>(spec: &S, ops: &[S::Op], mut pick: impl FnMut(usize) -> usize) -> Vec<S::Resp> {
+fn run_chain<S: Spec>(
+    spec: &S,
+    ops: &[S::Op],
+    mut pick: impl FnMut(usize) -> usize,
+) -> Vec<S::Resp> {
     let mut state = spec.initial();
     let mut resps = Vec::new();
     for op in ops {

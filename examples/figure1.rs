@@ -22,10 +22,7 @@ fn main() {
     let rows = evaluate(quick);
     println!("{}", render(&rows));
     let agreeing = rows.iter().filter(|r| r.matches_paper()).count();
-    println!(
-        "{agreeing}/{} edges agree with the paper.",
-        rows.len()
-    );
+    println!("{agreeing}/{} edges agree with the paper.", rows.len());
     if agreeing != rows.len() {
         std::process::exit(1);
     }

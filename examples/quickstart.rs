@@ -27,8 +27,14 @@ fn main() {
             });
         }
     });
-    println!("max register      : read_max = {} (expected 400)", max.read_max());
-    println!("                    backing register is {} bits wide", max.register_bits());
+    println!(
+        "max register      : read_max = {} (expected 400)",
+        max.read_max()
+    );
+    println!(
+        "                    backing register is {} bits wide",
+        max.register_bits()
+    );
 
     // ------------------------------------------------------------------
     // Theorem 2: wait-free strongly-linearizable snapshot from

@@ -90,8 +90,16 @@ fn main() {
     // --------------------------------------------------------------
     println!("\nE13 k-ordering catalogue (Definition 11, validated on the atomic object):");
     let rows: Vec<(&str, usize, usize)> = vec![
-        ("queue", 1, validate_k_ordering(&QueueOrdering, 4, 200, 20, 7)),
-        ("stack", 1, validate_k_ordering(&StackOrdering, 4, 200, 20, 8)),
+        (
+            "queue",
+            1,
+            validate_k_ordering(&QueueOrdering, 4, 200, 20, 7),
+        ),
+        (
+            "stack",
+            1,
+            validate_k_ordering(&StackOrdering, 4, 200, 20, 8),
+        ),
         (
             "queue w/ multiplicity",
             1,

@@ -28,10 +28,8 @@ fn main() {
     let mut mem = SimMemory::new();
     let alg = UniversalAlg::new(&mut mem, 2, QueueSpec);
     for v in [10, 20, 30] {
-        let (r, steps) = sl2_exec::machine::run_solo(
-            &mut alg.machine(0, &QueueOp::Enq(v)),
-            &mut mem,
-        );
+        let (r, steps) =
+            sl2_exec::machine::run_solo(&mut alg.machine(0, &QueueOp::Enq(v)), &mut mem);
         assert_eq!(r, QueueResp::Ok);
         println!("enq({v}) solo: {steps} steps (scan decided log + one Paxos instance)");
     }

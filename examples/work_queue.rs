@@ -87,10 +87,6 @@ fn main() {
     }
 
     let clock_resp = clock.invoke(0, &LogicalClockOp::Observe);
-    println!(
-        "\nall phases done: {grand_total} tasks, final logical clock = {clock_resp:?}"
-    );
-    println!(
-        "every shared object: strongly linearizable, consensus number ≤ 2."
-    );
+    println!("\nall phases done: {grand_total} tasks, final logical clock = {clock_resp:?}");
+    println!("every shared object: strongly linearizable, consensus number ≤ 2.");
 }

@@ -332,10 +332,7 @@ pub fn evaluate(quick: bool) -> Vec<EdgeReport> {
             SlSetAlg::new,
             vec![
                 Scenario::new(vec![vec![SetOp::Put(1)], vec![SetOp::Take]]),
-                Scenario::new(vec![
-                    vec![SetOp::Put(5), SetOp::Take],
-                    vec![SetOp::Take],
-                ]),
+                Scenario::new(vec![vec![SetOp::Put(5), SetOp::Take], vec![SetOp::Take]]),
             ],
             limit,
         ),

@@ -257,8 +257,8 @@ fn e17_atomic_exact_queue_is_the_k1_control() {
 
 #[test]
 fn e18_mult_queue_deterministic_violation_in_the_tie_window() {
-    use sl2_core::baselines::multiplicity::MultQueueAlg;
     use sl2_agreement::MultiplicityQueueOrdering;
+    use sl2_core::baselines::multiplicity::MultQueueAlg;
     let mut mem = SimMemory::new();
     let alg = MultQueueAlg::new(&mut mem, 3);
     let b = AlgoB::new(&mut mem, alg, MultiplicityQueueOrdering, 3);
@@ -300,8 +300,8 @@ fn e18_mult_queue_stall_sweep_matches_the_tie_window() {
     // tie — until then a resuming p0 would read p1's token and order
     // itself after) through the step before p0's publish becomes
     // visible to p1's collect.
-    use sl2_core::baselines::multiplicity::MultQueueAlg;
     use sl2_agreement::MultiplicityQueueOrdering;
+    use sl2_core::baselines::multiplicity::MultQueueAlg;
     let mut violating = Vec::new();
     for stall in 1..=13usize {
         let mut mem = SimMemory::new();
@@ -337,8 +337,8 @@ fn e18_mult_queue_randomized_violation_search() {
     // Burst-adversary search, mirroring E10's randomized run: some
     // schedules violate 1-agreement; validity never fails; and the
     // identical adversary over the atomic exact queue never violates.
-    use sl2_core::baselines::multiplicity::MultQueueAlg;
     use sl2_agreement::MultiplicityQueueOrdering;
+    use sl2_core::baselines::multiplicity::MultQueueAlg;
     let mut violations = 0usize;
     for seed in 0..500u64 {
         let mut mem = SimMemory::new();

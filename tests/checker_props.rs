@@ -51,10 +51,7 @@ impl Algorithm for AtomicMax {
 }
 
 fn op_strategy() -> impl Strategy<Value = MaxOp> {
-    prop_oneof![
-        (1u64..5).prop_map(MaxOp::Write),
-        Just(MaxOp::Read),
-    ]
+    prop_oneof![(1u64..5).prop_map(MaxOp::Write), Just(MaxOp::Read),]
 }
 
 fn scenario_strategy() -> impl Strategy<Value = Vec<Vec<MaxOp>>> {

@@ -41,9 +41,10 @@ fn figure1_negative_edge_carries_a_witness() {
 fn figure1_wait_free_edges_have_constant_bounds() {
     use sl2::figure1::Progress;
     let rows = evaluate(true);
-    for row in rows.iter().filter(|r| {
-        r.positive && r.progress == Progress::WaitFree && !r.claim.contains("contrast")
-    }) {
+    for row in rows
+        .iter()
+        .filter(|r| r.positive && r.progress == Progress::WaitFree && !r.claim.contains("contrast"))
+    {
         match &row.verdict {
             Verdict::VerifiedSl { max_op_steps, .. } => {
                 assert!(

@@ -27,10 +27,16 @@ fn agm_stack_every_history_linearizable_but_not_strongly() {
     let mut mem = SimMemory::new();
     let alg = AgmStackAlg::new(&mut mem);
     let mut histories = 0usize;
-    for_each_history(&alg, mem.clone(), &witness_scenario(), 4_000_000, &mut |h| {
-        histories += 1;
-        assert!(is_linearizable(&StackSpec, h), "history: {h:?}");
-    });
+    for_each_history(
+        &alg,
+        mem.clone(),
+        &witness_scenario(),
+        4_000_000,
+        &mut |h| {
+            histories += 1;
+            assert!(is_linearizable(&StackSpec, h), "history: {h:?}");
+        },
+    );
     assert!(histories > 100, "the scenario has real interleaving depth");
 
     // ...yet no prefix-closed linearization function exists.

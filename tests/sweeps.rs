@@ -59,7 +59,10 @@ fn sweep_snapshot_update_scan_families() {
                 vec![SnapOp::Update { i: 1, v: v1 }, SnapOp::Scan],
             ]));
             scenarios.push(Scenario::new(vec![
-                vec![SnapOp::Update { i: 0, v: v0 }, SnapOp::Update { i: 0, v: v1 }],
+                vec![
+                    SnapOp::Update { i: 0, v: v0 },
+                    SnapOp::Update { i: 0, v: v1 },
+                ],
                 vec![SnapOp::Scan, SnapOp::Scan],
             ]));
         }
@@ -352,7 +355,10 @@ fn crash_sweep_simple_counter() {
     crash_sweep(
         |mem| SimpleAlg::new(mem, 2, CounterSpec),
         Scenario::new(vec![
-            vec![sl2_spec::counters::CounterOp::Inc, sl2_spec::counters::CounterOp::Read],
+            vec![
+                sl2_spec::counters::CounterOp::Inc,
+                sl2_spec::counters::CounterOp::Read,
+            ],
             vec![sl2_spec::counters::CounterOp::Inc],
         ]),
         CounterSpec,

@@ -1,0 +1,97 @@
+//! Guards the build-system wiring itself: every example and bench
+//! source file must be a registered cargo target, so none of them can
+//! silently rot out of `cargo check --examples --tests --benches`.
+//!
+//! Examples are auto-discovered by cargo, so for them it is enough to
+//! pin the expected set; bench targets live in `crates/bench/benches/`
+//! but are registered on the root package by hand (see the workspace
+//! manifest), and an unregistered file there would never be compiled —
+//! exactly the rot this test exists to catch.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The seven runnable examples the README and ISSUE promise.
+const EXPECTED_EXAMPLES: &[&str] = &[
+    "figure1",
+    "quickstart",
+    "randomized_coin",
+    "relaxed_queue",
+    "set_agreement",
+    "universal_of",
+    "work_queue",
+];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_file_stems(dir: &Path) -> BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("rs file has a stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn all_seven_examples_exist_on_disk() {
+    let found = rust_file_stems(&repo_root().join("examples"));
+    let expected: BTreeSet<String> = EXPECTED_EXAMPLES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        found, expected,
+        "examples/ drifted from the documented set; update EXPECTED_EXAMPLES, \
+         the README, and CI together"
+    );
+}
+
+#[test]
+fn every_bench_file_is_a_registered_bench_target() {
+    let root = repo_root();
+    let bench_files = rust_file_stems(&root.join("crates/bench/benches"));
+    assert!(
+        !bench_files.is_empty(),
+        "crates/bench/benches/ vanished — bench targets lost"
+    );
+
+    // [[bench]] name = "..." entries in the root manifest, in order.
+    let manifest =
+        std::fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml readable");
+    let mut registered = BTreeSet::new();
+    let mut in_bench_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_bench_section = line == "[[bench]]";
+            continue;
+        }
+        if in_bench_section {
+            if let Some(rest) = line.strip_prefix("name") {
+                let name = rest
+                    .trim_start_matches(['=', ' ', '\t'])
+                    .trim_matches('"')
+                    .to_string();
+                registered.insert(name);
+            }
+        }
+    }
+
+    assert_eq!(
+        registered, bench_files,
+        "bench sources under crates/bench/benches/ and [[bench]] entries in the \
+         root Cargo.toml must stay in bijection, or `cargo bench --no-run` and \
+         `cargo check --benches` silently skip the missing ones"
+    );
+    assert_eq!(
+        registered.len(),
+        10,
+        "the suite documents ten bench targets; update the README and this \
+         test together if that changes"
+    );
+}

@@ -128,15 +128,7 @@ fn max_register_implementations_agree() {
     let faa = SlMaxRegister::new(n);
     let rw = RwMaxRegister::new(n);
     let cas = sl2_core::algos::max_register::CasMaxRegister::new();
-    let script: [(usize, u64); 7] = [
-        (0, 5),
-        (1, 3),
-        (2, 9),
-        (0, 9),
-        (1, 12),
-        (2, 1),
-        (0, 7),
-    ];
+    let script: [(usize, u64); 7] = [(0, 5), (1, 3), (2, 9), (0, 9), (1, 12), (2, 1), (0, 7)];
     for (p, v) in script {
         faa.write_max(p, v);
         rw.write_max(p, v);

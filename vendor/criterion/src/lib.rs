@@ -1,0 +1,334 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: [`Criterion`], [`BenchmarkGroup`], [`Bencher`]
+//! (`iter` / `iter_batched` / `iter_custom`), [`BenchmarkId`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be fetched. This shim keeps every benchmark *compiling and
+//! runnable* with the same source: each benchmark runs a short warmup
+//! plus a handful of timed samples and prints `bench-id  median  (min …
+//! max)` per line. There are no statistical models, plots, or saved
+//! baselines — when the real criterion is available the manifests can
+//! point back at it with zero source changes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed samples a benchmark takes. The shim caps the real
+/// crate's default (100) to keep full `cargo bench` runs short.
+const MAX_SAMPLES: usize = 10;
+
+/// Iterations handed to [`Bencher::iter_custom`] callbacks per sample.
+const CUSTOM_ITERS: u64 = 3;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times one
+/// batch per sample regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output; criterion would batch few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, e.g.
+/// `BenchmarkId::new("faa_thm1", threads)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected (`&str`,
+/// `String`, or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_benchmark_id(self) -> String {
+        self.clone()
+    }
+}
+
+/// The timing driver passed to every benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_count: sample_count.clamp(1, MAX_SAMPLES),
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, then one timed call per sample.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Lets `routine` time itself: it receives an iteration count and
+    /// returns the total elapsed time for that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        routine(1); // warmup
+        for _ in 0..self.sample_count {
+            let total = routine(CUSTOM_ITERS);
+            self.samples
+                .push(total / u32::try_from(CUSTOM_ITERS).expect("small const"));
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        self.samples.sort_unstable();
+        let (min, med, max) = match self.samples.as_slice() {
+            [] => return,
+            s => (s[0], s[s.len() / 2], s[s.len() - 1]),
+        };
+        eprintln!("{id:<60} {med:>12.3?}   ({min:.3?} … {max:.3?})");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: MAX_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) the CLI arguments cargo-bench passes;
+    /// kept for source compatibility with the real crate.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        routine(&mut b);
+        b.report(&id.into_benchmark_id());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_count,
+        }
+    }
+}
+
+/// A named group of benchmarks, with per-group sample configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (the shim caps it at its
+    /// internal maximum of 10 samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.clamp(1, MAX_SAMPLES);
+        self
+    }
+
+    /// Sets the target measurement time; accepted for source
+    /// compatibility, the shim's sample count governs instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into_benchmark_id()));
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_count);
+        routine(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into_benchmark_id()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine_and_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("shim/iter", |b| {
+            b.iter(|| calls += 1);
+        });
+        // warmup + MAX_SAMPLES timed calls
+        assert_eq!(calls, 1 + MAX_SAMPLES as u32);
+    }
+
+    #[test]
+    fn iter_batched_reuses_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut setups = 0u32;
+        group
+            .sample_size(5)
+            .bench_function(BenchmarkId::new("batched", 1), |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        vec![0u8; 8]
+                    },
+                    |v| v.len(),
+                    BatchSize::SmallInput,
+                );
+            });
+        group.finish();
+        assert_eq!(setups, 1 + 5);
+    }
+
+    #[test]
+    fn iter_custom_receives_iteration_counts() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        c.bench_function("shim/custom", |b| {
+            b.iter_custom(|iters| {
+                seen.push(iters);
+                Duration::from_micros(iters)
+            });
+        });
+        assert_eq!(seen[0], 1);
+        assert!(seen[1..].iter().all(|&i| i == CUSTOM_ITERS));
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 4).into_benchmark_id(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter(64).into_benchmark_id(), "64");
+    }
+}
