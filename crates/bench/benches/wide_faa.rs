@@ -4,20 +4,30 @@
 //! Series:
 //! * `faa_at_width/*` — one fetch&add against a register already `w`
 //!   bits wide (the per-operation cost of the unary/interleaved
-//!   encodings as history accumulates);
+//!   encodings as history accumulates). The small widths (8–64 bits)
+//!   sit entirely on the inline-`u128` fast path;
+//! * `read_at_width/*` — the `fetch&add(R, 0)` probe at the same
+//!   widths;
+//! * `inline_vs_heap/*` — the representation ablation: the same
+//!   operation just below and just above the 128-bit spill boundary,
+//!   plus the mutex-based fixed-width `FetchAdd128` as the bounded
+//!   reference point;
+//! * `borrowed_probe/*` — decode-under-lock (`read_with`) against the
+//!   snapshot-then-decode route it replaced;
 //! * `register_growth` (printed table) — register width after k
 //!   max-register writes, the quantity the Discussion proposes to
 //!   shrink to O(log n) bits in future work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl2_bignum::{BigNat, WideFaa};
+use sl2_bignum::{BigNat, Layout, WideFaa};
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::MaxRegister;
+use sl2_primitives::FetchAdd128;
 use std::hint::black_box;
 
 fn bench_faa_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("faa_at_width");
-    for bits in [64usize, 1_024, 16_384, 262_144] {
+    for bits in [8usize, 16, 32, 64, 1_024, 16_384, 262_144] {
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
             let reg = WideFaa::with_value(BigNat::pow2(bits - 1));
             let delta = BigNat::one();
@@ -29,7 +39,7 @@ fn bench_faa_width(c: &mut Criterion) {
 
 fn bench_read_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_at_width");
-    for bits in [64usize, 1_024, 16_384, 262_144] {
+    for bits in [8usize, 16, 32, 64, 1_024, 16_384, 262_144] {
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
             let reg = WideFaa::with_value(BigNat::pow2(bits - 1));
             b.iter(|| black_box(reg.load()));
@@ -38,18 +48,80 @@ fn bench_read_width(c: &mut Criterion) {
     group.finish();
 }
 
+/// The inline/heap representation ablation. `inline_120` and
+/// `heap_192` run the *same* `fetch_add` against values on either side
+/// of the 128-bit boundary; the gap is the cost of heap cloning (the
+/// returned snapshot) that the inline form never pays. `add_heap_192`
+/// shows the write-only form recovering most of that gap (in-place
+/// carry, no snapshot), and `fetch_add128_mutex` is the fixed-width
+/// mutex register for calibration.
+fn bench_inline_vs_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inline_vs_heap");
+    group.bench_function("inline_120", |b| {
+        let reg = WideFaa::with_value(BigNat::pow2(119));
+        let delta = BigNat::one();
+        b.iter(|| black_box(reg.fetch_add(&delta)));
+    });
+    group.bench_function("heap_192", |b| {
+        let reg = WideFaa::with_value(BigNat::pow2(191));
+        let delta = BigNat::one();
+        b.iter(|| black_box(reg.fetch_add(&delta)));
+    });
+    group.bench_function("add_inline_120", |b| {
+        let reg = WideFaa::with_value(BigNat::pow2(119));
+        let delta = BigNat::one();
+        b.iter(|| reg.add(&delta));
+    });
+    group.bench_function("add_heap_192", |b| {
+        let reg = WideFaa::with_value(BigNat::pow2(191));
+        let delta = BigNat::one();
+        b.iter(|| reg.add(&delta));
+    });
+    group.bench_function("fetch_add128_mutex", |b| {
+        let reg = FetchAdd128::new(1 << 119);
+        b.iter(|| black_box(reg.fetch_add(1)));
+    });
+    group.finish();
+}
+
+/// Decode-under-lock against snapshot-then-decode, at a width where
+/// the snapshot is heap-backed (n = 4 processes, 1024-bit register):
+/// the §3.1 `readMax` probe as the production algorithms now issue it
+/// (`read_with` + `decode_unary`) vs the old `load()` + decode route.
+fn bench_borrowed_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("borrowed_probe");
+    let layout = Layout::new(4);
+    let reg = WideFaa::new();
+    for p in 0..4 {
+        reg.add(&layout.unary_increment(p, 0, 256)); // 1024 bits total
+    }
+    group.bench_function("read_with_decode", |b| {
+        b.iter(|| black_box(reg.probe_unary(&layout, 2)));
+    });
+    group.bench_function("snapshot_then_decode", |b| {
+        b.iter(|| {
+            let image = reg.load();
+            black_box(layout.decode_unary(2, &image))
+        });
+    });
+    group.finish();
+}
+
 /// Not a timing benchmark: prints the E12 growth table
-/// (writes → register bits) for the Theorem 1 max register.
+/// (writes → register bits) for the Theorem 1 max register, plus the
+/// representation each size lands in.
 fn report_register_growth(_c: &mut Criterion) {
     eprintln!("\nE12 register growth (Theorem 1 max register, n = 4 processes):");
-    eprintln!("  max value written | register bits");
-    eprintln!("  ------------------+--------------");
+    eprintln!("  max value written | register bits | representation");
+    eprintln!("  ------------------+---------------+---------------");
     for target in [16u64, 64, 256, 1024, 4096] {
         let m = SlMaxRegister::new(4);
         for p in 0..4 {
             m.write_max(p, target);
         }
-        eprintln!("  {:>17} | {}", target, m.register_bits());
+        let bits = m.register_bits();
+        let repr = if bits <= 128 { "inline" } else { "heap" };
+        eprintln!("  {:>17} | {:>13} | {}", target, bits, repr);
     }
     eprintln!("  (unary encoding: bits = n × max value — the Discussion's concern)\n");
 }
@@ -58,6 +130,8 @@ criterion_group!(
     benches,
     bench_faa_width,
     bench_read_width,
+    bench_inline_vs_heap,
+    bench_borrowed_probe,
     report_register_growth
 );
 criterion_main!(benches);

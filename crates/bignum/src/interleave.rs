@@ -9,7 +9,7 @@
 //! [`Layout`] converts between a process-local value and its lane image,
 //! and decodes a whole register into per-process values.
 
-use crate::BigNat;
+use crate::{BigNat, LIMB_BITS};
 
 /// The interleaved lane layout for `n` processes.
 ///
@@ -69,6 +69,11 @@ impl Layout {
     }
 
     /// Extracts process `i`'s local value from a register image.
+    ///
+    /// Works on a *borrowed* image (e.g. inside
+    /// [`crate::WideFaa::read_with`]); the result stays in `BigNat`'s
+    /// inline representation — and therefore allocates nothing — while
+    /// the lane value fits in 128 bits.
     pub fn decode(&self, i: usize, register: &BigNat) -> BigNat {
         assert!(i < self.n, "process index {i} out of range (n={})", self.n);
         let mut out = BigNat::zero();
@@ -80,6 +85,25 @@ impl Layout {
         out
     }
 
+    /// Extracts process `i`'s local value directly into a `u64`, with
+    /// no intermediate `BigNat`; `None` if the lane value needs more
+    /// than 64 bits. This is the decode the §3.2 `scan` uses (component
+    /// values are `u64` at the API boundary).
+    pub fn decode_u64(&self, i: usize, register: &BigNat) -> Option<u64> {
+        assert!(i < self.n, "process index {i} out of range (n={})", self.n);
+        let mut out = 0u64;
+        for g in register.one_bits() {
+            if g % self.n == i {
+                let k = g / self.n;
+                if k >= 64 {
+                    return None;
+                }
+                out |= 1u64 << k;
+            }
+        }
+        Some(out)
+    }
+
     /// Decodes the whole register into one local value per process —
     /// the "view" reconstruction used by `scan`/`ReadMax`.
     pub fn decode_all(&self, register: &BigNat) -> Vec<BigNat> {
@@ -88,6 +112,21 @@ impl Layout {
             out[g % self.n].set_bit(g / self.n, true);
         }
         out
+    }
+
+    /// Decodes the whole register into one `u64` per process in a
+    /// single pass with no per-lane `BigNat`s; `None` if any lane needs
+    /// more than 64 bits. One output vector is the only allocation.
+    pub fn decode_all_u64(&self, register: &BigNat) -> Option<Vec<u64>> {
+        let mut out = vec![0u64; self.n];
+        for g in register.one_bits() {
+            let k = g / self.n;
+            if k >= 64 {
+                return None;
+            }
+            out[g % self.n] |= 1u64 << k;
+        }
+        Some(out)
     }
 
     /// The fetch&add adjustments that move process `i`'s lane from
@@ -120,9 +159,54 @@ impl Layout {
     }
 
     /// Decodes the unary lane of process `i` into the value it encodes
-    /// (the count of set lane bits; the lane is always a prefix of ones).
+    /// (the count of set lane bits; the lane is always a prefix of
+    /// ones). Counts directly off the borrowed register image — no
+    /// intermediate lane extraction, no allocation at any width — one
+    /// masked popcount per limb rather than a modulo per set bit, so a
+    /// dense unary register decodes at ~`64/n` steps per limb.
     pub fn decode_unary(&self, i: usize, register: &BigNat) -> u64 {
-        self.decode(i, register).count_ones() as u64
+        assert!(i < self.n, "process index {i} out of range (n={})", self.n);
+        let n = self.n;
+        if n == 1 {
+            return register.count_ones() as u64;
+        }
+        if LIMB_BITS % n == 0 {
+            // The lane pattern repeats every limb: one constant mask,
+            // one popcount per limb.
+            let mut mask = 0u64;
+            let mut b = i;
+            while b < LIMB_BITS {
+                mask |= 1u64 << b;
+                b += n;
+            }
+            return register
+                .limbs()
+                .iter()
+                .map(|w| (w & mask).count_ones() as usize)
+                .sum::<usize>() as u64;
+        }
+        let mut count = 0usize;
+        let mut next = i; // global index of the lane's next bit
+        for (j, &w) in register.limbs().iter().enumerate() {
+            let limb_start = j * LIMB_BITS;
+            let limb_end = limb_start + LIMB_BITS;
+            if next >= limb_end {
+                continue;
+            }
+            if w == 0 {
+                // Skip the zero limb; land `next` on the first lane bit
+                // at or past the limb boundary.
+                next += (limb_end - next).div_ceil(n) * n;
+                continue;
+            }
+            let mut mask = 0u64;
+            while next < limb_end {
+                mask |= 1u64 << (next - limb_start);
+                next += n;
+            }
+            count += (w & mask).count_ones() as usize;
+        }
+        count as u64
     }
 }
 
@@ -209,5 +293,52 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn decode_rejects_bad_process() {
         Layout::new(2).decode(2, &BigNat::zero());
+    }
+
+    #[test]
+    fn decode_u64_matches_decode() {
+        let layout = Layout::new(3);
+        let reg = &layout.encode(0, &BigNat::from(0b1101u64))
+            + &layout.encode(2, &BigNat::from(u64::MAX));
+        for i in 0..3 {
+            assert_eq!(
+                layout.decode_u64(i, &reg),
+                layout.decode(i, &reg).to_u64(),
+                "lane {i}"
+            );
+        }
+        // A lane needing 65 bits is rejected, not truncated.
+        let wide = layout.encode(1, &BigNat::pow2(64));
+        assert_eq!(layout.decode_u64(1, &wide), None);
+        assert_eq!(layout.decode(1, &wide).to_u64(), None);
+    }
+
+    #[test]
+    fn decode_all_u64_matches_decode_all() {
+        let layout = Layout::new(4);
+        let mut reg = BigNat::zero();
+        for (i, v) in [(0usize, 7u64), (1, 0), (2, u64::MAX), (3, 0b1010)] {
+            reg = &reg + &layout.encode(i, &BigNat::from(v));
+        }
+        let fast = layout.decode_all_u64(&reg).expect("all lanes fit");
+        let slow: Vec<u64> = layout
+            .decode_all(&reg)
+            .iter()
+            .map(|b| b.to_u64().expect("fits"))
+            .collect();
+        assert_eq!(fast, slow);
+        assert_eq!(
+            layout.decode_all_u64(&layout.encode(0, &BigNat::pow2(64))),
+            None
+        );
+    }
+
+    #[test]
+    fn decode_unary_counts_without_extraction() {
+        let layout = Layout::new(3);
+        let reg = &layout.unary_increment(0, 0, 5) + &layout.unary_increment(2, 0, 9);
+        assert_eq!(layout.decode_unary(0, &reg), 5);
+        assert_eq!(layout.decode_unary(1, &reg), 0);
+        assert_eq!(layout.decode_unary(2, &reg), 9);
     }
 }

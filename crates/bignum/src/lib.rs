@@ -8,11 +8,16 @@
 //! interleaving bits: process `i` owns bits `i, n+i, 2n+i, ...`. This
 //! crate provides:
 //!
-//! * [`BigNat`] — the unbounded natural numbers those registers hold;
-//! * [`Layout`] — the interleaved lane codec (encode/decode/adjustments);
+//! * [`BigNat`] — the unbounded natural numbers those registers hold,
+//!   with a two-limb inline representation that keeps every value below
+//!   `2^128` off the heap (the common case for realistic `n` × values);
+//! * [`Layout`] — the interleaved lane codec (encode/decode/adjustments),
+//!   whose decode entry points work on borrowed register images with no
+//!   intermediate allocations;
 //! * [`WideFaa`] — an atomic wide fetch&add register (a documented
 //!   substitution for the paper's unbounded hardware register; see
-//!   DESIGN.md §2).
+//!   DESIGN.md §2) whose critical sections mutate in place and whose
+//!   `*_with` entry points lend the callers a borrowed snapshot.
 //!
 //! # Example
 //!

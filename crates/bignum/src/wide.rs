@@ -4,18 +4,43 @@
 //! register of unbounded width (the Discussion acknowledges the values
 //! stored are "extremely large"). No hardware provides that, so this is a
 //! **documented substitution** (see DESIGN.md §2): the register is a
-//! [`parking_lot::Mutex`]`<BigNat>` and each operation is a single
-//! critical section. What the algorithms require of the base object is
-//! only that every operation takes effect atomically at one instant
-//! between its invocation and response — which a mutex-protected
-//! read-modify-write provides. The critical sections are short
-//! (limb-vector add/sub) and the lock is never held across user code, so
-//! the progress properties observed by callers match a (slow) hardware
-//! fetch&add rather than a lock-based algorithm in the paper's sense.
+//! spinlock-protected [`BigNat`] and each operation is a single critical
+//! section. What the algorithms require of the base object is only that
+//! every operation takes effect atomically at one instant between its
+//! invocation and response — which a lock-protected read-modify-write
+//! provides. The critical sections are short (an inline `u128` add in the
+//! common case, limb arithmetic otherwise) and the lock is never held
+//! across user code other than the short decode closures of the `_with`
+//! entry points, so the progress properties observed by callers match a
+//! (slow) hardware fetch&add rather than a lock-based algorithm in the
+//! paper's sense.
+//!
+//! # Hot-path design
+//!
+//! The previous implementation cloned the stored value twice per
+//! `fetch_add` (once for the returned snapshot, once for the new value)
+//! and parked on a full mutex. Three changes make the common case — a
+//! register of ≤ 128 bits, i.e. every tier-1 scenario — allocation-free
+//! (experiment E12's `faa_at_width` small-width series):
+//!
+//! * the value uses [`BigNat`]'s inline representation, so cloning and
+//!   adding are stack-only;
+//! * the critical section mutates in place (`+=` / `adjust_in_place`)
+//!   instead of clone-modify-store;
+//! * the lock is a raw spinlock (one `compare_exchange` + one release
+//!   store when uncontended) sized to the nanosecond critical sections,
+//!   with a spin-then-yield slow path under contention.
+//!
+//! The `_with` entry points ([`WideFaa::read_with`],
+//! [`WideFaa::fetch_add_with`], [`WideFaa::fetch_adjust_with`]) hand the
+//! §3 algorithms a *borrowed* view of the register inside the critical
+//! section, so a probing `fetch&add(R, 0)` decodes lanes without
+//! materializing a snapshot of the whole register.
 
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::BigNat;
+use crate::{BigNat, Layout};
 
 /// An atomic wide fetch&add register.
 ///
@@ -31,8 +56,15 @@ use crate::BigNat;
 /// ```
 #[derive(Debug, Default)]
 pub struct WideFaa {
-    value: Mutex<BigNat>,
+    lock: RawSpin,
+    value: UnsafeCell<BigNat>,
 }
+
+// SAFETY: all access to `value` goes through the spinlock, which
+// establishes the necessary happens-before edges (acquire on lock,
+// release on unlock).
+unsafe impl Send for WideFaa {}
+unsafe impl Sync for WideFaa {}
 
 impl WideFaa {
     /// Creates a register initialized to zero.
@@ -43,16 +75,60 @@ impl WideFaa {
     /// Creates a register with the given initial value.
     pub fn with_value(v: BigNat) -> Self {
         WideFaa {
-            value: Mutex::new(v),
+            lock: RawSpin::new(),
+            value: UnsafeCell::new(v),
         }
     }
 
+    /// Runs `f` with exclusive access to the stored value.
+    #[inline]
+    fn with_locked<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
+        let _guard = self.lock.acquire();
+        // SAFETY: the spinlock guarantees exclusive access for the
+        // guard's lifetime; the reference does not escape `f`.
+        f(unsafe { &mut *self.value.get() })
+    }
+
     /// Atomically adds `delta`, returning the **previous** value.
+    ///
+    /// Allocation-free while both the register and `delta` fit the
+    /// inline 128-bit representation; on the heap path the old value is
+    /// cloned once (it must be returned) and the add happens in place.
+    /// Callers that only need a *projection* of the previous value
+    /// should use [`WideFaa::fetch_add_with`] instead, which never
+    /// clones.
+    #[inline]
     pub fn fetch_add(&self, delta: &BigNat) -> BigNat {
-        let mut guard = self.value.lock();
-        let old = guard.clone();
-        *guard = &old + delta;
-        old
+        self.with_locked(|v| {
+            let old = v.clone();
+            *v += delta;
+            old
+        })
+    }
+
+    /// Atomically adds `delta`, discarding the previous value — the
+    /// write-only half of the §3.1 `writeMax` step 2, with no clone at
+    /// any width.
+    #[inline]
+    pub fn add(&self, delta: &BigNat) {
+        self.with_locked(|v| *v += delta);
+    }
+
+    /// Atomically adds `delta` and returns `f` applied to the
+    /// **previous** value, borrowed inside the critical section. This
+    /// is the zero-copy form of `fetch&add`: the §3 algorithms only
+    /// ever *decode* the returned snapshot, so handing them a borrow
+    /// makes the probe allocation-free at every register width.
+    ///
+    /// `f` runs while the register lock is held; keep it to the short
+    /// decode work the §3 algorithms need.
+    #[inline]
+    pub fn fetch_add_with<R>(&self, delta: &BigNat, f: impl FnOnce(&BigNat) -> R) -> R {
+        self.with_locked(|v| {
+            let out = f(v);
+            *v += delta;
+            out
+        })
     }
 
     /// Atomically applies `+pos − neg` in one step, returning the
@@ -63,23 +139,145 @@ impl WideFaa {
     ///
     /// Panics if the result would be negative (the §3 algorithms never
     /// let this happen: a process only clears bits it previously set).
+    /// The register is left unchanged.
+    #[inline]
     pub fn fetch_adjust(&self, pos: &BigNat, neg: &BigNat) -> BigNat {
-        let mut guard = self.value.lock();
-        let old = guard.clone();
-        *guard = old.apply_adjustment(pos, neg);
-        old
+        self.with_locked(|v| {
+            let old = v.clone();
+            v.adjust_in_place(pos, neg);
+            old
+        })
+    }
+
+    /// Atomically applies `+pos − neg`, discarding the previous value —
+    /// the write-only half of the §3.2 `update` step 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; the register is left
+    /// unchanged.
+    #[inline]
+    pub fn adjust(&self, pos: &BigNat, neg: &BigNat) {
+        self.with_locked(|v| v.adjust_in_place(pos, neg));
+    }
+
+    /// Atomically applies `+pos − neg` and returns `f` applied to the
+    /// **previous** value, borrowed inside the critical section (the
+    /// zero-copy form of [`WideFaa::fetch_adjust`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; the register is left
+    /// unchanged (`f` has already run by then, as in the eager
+    /// `fetch_adjust`).
+    #[inline]
+    pub fn fetch_adjust_with<R>(
+        &self,
+        pos: &BigNat,
+        neg: &BigNat,
+        f: impl FnOnce(&BigNat) -> R,
+    ) -> R {
+        self.with_locked(|v| {
+            let out = f(v);
+            v.adjust_in_place(pos, neg);
+            out
+        })
     }
 
     /// Reads the current value. Equivalent to `fetch_add(0)`, which is
-    /// how the paper's algorithms read the register.
+    /// how the paper's algorithms read the register. Prefer
+    /// [`WideFaa::read_with`] when only a decoded projection is needed.
+    #[inline]
     pub fn load(&self) -> BigNat {
-        self.value.lock().clone()
+        self.with_locked(|v| v.clone())
+    }
+
+    /// Runs `f` on a borrow of the current value inside the critical
+    /// section — a `fetch&add(R, 0)` probe that never materializes a
+    /// snapshot. This is the read entry point the §3 production
+    /// algorithms use for `readMax`/`scan`/recovery probes.
+    ///
+    /// `f` runs while the register lock is held; keep it to short
+    /// decode work.
+    #[inline]
+    pub fn read_with<R>(&self, f: impl FnOnce(&BigNat) -> R) -> R {
+        self.with_locked(|v| f(v))
+    }
+
+    /// Decodes process `i`'s unary lane under the lock — the §3.1
+    /// recovery probe (`fetch&add(R, 0)` then count own-lane bits) as a
+    /// single allocation-free entry point.
+    #[inline]
+    pub fn probe_unary(&self, layout: &Layout, i: usize) -> u64 {
+        self.read_with(|v| layout.decode_unary(i, v))
     }
 
     /// Current width of the stored value in bits — the quantity tracked
     /// by experiment E12 ("extremely large values", Discussion section).
     pub fn bit_len(&self) -> usize {
-        self.value.lock().bit_len()
+        self.with_locked(|v| v.bit_len())
+    }
+}
+
+/// A minimal test-and-test-and-set spinlock. The protected critical
+/// sections are a handful of nanoseconds (an inline `u128` add), so a
+/// full parking mutex costs more than the work it guards; spinning with
+/// a bounded hint-loop then yielding keeps the uncontended path to one
+/// `compare_exchange` + one release store.
+#[derive(Debug, Default)]
+struct RawSpin {
+    locked: AtomicBool,
+}
+
+struct SpinGuard<'a>(&'a RawSpin);
+
+impl RawSpin {
+    const fn new() -> Self {
+        RawSpin {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn acquire(&self) -> SpinGuard<'_> {
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.acquire_slow();
+        }
+        SpinGuard(self)
+    }
+
+    #[cold]
+    fn acquire_slow(&self) {
+        let mut spins = 0u32;
+        loop {
+            // Test-and-test-and-set: spin on a plain load so waiters
+            // don't bounce the cache line with failed RMWs.
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for SpinGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.0.locked.store(false, Ordering::Release);
     }
 }
 
@@ -109,6 +307,50 @@ mod tests {
         let old = r.fetch_adjust(&BigNat::from(0b0001u64), &BigNat::from(0b1000u64));
         assert_eq!(old, BigNat::from(0b1010u64));
         assert_eq!(r.load(), BigNat::from(0b0011u64));
+    }
+
+    #[test]
+    fn borrowed_forms_match_eager_forms() {
+        let r = WideFaa::with_value(BigNat::from(0b1010u64));
+        assert_eq!(r.read_with(|v| v.count_ones()), 2);
+        let ones = r.fetch_add_with(&BigNat::from(0b0100u64), |old| old.count_ones());
+        assert_eq!(ones, 2, "f sees the pre-add value");
+        assert_eq!(r.load(), BigNat::from(0b1110u64));
+        let bits = r.fetch_adjust_with(&BigNat::from(1u64), &BigNat::from(0b1000u64), |old| {
+            old.bit_len()
+        });
+        assert_eq!(bits, 4, "f sees the pre-adjust value");
+        assert_eq!(r.load(), BigNat::from(0b0111u64));
+    }
+
+    #[test]
+    fn write_only_forms_apply() {
+        let r = WideFaa::new();
+        r.add(&BigNat::from(6u64));
+        r.adjust(&BigNat::from(1u64), &BigNat::from(4u64));
+        assert_eq!(r.load(), BigNat::from(3u64));
+    }
+
+    #[test]
+    fn probe_unary_decodes_a_lane() {
+        let layout = Layout::new(3);
+        let r = WideFaa::new();
+        r.add(&layout.unary_increment(1, 0, 4));
+        assert_eq!(r.probe_unary(&layout, 1), 4);
+        assert_eq!(r.probe_unary(&layout, 0), 0);
+    }
+
+    #[test]
+    fn failed_adjust_leaves_register_intact() {
+        let r = WideFaa::with_value(BigNat::from(0b10u64));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.adjust(&BigNat::zero(), &BigNat::from(0b100u64));
+        }));
+        assert!(err.is_err());
+        // The lock must have been released and the value preserved.
+        assert_eq!(r.load(), BigNat::from(0b10u64));
+        r.add(&BigNat::one());
+        assert_eq!(r.load(), BigNat::from(0b11u64));
     }
 
     #[test]
@@ -148,6 +390,50 @@ mod tests {
                 }
             }
             assert_eq!(got, expect, "thread {t} lane");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_borrowed_and_eager_ops() {
+        // Writers use the in-place/borrowed forms; readers use both
+        // load() and read_with(); the final sum must still be exact.
+        let r = Arc::new(WideFaa::new());
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    let delta = BigNat::pow2(t * 40);
+                    for i in 0..500 {
+                        if i % 2 == 0 {
+                            r.add(&delta);
+                        } else {
+                            let _ = r.fetch_add_with(&delta, |old| old.bit_len());
+                        }
+                    }
+                });
+            }
+            let r2 = Arc::clone(&r);
+            s.spawn(move || {
+                // The register value only ever grows (adds, no clears),
+                // so its bit length is monotone; popcount is NOT (a
+                // carry can clear more bits than it sets).
+                let mut last = 0;
+                for _ in 0..200 {
+                    let bits = r2.read_with(|v| v.bit_len());
+                    assert!(bits >= last, "register width regressed");
+                    last = bits;
+                }
+            });
+        });
+        // 500 = 0b111110100; each lane holds 500 in binary at t*40.
+        for t in 0..4usize {
+            let lane: usize = r
+                .load()
+                .one_bits()
+                .filter(|&b| b >= t * 40 && b < t * 40 + 10)
+                .map(|b| 1usize << (b - t * 40))
+                .sum();
+            assert_eq!(lane, 500, "thread {t} lane");
         }
     }
 

@@ -13,7 +13,7 @@
 //! compare&swap retry loop whose successful CAS fixes the
 //! linearization point.
 
-use sl2_bignum::{BigNat, Layout};
+use sl2_bignum::Layout;
 use sl2_primitives::{CompareAndSwap, WideFaa};
 
 use super::MaxRegister;
@@ -56,23 +56,26 @@ impl SlMaxRegister {
 impl MaxRegister for SlMaxRegister {
     fn write_max(&self, process: usize, v: u64) {
         // Step 1: recover prevLocalMax from the own lane (only this
-        // process writes it) via fetch&add(R, 0).
-        let image = self.reg.fetch_add(&BigNat::zero());
-        let prev = self.layout.decode_unary(process, &image);
+        // process writes it) via a fetch&add(R, 0) probe. The borrowed
+        // probe decodes under the register lock — no snapshot of the
+        // whole register is materialized.
+        let prev = self.reg.probe_unary(&self.layout, process);
         if v <= prev {
             return; // the probing fetch&add was the linearization point
         }
-        // Step 2: set lane bits prev+1 ..= v in one fetch&add.
+        // Step 2: set lane bits prev+1 ..= v in one fetch&add (the
+        // write-only form: the previous value is not needed).
         let inc = self.layout.unary_increment(process, prev, v);
-        self.reg.fetch_add(&inc);
+        self.reg.add(&inc);
     }
 
     fn read_max(&self) -> u64 {
-        let image = self.reg.fetch_add(&BigNat::zero());
-        (0..self.layout.processes())
-            .map(|i| self.layout.decode_unary(i, &image))
-            .max()
-            .unwrap_or(0)
+        self.reg.read_with(|image| {
+            (0..self.layout.processes())
+                .map(|i| self.layout.decode_unary(i, image))
+                .max()
+                .unwrap_or(0)
+        })
     }
 }
 

@@ -50,25 +50,26 @@ impl Snapshot for SlSnapshot {
     }
 
     fn update(&self, i: usize, v: u64) {
-        // Step 1: recover prevVal from the own lane.
-        let image = self.reg.fetch_add(&BigNat::zero());
-        let prev = self.layout.decode(i, &image);
+        // Step 1: recover prevVal from the own lane via a borrowed
+        // fetch&add(R, 0) probe — decoded under the register lock, and
+        // allocation-free while the lane stays inline.
+        let prev = self.reg.read_with(|image| self.layout.decode(i, image));
         let new = BigNat::from(v);
         if prev == new {
             return; // linearized at the probing fetch&add
         }
-        // Step 2: one signed fetch&add rewrites exactly the lane.
+        // Step 2: one signed fetch&add rewrites exactly the lane (the
+        // write-only form: the previous value is not needed).
         let (pos, neg) = self.layout.adjustments(i, &prev, &new);
-        self.reg.fetch_adjust(&pos, &neg);
+        self.reg.adjust(&pos, &neg);
     }
 
     fn scan(&self) -> Vec<u64> {
-        let image = self.reg.fetch_add(&BigNat::zero());
-        self.layout
-            .decode_all(&image)
-            .iter()
-            .map(|b| b.to_u64().expect("component fits u64"))
-            .collect()
+        // Single-pass borrowed decode: one u64 vector out, no per-lane
+        // BigNat extraction.
+        self.reg
+            .read_with(|image| self.layout.decode_all_u64(image))
+            .expect("component fits u64")
     }
 }
 

@@ -205,8 +205,11 @@ impl SimMemory {
         self.steps += 1;
         match self.cell(loc) {
             Cell::Wide(cur) => {
+                // One clone for the returned snapshot; the adjustment
+                // itself mutates in place (allocation-free while the
+                // cell stays inline — which every checker scenario does).
                 let old = cur.clone();
-                *cur = old.apply_adjustment(pos, neg);
+                cur.adjust_in_place(pos, neg);
                 old
             }
             other => panic!("wide_adjust on non-wide cell {other:?}"),

@@ -50,13 +50,18 @@ impl BaseObject for FetchAdd {
     const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
 }
 
-/// Atomic fetch&add on a `u128` — the bounded fast path for the §3
-/// interleaved-bit constructions when `n × values` fits in 128 bits
-/// (e.g. a 2-process max register up to 64, or a 4-component snapshot
-/// of 32-bit values). Rust has no portable `AtomicU128`, so the cell
-/// is a short mutex critical section — the same single-linearization-
-/// point argument as [`sl2_bignum::WideFaa`], at a fraction of the
-/// cost.
+/// Atomic fetch&add on a `u128` — a fixed-width register for callers
+/// that know `n × values` fits in 128 bits (e.g. a 2-process max
+/// register up to 64, or a 4-component snapshot of 32-bit values).
+/// Rust has no portable `AtomicU128`, so the cell is a short mutex
+/// critical section — the same single-linearization-point argument as
+/// [`sl2_bignum::WideFaa`].
+///
+/// Since `WideFaa` gained its inline two-limb representation it covers
+/// this whole regime allocation-free *and* grows past it on demand, so
+/// prefer `WideFaa` unless a hard 128-bit bound is itself the point
+/// (this type never spills, so it doubles as a guard that a workload
+/// stays within the bound).
 #[derive(Debug, Default)]
 pub struct FetchAdd128 {
     cell: parking_lot::Mutex<u128>,
@@ -170,6 +175,13 @@ impl BaseObject for CompareAndSwap {
     const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Infinite;
 }
 
+// The wide register is fetch&add on an unbounded value: same position
+// in the hierarchy as the fixed-width fetch&adds (the paper's point is
+// precisely that this level-2 object suffices for the §3 towers).
+impl BaseObject for sl2_bignum::WideFaa {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +277,10 @@ mod tests {
         assert_eq!(FetchAdd::new(0).consensus_number(), ConsensusNumber::Two);
         assert_eq!(FetchAdd128::new(0).consensus_number(), ConsensusNumber::Two);
         assert_eq!(Swap::new(0).consensus_number(), ConsensusNumber::Two);
+        assert_eq!(
+            sl2_bignum::WideFaa::new().consensus_number(),
+            ConsensusNumber::Two
+        );
         assert_eq!(
             CompareAndSwap::new(0).consensus_number(),
             ConsensusNumber::Infinite

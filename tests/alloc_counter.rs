@@ -1,0 +1,156 @@
+//! Allocation-count regression guard for the §3 hot paths.
+//!
+//! The inline-`u128` `BigNat` representation plus the borrowed
+//! `WideFaa` decode entry points promise that small-value operations on
+//! the Theorem 1/2 production forms never touch the heap (ISSUE 2 /
+//! DESIGN.md §2). This suite pins that with a counting global
+//! allocator: a drift back to clone-based critical sections or
+//! allocating decodes fails loudly here rather than as a quiet bench
+//! regression.
+//!
+//! The counter is thread-local so concurrently running tests in this
+//! binary cannot pollute each other's counts; each assertion only
+//! measures work done on its own thread (the operations under test are
+//! single-threaded by design — concurrency is covered elsewhere).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use sl2::prelude::*;
+use sl2_bignum::{BigNat, WideFaa};
+use sl2_core::algos::fetch_inc::WideFetchInc;
+use sl2_core::algos::max_register::SlMaxRegister;
+use sl2_core::algos::snapshot::SlSnapshot;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Forwards to the system allocator, counting allocations (and
+/// growth-reallocations) made by the current thread.
+struct CountingAlloc;
+
+// SAFETY: delegates to `System`; the thread-local is const-initialized
+// (no lazy init, no destructor), so it is safe to touch from the
+// allocator itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations made by the current thread while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.with(|c| c.get());
+    let out = f();
+    (ALLOCS.with(|c| c.get()) - before, out)
+}
+
+#[test]
+fn small_value_max_register_ops_are_allocation_free() {
+    // n = 4 processes, values ≤ 16: register ≤ 64 bits — inline.
+    let m = SlMaxRegister::new(4);
+    // Warm-up: first writes grow nothing (the register is inline from
+    // the start), but run one full round anyway so any one-time setup
+    // is excluded from the measurement.
+    for p in 0..4 {
+        m.write_max(p, 4);
+    }
+    let _ = m.read_max();
+
+    let (n, _) = allocs_during(|| {
+        for round in 0..8u64 {
+            for p in 0..4 {
+                m.write_max(p, 5 + round); // growing: probe + faa
+                m.write_max(p, 1); // stale: probe only
+            }
+        }
+    });
+    assert_eq!(n, 0, "write_max allocated on the small-value path");
+
+    let (n, last) = allocs_during(|| {
+        let mut last = 0;
+        for _ in 0..100 {
+            last = m.read_max();
+        }
+        last
+    });
+    assert_eq!(n, 0, "read_max allocated on the small-value path");
+    assert_eq!(last, 12, "4 + 8 rounds of growth");
+}
+
+#[test]
+fn small_value_snapshot_update_is_allocation_free() {
+    // n = 4 components of ≤ 32-bit values: register ≤ 128 bits — inline.
+    let s = SlSnapshot::new(4);
+    for i in 0..4 {
+        s.update(i, i as u64 + 1);
+    }
+    let (n, _) = allocs_during(|| {
+        for round in 0..16u64 {
+            for i in 0..4 {
+                s.update(i, round * 7 + i as u64);
+            }
+        }
+    });
+    assert_eq!(n, 0, "update allocated on the small-value path");
+    // scan returns a Vec — exactly one allocation per call, nothing
+    // else (no per-lane BigNat extraction).
+    let (n, view) = allocs_during(|| s.scan());
+    assert_eq!(n, 1, "scan should allocate the output vector only");
+    assert_eq!(view, vec![105, 106, 107, 108]);
+}
+
+#[test]
+fn wide_faa_inline_ops_are_allocation_free() {
+    let r = WideFaa::with_value(BigNat::pow2(100));
+    let delta = BigNat::from(3u64);
+    let (n, _) = allocs_during(|| {
+        for _ in 0..1000 {
+            let _old = r.fetch_add(&delta);
+            r.add(&delta);
+            let _bits = r.read_with(|v| v.bit_len());
+            let _ones = r.fetch_add_with(&delta, |old| old.count_ones());
+        }
+    });
+    assert_eq!(n, 0, "inline WideFaa ops must stay off the heap");
+}
+
+#[test]
+fn wide_fetch_inc_small_counts_are_allocation_free() {
+    let c = WideFetchInc::new(2);
+    // Warm-up.
+    c.fetch_inc(0);
+    c.fetch_inc(1);
+    let (n, _) = allocs_during(|| {
+        // 2 lanes × ~30 more increments ≈ 64 bits total — inline.
+        for i in 0..60u64 {
+            c.fetch_inc((i % 2) as usize);
+        }
+        c.read()
+    });
+    assert_eq!(n, 0, "fetch_inc allocated on the small-value path");
+    assert_eq!(c.read(), 63);
+}
+
+#[test]
+fn heap_path_still_works_under_the_counter() {
+    // Sanity check that the counter itself observes heap traffic, so
+    // the zero assertions above are meaningful.
+    let (n, v) = allocs_during(|| BigNat::pow2(1000));
+    assert!(n >= 1, "pow2(1000) must allocate limbs");
+    assert!(!v.is_inline());
+}
