@@ -1,0 +1,269 @@
+//! Experiments E19–E21 — the sharded runtime layer under contention
+//! (see EXPERIMENTS.md).
+//!
+//! Series reported:
+//! * `sharded_write_max/*` — contended write_max makespan for the
+//!   global Theorem-1 register vs `ShardedMaxRegister` at S ∈ {1, 4, 16}
+//!   across 1..=16 threads (E19's scaling sweep; the ISSUE-3
+//!   acceptance bar is S=16 beating global at ≥ 8 threads);
+//! * `sharded_write_max_zipf/*` — the same sweep under zipf-skewed
+//!   values, the regime where hot keys re-concentrate shards;
+//! * `sharded_mixed/*` — 3:1 write:read mix, paying the fold reads;
+//! * `sharded_counter/*` — striped increments (E21) for the global
+//!   `WideFetchInc` vs `ShardedFetchInc` at S ∈ {4, 16}, plus the
+//!   exact vs relaxed read cost at a fixed shard count;
+//! * `sharded_snapshot/*` — update makespan for the global Theorem-2
+//!   snapshot vs lane groups of width 2, and the three scan
+//!   granularities (E20's cost side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_bench::{parallel_duration, ValueStream, ZipfStream};
+use sl2_core::algos::fetch_inc::WideFetchInc;
+use sl2_core::algos::max_register::SlMaxRegister;
+use sl2_core::algos::snapshot::SlSnapshot;
+use sl2_core::algos::{MaxRegister, Snapshot};
+use sl2_sharded::{RelaxedShardedCounter, ShardedFetchInc, ShardedMaxRegister, ShardedSnapshot};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Bounded values keep the unary lanes short and the comparison fair
+/// (same bound as the E2 max-register bench).
+const VALUE_BOUND: u64 = 64;
+
+/// Per-thread operations per measured makespan.
+const OPS: u64 = 2_000;
+
+/// Thread counts for the scaling sweeps. 16 deliberately oversubscribes
+/// small CI machines — that is the contended regime the sharding
+/// exists for.
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn write_workload<M: MaxRegister>(m: &M, t: usize, zipf: bool) {
+    let mut uniform = ValueStream::new(t as u64 + 1);
+    let mut skewed = ZipfStream::new(t as u64 + 1, VALUE_BOUND);
+    for _ in 0..OPS {
+        let v = if zipf {
+            skewed.next_value()
+        } else {
+            uniform.next_in(VALUE_BOUND)
+        };
+        m.write_max(t, v);
+    }
+}
+
+fn mixed_workload<M: MaxRegister>(m: &M, t: usize) {
+    let mut vals = ValueStream::new(t as u64 + 1);
+    for k in 0..OPS {
+        if k % 4 == 3 {
+            black_box(m.read_max());
+        } else {
+            m.write_max(t, vals.next_in(VALUE_BOUND));
+        }
+    }
+}
+
+fn bench_write_max(c: &mut Criterion) {
+    for (group_name, zipf) in [
+        ("sharded_write_max", false),
+        ("sharded_write_max_zipf", true),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(10);
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new("global", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let m = SlMaxRegister::new(threads);
+                            total += parallel_duration(threads, |t| write_workload(&m, t, zipf));
+                        }
+                        total
+                    });
+                },
+            );
+            for shards in [1usize, 4, 16] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sharded_s{shards}"), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter_custom(|iters| {
+                            let mut total = Duration::ZERO;
+                            for _ in 0..iters {
+                                let m = ShardedMaxRegister::new(threads, shards);
+                                total +=
+                                    parallel_duration(threads, |t| write_workload(&m, t, zipf));
+                            }
+                            total
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_mixed");
+    group.sample_size(10);
+    for threads in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("global", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = SlMaxRegister::new(threads);
+                        total += parallel_duration(threads, |t| mixed_workload(&m, t));
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_s16", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = ShardedMaxRegister::new(threads, 16);
+                        total += parallel_duration(threads, |t| mixed_workload(&m, t));
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_counter");
+    group.sample_size(10);
+    for threads in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("global_wide", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let c = WideFetchInc::new(threads);
+                        total += parallel_duration(threads, |t| {
+                            for _ in 0..OPS {
+                                black_box(c.fetch_inc(t));
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+        for shards in [4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_s{shards}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let c = ShardedFetchInc::new(threads, shards);
+                            total += parallel_duration(threads, |t| {
+                                for _ in 0..OPS {
+                                    black_box(c.inc(t));
+                                }
+                            });
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+
+    // Read-path costs at a fixed population (single-thread latency).
+    group.bench_function("read_exact_s16", |b| {
+        let c = ShardedFetchInc::new(4, 16);
+        for i in 0..64 {
+            c.inc(i % 4);
+        }
+        b.iter(|| black_box(c.read()));
+    });
+    group.bench_function("read_relaxed_s16", |b| {
+        let c = RelaxedShardedCounter::new(4, 16);
+        for i in 0..64 {
+            c.inc(i % 4);
+        }
+        b.iter(|| black_box(c.read()));
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_snapshot");
+    group.sample_size(10);
+    for threads in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("update_global", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let s = SlSnapshot::new(threads);
+                        total += parallel_duration(threads, |t| {
+                            let mut vals = ValueStream::new(t as u64 + 1);
+                            for _ in 0..OPS {
+                                s.update(t, vals.next_in(VALUE_BOUND));
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("update_groups2", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let s = ShardedSnapshot::new(threads, 2);
+                        total += parallel_duration(threads, |t| {
+                            let mut vals = ValueStream::new(t as u64 + 1);
+                            for _ in 0..OPS {
+                                s.update(t, vals.next_in(VALUE_BOUND));
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+    }
+
+    // Scan granularities at a fixed population (single-thread latency).
+    let s = ShardedSnapshot::new(8, 2);
+    for i in 0..8 {
+        s.update(i, i as u64 + 1);
+    }
+    group.bench_function("scan_group", |b| b.iter(|| black_box(s.scan_group(1))));
+    group.bench_function("scan_stable", |b| b.iter(|| black_box(s.scan())));
+    group.bench_function("scan_relaxed", |b| b.iter(|| black_box(s.scan_relaxed())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_write_max,
+    bench_mixed,
+    bench_counter,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -60,6 +60,59 @@ impl ValueStream {
     }
 }
 
+/// Zipf-skewed value stream over `0..bound` (exponent ≈ 1): rank `k`
+/// appears with probability ∝ 1/(k+1), approximated by the inverse-CDF
+/// `rank = bound^u − 1` for uniform `u`. Used by the contention benches
+/// to model the hot-key skew real traffic exhibits — under skew most
+/// operations hash to few shards, which is exactly the regime where
+/// sharding's win shrinks (experiment E19).
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    uniform: ValueStream,
+    bound: u64,
+}
+
+impl ZipfStream {
+    /// Creates a skewed stream over `0..bound` from a non-zero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn new(seed: u64, bound: u64) -> Self {
+        assert!(bound > 0, "zipf stream needs a non-empty range");
+        ZipfStream {
+            uniform: ValueStream::new(seed),
+            bound,
+        }
+    }
+
+    /// Next skewed value in `0..bound` (0 is the hottest).
+    pub fn next_value(&mut self) -> u64 {
+        // u ∈ [0, 1) with 53-bit resolution.
+        let u = (self.uniform.next_value() >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = (self.bound as f64).powf(u) - 1.0;
+        (rank as u64).min(self.bound - 1)
+    }
+}
+
+/// Runs `f(threads, thread_id)` under [`parallel_duration`] for every
+/// thread count in `counts`, returning `(threads, makespan)` pairs —
+/// the scaling series shape used by E19's sweeps.
+///
+/// Threads are barrier-released but not CPU-pinned: affinity syscalls
+/// need `libc`, which the offline vendor set does not include. On the
+/// multi-socket machines where pinning matters, re-pointing the vendor
+/// shims at crates.io (see ROADMAP) is the intended path.
+pub fn sweep_threads<F>(counts: &[usize], f: F) -> Vec<(usize, Duration)>
+where
+    F: Fn(usize, usize) + Sync,
+{
+    counts
+        .iter()
+        .map(|&threads| (threads, parallel_duration(threads, |t| f(threads, t))))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +137,28 @@ mod tests {
             assert_eq!(x, b.next_in(50));
             assert!(x < 50);
         }
+    }
+
+    #[test]
+    fn zipf_stream_is_bounded_and_skewed() {
+        let mut z = ZipfStream::new(11, 64);
+        let mut hits = [0u32; 64];
+        for _ in 0..4000 {
+            hits[z.next_value() as usize] += 1;
+        }
+        let head: u32 = hits[..8].iter().sum();
+        let tail: u32 = hits[56..].iter().sum();
+        assert!(
+            head > 4 * tail,
+            "zipf head {head} should dominate tail {tail}"
+        );
+        assert!(hits.iter().sum::<u32>() == 4000);
+    }
+
+    #[test]
+    fn sweep_threads_reports_each_count() {
+        let points = sweep_threads(&[1, 2, 4], |_, _| {});
+        let counts: Vec<usize> = points.iter().map(|(t, _)| *t).collect();
+        assert_eq!(counts, vec![1, 2, 4]);
     }
 }

@@ -39,6 +39,7 @@ pub mod history;
 pub mod lin;
 pub mod machine;
 pub mod mem;
+pub mod scenarios;
 pub mod sched;
 pub mod strong;
 
@@ -46,6 +47,7 @@ pub use history::{History, OpId};
 pub use lin::{is_linearizable, linearize};
 pub use machine::{Algorithm, OpMachine, Step};
 pub use mem::{ArrayLoc, Cell, Loc, SimMemory, Word};
+pub use scenarios::{fan_in, symmetric};
 pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
 pub use strong::{
     check_strong, check_strong_with, for_each_history, StrongOptions, StrongReport, Witness,

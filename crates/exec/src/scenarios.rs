@@ -1,0 +1,82 @@
+//! Scenario builders for the checker regressions.
+//!
+//! The sharded-composition tests (DESIGN.md §6) exercise the same two
+//! scenario shapes over and over: a *fan-in* (independent single-op
+//! writers racing one multi-op reader — the shape that distinguishes
+//! collect-frontier reads from single-step reads) and a *symmetric*
+//! race (every process runs the same list). Building them by hand
+//! obscures which process is which; these helpers name the roles.
+
+use sl2_spec::Spec;
+
+use crate::sched::Scenario;
+
+/// One single-op process per element of `writer_ops`, plus a final
+/// process running `reader_ops`: the canonical shape for probing how an
+/// implementation's reads behave while independent writers complete
+/// around them. Process `i` runs `writer_ops[i]`; the reader is process
+/// `writer_ops.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_exec::scenarios::fan_in;
+/// use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
+///
+/// let s = fan_in::<MaxRegisterSpec>(vec![MaxOp::Write(2), MaxOp::Write(5)], vec![MaxOp::Read]);
+/// assert_eq!(s.processes(), 3);
+/// assert_eq!(s.ops[2], vec![MaxOp::Read]);
+/// ```
+pub fn fan_in<S: Spec>(writer_ops: Vec<S::Op>, reader_ops: Vec<S::Op>) -> Scenario<S> {
+    let mut ops: Vec<Vec<S::Op>> = writer_ops.into_iter().map(|op| vec![op]).collect();
+    ops.push(reader_ops);
+    Scenario::new(ops)
+}
+
+/// `processes` identical processes, each running `ops` in order — the
+/// all-against-all race used by the contention-shaped checker
+/// scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_exec::scenarios::symmetric;
+/// use sl2_spec::counters::{CounterOp, CounterSpec};
+///
+/// let s = symmetric::<CounterSpec>(3, vec![CounterOp::Inc, CounterOp::Read]);
+/// assert_eq!(s.processes(), 3);
+/// assert_eq!(s.total_ops(), 6);
+/// ```
+pub fn symmetric<S: Spec>(processes: usize, ops: Vec<S::Op>) -> Scenario<S> {
+    Scenario::new((0..processes).map(|_| ops.clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_spec::counters::{CounterOp, CounterSpec};
+
+    #[test]
+    fn fan_in_assigns_one_op_per_writer() {
+        let s = fan_in::<CounterSpec>(
+            vec![CounterOp::Inc, CounterOp::Inc],
+            vec![CounterOp::Read, CounterOp::Read],
+        );
+        assert_eq!(s.processes(), 3);
+        assert_eq!(s.ops[0], vec![CounterOp::Inc]);
+        assert_eq!(s.ops[1], vec![CounterOp::Inc]);
+        assert_eq!(s.ops[2], vec![CounterOp::Read, CounterOp::Read]);
+    }
+
+    #[test]
+    fn fan_in_with_no_writers_is_a_solo_reader() {
+        let s = fan_in::<CounterSpec>(vec![], vec![CounterOp::Read]);
+        assert_eq!(s.processes(), 1);
+    }
+
+    #[test]
+    fn symmetric_clones_the_list() {
+        let s = symmetric::<CounterSpec>(4, vec![CounterOp::Inc]);
+        assert!(s.ops.iter().all(|l| l == &vec![CounterOp::Inc]));
+    }
+}

@@ -41,12 +41,14 @@ mod arrays;
 mod consensus;
 mod register;
 mod rmw;
+mod sharding;
 mod tas;
 
 pub use arrays::ChunkedArray;
 pub use consensus::{BaseObject, ConsensusNumber};
 pub use register::{BoolRegister, Register};
 pub use rmw::{CompareAndSwap, FetchAdd, FetchAdd128, Swap};
+pub use sharding::{CachePadded, Sharding, MAX_SHARDS};
 pub use tas::{ReadableTestAndSet, TestAndSet, TwoProcessTestAndSet};
 
 // Re-export the wide fetch&add register so the full level-2 toolkit is

@@ -1,0 +1,208 @@
+//! Cache-line padding and shard-index helpers for the sharded runtime
+//! layer (`sl2_sharded`).
+//!
+//! Sharding the §3 objects replaces one global wide register with `S`
+//! independent ones. That only relieves contention if the shards do not
+//! share cache lines: two spinlocks in one 64-byte line still bounce a
+//! single line between cores (false sharing), which erases the win the
+//! sharding exists to buy. [`CachePadded`] pins each shard to its own
+//! line; [`Sharding`] centralizes the index arithmetic so the
+//! production forms and the checker step machines provably agree on
+//! which shard an operation touches.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to a 64-byte cache line so adjacent array
+/// elements never share a line.
+///
+/// 64 bytes is the line size of every mainstream x86-64 and aarch64
+/// part this repo targets; on machines with 128-byte lines the wrapper
+/// halves, but does not eliminate, the benefit.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_primitives::CachePadded;
+///
+/// let shards: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+/// assert_eq!(*shards[2], 2);
+/// assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(align(64))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Upper bound on shard counts accepted by [`Sharding`].
+///
+/// The sharded read paths keep their collect buffers on the stack
+/// (`[u64; MAX_SHARDS]`) so folds stay allocation-free; 64 shards is
+/// far past the point of diminishing contention returns on any machine
+/// this repo targets.
+pub const MAX_SHARDS: usize = 64;
+
+/// Shard-index arithmetic shared by `sl2_sharded`'s production forms
+/// and step machines.
+///
+/// The maps are plain residues, deliberately: the checker scenarios in
+/// DESIGN.md §6 reason about *which* shard each operation touches, and
+/// a mixing hash would make those scenarios unreadable without making
+/// the contention story better (the benches drive skew explicitly
+/// through their value streams instead).
+///
+/// # Examples
+///
+/// ```
+/// use sl2_primitives::Sharding;
+///
+/// let sharding = Sharding::new(4);
+/// assert_eq!(sharding.of_value(10), 2);
+/// assert_eq!(sharding.of_process(5), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sharding {
+    shards: usize,
+}
+
+impl Sharding {
+    /// Creates an index map over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds [`MAX_SHARDS`].
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "sharding requires at least one shard");
+        assert!(
+            shards <= MAX_SHARDS,
+            "sharding capped at {MAX_SHARDS} shards (stack collect buffers)"
+        );
+        Sharding { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Home shard of a value (value-hashed objects: max registers).
+    pub fn of_value(&self, v: u64) -> usize {
+        (v % self.shards as u64) as usize
+    }
+
+    /// Home shard of a process (process-striped objects: counters).
+    pub fn of_process(&self, p: usize) -> usize {
+        p % self.shards
+    }
+
+    /// Probes every shard with `probe` until two consecutive collects
+    /// agree, returning the stable collect (entries past
+    /// `self.shards()` are zero). This is the shared read discipline of
+    /// the sharded objects: shard projections are monotone, so equal
+    /// collects pin each shard to its observed value over an interval
+    /// common to all of them — the stable collect is an exact cut.
+    /// Lock-free (a retry implies a concurrent write completed) and
+    /// allocation-free: the buffers live on the stack, which is what
+    /// [`MAX_SHARDS`] exists to bound.
+    pub fn stable_collect(&self, mut probe: impl FnMut(usize) -> u64) -> [u64; MAX_SHARDS] {
+        let s = self.shards;
+        let mut prev = [0u64; MAX_SHARDS];
+        let mut have_prev = false;
+        loop {
+            let mut cur = [0u64; MAX_SHARDS];
+            for (i, slot) in cur.iter_mut().enumerate().take(s) {
+                *slot = probe(i);
+            }
+            if have_prev && prev[..s] == cur[..s] {
+                return cur;
+            }
+            prev = cur;
+            have_prev = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 64);
+        let mut c = CachePadded::new(5u32);
+        *c += 1;
+        assert_eq!(*c, 6);
+        assert_eq!(c.into_inner(), 6);
+    }
+
+    #[test]
+    fn padded_array_elements_live_on_distinct_lines() {
+        let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        let a = &v[0] as *const _ as usize;
+        let b = &v[1] as *const _ as usize;
+        assert!(b - a >= 64, "adjacent shards {a:#x}/{b:#x} share a line");
+    }
+
+    #[test]
+    fn sharding_maps_are_total_and_in_range() {
+        let s = Sharding::new(3);
+        for v in 0..100u64 {
+            assert!(s.of_value(v) < 3);
+        }
+        for p in 0..100usize {
+            assert!(s.of_process(p) < 3);
+        }
+        assert_eq!(Sharding::new(1).of_value(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn sharding_rejects_oversized_counts() {
+        let _ = Sharding::new(MAX_SHARDS + 1);
+    }
+
+    #[test]
+    fn stable_collect_retries_until_quiescent() {
+        // A probe that moves once: the first collect sees the old value
+        // somewhere, so a second (and third) pass must run before two
+        // consecutive collects agree.
+        let s = Sharding::new(3);
+        let mut calls = 0;
+        let stable = s.stable_collect(|i| {
+            calls += 1;
+            if calls <= 2 {
+                0 // first pass sees shards 0 and 1 before the "write"
+            } else {
+                (i as u64) + 10
+            }
+        });
+        assert_eq!(&stable[..3], &[10, 11, 12]);
+        assert_eq!(stable[3..], [0u64; MAX_SHARDS - 3]);
+        assert!(calls >= 9, "at least three full passes: {calls}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Value-sharded max register: `S` Theorem-1 registers, one per value
+//! residue class, production form.
+//!
+//! `write_max(p, v)` runs the exact §3.1 algorithm against the home
+//! shard of `v` — a probing `fetch&add(R, 0)` on the own lane, then (if
+//! growing) one `fetch&add` setting the missing unary bits — so every
+//! write keeps a *fixed* linearization point on a single base object
+//! and stays wait-free in 1–2 steps. Contending writers only collide
+//! when their values share a residue class; each shard sits on its own
+//! cache line ([`CachePadded`]).
+//!
+//! # The quotient encoding
+//!
+//! Shard `s` only ever stores values `≡ s (mod S)`, so it does not
+//! store `v` in unary — it stores the *quotient count* `⌊v/S⌋ + 1`
+//! (the `+ 1` keeps "wrote the value `s` itself" distinguishable from
+//! "never wrote"). The map `v ↦ ⌊v/S⌋ + 1` is monotone and bijective
+//! within a residue class, so each shard is still exactly a Theorem-1
+//! max register over its class — but every probe and fetch&add now
+//! touches a register `1/S`-th the width of the global construction's.
+//! Sharding therefore buys *width localization* on top of contention
+//! relief: with values below `64·S`, every shard stays on `BigNat`'s
+//! inline path while the equivalent global register has long since
+//! spilled to limb vectors (experiment E19 measures exactly this).
+//!
+//! `read_max` folds the shard maxima and must therefore visit `S` base
+//! objects: it collects the per-shard folds until two consecutive
+//! collects agree (the \[18, 27\] discipline the repo's read/write max
+//! register already uses), which makes the read **exact and
+//! linearizable, but only lock-free** — and strongly linearizable only
+//! on scenario families where no shard can change behind the reader's
+//! collect frontier. DESIGN.md §6 states the boundary precisely;
+//! `sl2_sharded::machines` + `check_strong` adjudicate it.
+
+use sl2_bignum::Layout;
+use sl2_core::algos::MaxRegister;
+use sl2_primitives::{CachePadded, Sharding, WideFaa};
+
+/// A max register striped over `S` per-residue-class Theorem-1
+/// registers.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_sharded::ShardedMaxRegister;
+/// use sl2_core::algos::MaxRegister;
+///
+/// let m = ShardedMaxRegister::new(2, 4);
+/// m.write_max(0, 5);
+/// m.write_max(1, 3);
+/// assert_eq!(m.read_max(), 5);
+/// ```
+#[derive(Debug)]
+pub struct ShardedMaxRegister {
+    shards: Box<[CachePadded<WideFaa>]>,
+    layout: Layout,
+    sharding: Sharding,
+}
+
+impl ShardedMaxRegister {
+    /// Creates a max register shared by `n` processes over `shards`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `shards == 0`, or `shards` exceeds
+    /// [`sl2_primitives::MAX_SHARDS`].
+    pub fn new(n: usize, shards: usize) -> Self {
+        let sharding = Sharding::new(shards);
+        ShardedMaxRegister {
+            shards: (0..shards)
+                .map(|_| CachePadded::new(WideFaa::new()))
+                .collect(),
+            layout: Layout::new(n),
+            sharding,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.sharding.shards()
+    }
+
+    /// Total width of the backing registers in bits (experiment E12's
+    /// growth measure, summed over shards).
+    pub fn register_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.bit_len()).sum()
+    }
+
+    /// The fold of one shard: the largest per-lane quotient count
+    /// (0 = the shard has never been written).
+    fn shard_fold(&self, s: usize) -> u64 {
+        self.shards[s].read_with(|image| {
+            (0..self.layout.processes())
+                .map(|i| self.layout.decode_unary(i, image))
+                .max()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Decodes a shard fold back into the value it stands for.
+    fn fold_value(&self, s: usize, count: u64) -> u64 {
+        if count == 0 {
+            0
+        } else {
+            (count - 1) * self.sharding.shards() as u64 + s as u64
+        }
+    }
+}
+
+impl MaxRegister for ShardedMaxRegister {
+    fn write_max(&self, process: usize, v: u64) {
+        let shards = self.sharding.shards() as u64;
+        let shard = &self.shards[self.sharding.of_value(v)];
+        // Quotient encoding of v in its residue class.
+        let count = v / shards + 1;
+        // §3.1 against the home shard. Lane `process` of this shard is
+        // only ever written by `process` (for any value in the shard's
+        // residue class), so the probe-then-add is regression-free.
+        let prev = shard.probe_unary(&self.layout, process);
+        if count <= prev {
+            return; // linearized at the probing fetch&add
+        }
+        let inc = self.layout.unary_increment(process, prev, count);
+        shard.add(&inc);
+    }
+
+    fn read_max(&self) -> u64 {
+        // Stable collect of the per-shard folds (see
+        // `Sharding::stable_collect`): the returned fold is the exact
+        // maximum at one instant inside the read.
+        let stable = self.sharding.stable_collect(|i| self.shard_fold(i));
+        (0..self.sharding.shards())
+            .map(|i| self.fold_value(i, stable[i]))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics_match_spec() {
+        let m = ShardedMaxRegister::new(3, 4);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(1, 7);
+        m.write_max(0, 3);
+        assert_eq!(m.read_max(), 7);
+        m.write_max(2, 7); // equal value, different process
+        assert_eq!(m.read_max(), 7);
+        m.write_max(0, 12);
+        assert_eq!(m.read_max(), 12);
+        m.write_max(1, 5); // smaller, different shard than 12
+        assert_eq!(m.read_max(), 12);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_the_global_register() {
+        let sharded = ShardedMaxRegister::new(2, 1);
+        let global = sl2_core::algos::max_register::SlMaxRegister::new(2);
+        for (p, v) in [(0, 4u64), (1, 9), (0, 2), (1, 9), (0, 11)] {
+            sharded.write_max(p, v);
+            global.write_max(p, v);
+            assert_eq!(sharded.read_max(), global.read_max());
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_monotone_readers() {
+        let n = 4;
+        let m = Arc::new(ShardedMaxRegister::new(n, 4));
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for v in 1..=50u64 {
+                        m.write_max(p, v * (p as u64 + 1));
+                    }
+                });
+            }
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..200 {
+                    let v = m2.read_max();
+                    assert!(v >= last, "max register regressed: {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(m.read_max(), 200, "4 * 50 is the largest write");
+    }
+
+    #[test]
+    fn values_land_on_their_residue_shards_in_quotient_form() {
+        let m = ShardedMaxRegister::new(2, 2);
+        m.write_max(0, 4); // even shard: count = 4/2 + 1
+        assert_eq!(m.shard_fold(0), 3);
+        assert_eq!(m.fold_value(0, 3), 4);
+        assert_eq!(m.shard_fold(1), 0, "odd shard untouched");
+        m.write_max(1, 7); // odd shard: count = 7/2 + 1
+        assert_eq!(m.shard_fold(1), 4);
+        assert_eq!(m.fold_value(1, 4), 7);
+        assert_eq!(m.read_max(), 7);
+    }
+
+    #[test]
+    fn zero_is_writable_and_distinct_from_never_written() {
+        let m = ShardedMaxRegister::new(2, 4);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(0, 0); // count 1 in shard 0: a real write of 0
+        assert_eq!(m.shard_fold(0), 1);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(1, 3);
+        assert_eq!(m.read_max(), 3);
+    }
+
+    #[test]
+    fn quotient_encoding_keeps_small_shards_inline() {
+        // Values below 64·S keep every lane count ≤ 64, so with few
+        // processes the shard registers stay within the inline 128-bit
+        // representation — the E19 width-localization claim.
+        let m = ShardedMaxRegister::new(2, 16);
+        for v in 0..(64 * 16) {
+            m.write_max((v % 2) as usize, v);
+        }
+        assert_eq!(m.read_max(), 64 * 16 - 1);
+        for s in 0..16 {
+            assert!(
+                m.shards[s].read_with(|image| image.is_inline()),
+                "shard {s} spilled off the inline path"
+            );
+        }
+        // The equivalent global register is far past 128 bits.
+        let g = sl2_core::algos::max_register::SlMaxRegister::new(2);
+        g.write_max(0, 64 * 16 - 1);
+        assert!(g.register_bits() > 128);
+    }
+
+    #[test]
+    fn register_bits_grow_with_values() {
+        let m = ShardedMaxRegister::new(2, 2);
+        assert_eq!(m.register_bits(), 0);
+        m.write_max(0, 10);
+        let bits_10 = m.register_bits();
+        m.write_max(0, 100);
+        assert!(m.register_bits() > bits_10, "unary encoding grows");
+    }
+}

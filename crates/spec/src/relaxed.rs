@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use crate::counters::{CounterOp, CounterResp};
 use crate::fifo::{QueueOp, QueueResp, StackOp, StackResp};
 use crate::{Spec, Value};
 
@@ -325,6 +326,48 @@ impl Spec for OutOfOrderQueueSpec {
     }
 }
 
+// ---------------------------------------------------------------------
+// k-lagging counter
+// ---------------------------------------------------------------------
+
+/// k-lagging monotonic counter, the counter-shaped analogue of the
+/// k-out-of-order relaxation: `Inc` is exact, but `Read` may return any
+/// value in `[count − k, count]` (never below 0). A 0-lagging counter
+/// is the exact [`crate::counters::CounterSpec`].
+///
+/// This is the specification a *sharded* counter with a one-pass
+/// sum-read meets **strongly** on bounded scenarios: a read that sweeps
+/// the shards once can miss an increment that landed behind its sweep
+/// frontier while catching a later one ahead of it, so its value lags
+/// the exact count by at most the number of increments concurrent with
+/// the sweep. Against the exact counter the sweep stays linearizable
+/// per history but loses prefix closure (DESIGN.md §6; the checker
+/// exhibits the `Witness` in `tests/non_sl_witnesses.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaggingCounterSpec {
+    /// Maximum lag a `Read` may exhibit.
+    pub k: Value,
+}
+
+impl Spec for LaggingCounterSpec {
+    type State = Value;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> Value {
+        0
+    }
+
+    fn step(&self, s: &Value, op: &CounterOp) -> Vec<(Value, CounterResp)> {
+        match op {
+            CounterOp::Inc => vec![(s + 1, CounterResp::Ok)],
+            CounterOp::Read => (s.saturating_sub(self.k)..=*s)
+                .map(|v| (*s, CounterResp::Value(v)))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +500,45 @@ mod tests {
         let outcomes = spec.step(&spec.initial(), &QueueOp::Deq);
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].1, QueueResp::Empty);
+    }
+
+    #[test]
+    fn lagging_counter_read_window() {
+        let spec = LaggingCounterSpec { k: 1 };
+        let seq = vec![
+            (CounterOp::Inc, CounterResp::Ok),
+            (CounterOp::Inc, CounterResp::Ok),
+            (CounterOp::Read, CounterResp::Value(1)), // lags by one
+            (CounterOp::Read, CounterResp::Value(2)), // exact
+        ];
+        assert!(is_legal(&spec, &seq));
+        let too_stale = vec![
+            (CounterOp::Inc, CounterResp::Ok),
+            (CounterOp::Inc, CounterResp::Ok),
+            (CounterOp::Read, CounterResp::Value(0)), // lag 2 > k
+        ];
+        assert!(!is_legal(&spec, &too_stale));
+        let ahead = vec![(CounterOp::Read, CounterResp::Value(1))];
+        assert!(!is_legal(&spec, &ahead), "reads never run ahead");
+    }
+
+    #[test]
+    fn zero_lagging_counter_is_exact() {
+        let spec = LaggingCounterSpec { k: 0 };
+        let mut s = spec.initial();
+        spec.apply(&mut s, &CounterOp::Inc);
+        assert_eq!(
+            spec.apply(&mut s, &CounterOp::Read),
+            CounterResp::Value(1),
+            "k = 0 leaves a single legal read"
+        );
+    }
+
+    #[test]
+    fn lagging_counter_never_goes_negative() {
+        let spec = LaggingCounterSpec { k: 5 };
+        let outcomes = spec.step(&spec.initial(), &CounterOp::Read);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1, CounterResp::Value(0));
     }
 }

@@ -32,6 +32,10 @@
 //! * [`sl2_agreement`] — Section 5: k-ordering objects (Definition
 //!   11), Algorithm B (Lemma 12), test&set consensus; the executable
 //!   content of the impossibility theorems.
+//! * [`sl2_sharded`] — the lane-group-sharded runtime layer: the §3
+//!   objects striped over many cache-line-padded wide registers for
+//!   contended workloads, with the semantic cost of each sharding
+//!   adjudicated by the checker (DESIGN.md §6).
 //!
 //! ## Quick start
 //!
@@ -48,6 +52,29 @@
 //!     }
 //! });
 //! assert_eq!(max.read_max(), 40);
+//! ```
+//!
+//! Under real contention, stripe the same object across shards — writes
+//! keep their fixed per-shard linearization points, reads fold a stable
+//! collect (exact, lock-free; see DESIGN.md §6 for what sharding costs
+//! in strong linearizability):
+//!
+//! ```
+//! use sl2::prelude::*;
+//!
+//! // 4 threads over 4 cache-line-padded Theorem-1 shards.
+//! let max = ShardedMaxRegister::new(4, 4);
+//! std::thread::scope(|s| {
+//!     for p in 0..4 {
+//!         let max = &max;
+//!         s.spawn(move || {
+//!             for v in 1..=25u64 {
+//!                 max.write_max(p, v * (p as u64 + 1));
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(max.read_max(), 100);
 //! ```
 //!
 //! ## Verifying strong linearizability yourself
@@ -75,6 +102,7 @@ pub use sl2_bignum as bignum;
 pub use sl2_core as core;
 pub use sl2_exec as exec;
 pub use sl2_primitives as primitives;
+pub use sl2_sharded as sharded;
 pub use sl2_spec as spec;
 
 /// The most common imports in one place.
@@ -108,12 +136,18 @@ pub mod prelude {
     pub use sl2_core::machines::snapshot::SnapshotAlg;
     pub use sl2_core::universal::{CodedOp, PaxosRace, UniversalAlg};
     pub use sl2_exec::{
-        check_strong, check_strong_with, for_each_history, is_linearizable, linearize, Algorithm,
-        BurstSched, CrashPlan, OpMachine, RandomSched, RoundRobin, Scenario, SimMemory, Step,
-        StrongOptions,
+        check_strong, check_strong_with, fan_in, for_each_history, is_linearizable, linearize,
+        symmetric, Algorithm, BurstSched, CrashPlan, OpMachine, RandomSched, RoundRobin, Scenario,
+        SimMemory, Step, StrongOptions,
     };
     pub use sl2_primitives::{
-        BaseObject, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Swap, TestAndSet,
+        BaseObject, CachePadded, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Sharding,
+        Swap, TestAndSet,
     };
+    pub use sl2_sharded::{
+        RelaxedShardedCounter, ShardTicket, ShardedCounterAlg, ShardedFetchInc, ShardedMaxRegAlg,
+        ShardedMaxRegister, ShardedSnapshot, ShardedSnapshotAlg, WholeReadMode,
+    };
+    pub use sl2_spec::relaxed::LaggingCounterSpec;
     pub use sl2_spec::Spec;
 }

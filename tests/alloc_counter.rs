@@ -21,6 +21,7 @@ use sl2_bignum::{BigNat, WideFaa};
 use sl2_core::algos::fetch_inc::WideFetchInc;
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::snapshot::SlSnapshot;
+use sl2_sharded::{ShardedFetchInc, ShardedMaxRegister};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -144,6 +145,56 @@ fn wide_fetch_inc_small_counts_are_allocation_free() {
     });
     assert_eq!(n, 0, "fetch_inc allocated on the small-value path");
     assert_eq!(c.read(), 63);
+}
+
+#[test]
+fn small_value_sharded_max_register_ops_are_allocation_free() {
+    // 4 shards, 4 processes, values ≤ 16: every shard stays inline, and
+    // the stable-collect read folds through stack buffers — no Vec, no
+    // BigNat spill, per ISSUE-3's cache-line/zero-alloc satellite.
+    let m = ShardedMaxRegister::new(4, 4);
+    for p in 0..4 {
+        m.write_max(p, 4 + p as u64);
+    }
+    let _ = m.read_max();
+
+    let (n, _) = allocs_during(|| {
+        for round in 0..8u64 {
+            for p in 0..4 {
+                m.write_max(p, 8 + round); // growing: probe + faa
+                m.write_max(p, 1); // small: probe (and once, a tiny faa)
+            }
+        }
+    });
+    assert_eq!(n, 0, "sharded write_max allocated on the small-value path");
+
+    let (n, last) = allocs_during(|| {
+        let mut last = 0;
+        for _ in 0..100 {
+            last = m.read_max();
+        }
+        last
+    });
+    assert_eq!(n, 0, "sharded read_max allocated on the small-value path");
+    assert_eq!(last, 15, "8 rounds of growth from 8");
+}
+
+#[test]
+fn small_count_sharded_counter_ops_are_allocation_free() {
+    let c = ShardedFetchInc::new(4, 2);
+    for p in 0..4 {
+        c.inc(p);
+    }
+    let (n, _) = allocs_during(|| {
+        for i in 0..40u64 {
+            c.inc((i % 4) as usize);
+        }
+        let exact = c.read();
+        let relaxed = c.read_relaxed();
+        (exact, relaxed)
+    });
+    assert_eq!(n, 0, "sharded counter inc/read allocated at small counts");
+    assert_eq!(c.read(), 44);
 }
 
 #[test]

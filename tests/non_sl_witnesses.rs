@@ -11,7 +11,9 @@ use sl2::prelude::*;
 use sl2_core::baselines::agm_stack::AgmStackAlg;
 use sl2_core::baselines::cas_queue::CasQueueAlg;
 use sl2_core::baselines::treiber_stack::TreiberStackAlg;
+use sl2_spec::counters::{CounterOp, CounterSpec};
 use sl2_spec::fifo::{QueueOp, StackOp, StackSpec};
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
 
 fn witness_scenario() -> Scenario<StackSpec> {
     Scenario::new(vec![
@@ -93,6 +95,88 @@ fn agm_witness_is_robust_to_scenario_variations() {
     ]);
     let report = check_strong(&alg, mem, &scenario, 32_000_000);
     assert!(!report.strongly_linearizable);
+}
+
+// ---------------------------------------------------------------------
+// Sharded-composition witnesses (PR 3): the checker as design referee.
+// DESIGN.md §6 walks through why each verdict falls the way it does.
+// ---------------------------------------------------------------------
+
+#[test]
+fn naive_sum_read_sharded_counter_yields_a_witness() {
+    // The ISSUE-3 refutation target: striped increments with a one-pass
+    // sum read. Every history is linearizable (an inc-only sweep's
+    // value is bracketed by the landed counts at its ends), but once an
+    // increment completes behind the reader's sweep frontier while
+    // another shard ahead of it can still change, no linearization
+    // choice survives every future — the AGM-stack shape, reproduced by
+    // a counter.
+    let mut mem = SimMemory::new();
+    let alg = ShardedCounterAlg::naive(&mut mem, 3, 2);
+    let scenario =
+        fan_in::<CounterSpec>(vec![CounterOp::Inc, CounterOp::Inc], vec![CounterOp::Read]);
+    for_each_history(&alg, mem.clone(), &scenario, 4_000_000, &mut |h| {
+        assert!(
+            is_linearizable(&CounterSpec, h),
+            "sum sweeps stay linearizable per history: {h:?}"
+        );
+    });
+    let report = check_strong(&alg, mem, &scenario, 16_000_000);
+    assert!(!report.strongly_linearizable);
+    let witness = report.witness.expect("refutation carries a witness");
+    assert!(!witness.path.is_empty());
+}
+
+#[test]
+fn exact_sharded_counter_passes_where_the_naive_read_fails() {
+    // Same stripes, stable-collect read: the reader retries whenever a
+    // shard moved under it, so a prefix-closed L exists on the same
+    // fan-in shape (reader fused with a writer process).
+    let mut mem = SimMemory::new();
+    let alg = ShardedCounterAlg::exact(&mut mem, 2, 2);
+    let scenario = Scenario::new(vec![
+        vec![CounterOp::Inc, CounterOp::Read],
+        vec![CounterOp::Inc],
+    ]);
+    let report = check_strong(&alg, mem, &scenario, 16_000_000);
+    assert!(report.strongly_linearizable, "{:?}", report.witness);
+}
+
+#[test]
+fn sharded_max_register_fan_in_breaks_even_the_stable_read() {
+    // The boundary of the §6 composition argument: two writers whose
+    // values hash to different shards plus an independent reader. A
+    // write can complete in shard 0 behind the reader's final collect
+    // (stability cannot see it), while shard 1 ahead of the frontier
+    // can still change — so neither linearizing the read early nor
+    // appending it late survives every future, even though the read
+    // collects until stable.
+    let mut mem = SimMemory::new();
+    let alg = ShardedMaxRegAlg::new(&mut mem, 3, 2);
+    let scenario =
+        fan_in::<MaxRegisterSpec>(vec![MaxOp::Write(2), MaxOp::Write(5)], vec![MaxOp::Read]);
+    let report = check_strong(&alg, mem, &scenario, 32_000_000);
+    assert!(!report.strongly_linearizable);
+    let witness = report.witness.expect("refutation carries a witness");
+    assert!(
+        witness.path.iter().any(|e| e.contains("Write")),
+        "witness path: {:?}",
+        witness.path
+    );
+}
+
+#[test]
+fn sharded_max_register_same_scenario_single_shard_passes() {
+    // Control for the fan-in refutation: identical scenario, S = 1 —
+    // the read is a (repeated) probe of the one register every write
+    // lands in, and strong linearizability returns. Sharding, not the
+    // collect loop, is what broke it.
+    let mut mem = SimMemory::new();
+    let alg = ShardedMaxRegAlg::new(&mut mem, 3, 1);
+    let scenario =
+        fan_in::<MaxRegisterSpec>(vec![MaxOp::Write(2), MaxOp::Write(5)], vec![MaxOp::Read]);
+    let report = check_strong(&alg, mem, &scenario, 32_000_000);
+    assert!(report.strongly_linearizable, "{:?}", report.witness);
 }
 
 #[test]

@@ -1,0 +1,238 @@
+//! Experiment E22: bounded-duration threaded stress over the sharded
+//! objects (`std::thread::scope`), asserting the exact-counter and
+//! max-register invariants the checker certifies on bounded scenarios.
+//!
+//! Durations are wall-clock-bounded (not iteration-bounded) so the
+//! suite costs the same in debug and release; CI additionally runs this
+//! file in release mode, where the loops cover orders of magnitude more
+//! operations per window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sl2::prelude::*;
+
+/// Per-phase stress window. Debug-mode runs still execute tens of
+/// thousands of operations in this span.
+const WINDOW: Duration = Duration::from_millis(200);
+
+fn stress_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(4)
+}
+
+#[test]
+fn exact_sharded_counter_never_loses_or_invents_increments() {
+    let threads = stress_threads();
+    let c = Arc::new(ShardedFetchInc::new(threads, 4));
+    let issued = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let c = Arc::clone(&c);
+            let issued = Arc::clone(&issued);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let deadline = Instant::now() + WINDOW;
+                while Instant::now() < deadline {
+                    // Count before landing: `issued` is always ≥ the
+                    // landed count, so reads may never exceed it.
+                    issued.fetch_add(1, Ordering::SeqCst);
+                    c.inc(p);
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        let c2 = Arc::clone(&c);
+        let issued2 = Arc::clone(&issued);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut last = 0;
+            while !stop2.load(Ordering::SeqCst) {
+                let v = c2.read();
+                assert!(v >= last, "exact read regressed {last} -> {v}");
+                assert!(
+                    v <= issued2.load(Ordering::SeqCst),
+                    "exact read ran ahead of issued increments"
+                );
+                last = v;
+            }
+        });
+    });
+    let total = issued.load(Ordering::SeqCst);
+    assert!(total > 0, "the window must fit some work");
+    assert_eq!(c.read(), total, "quiescent exact read equals issued");
+    assert_eq!(c.read_relaxed(), total, "quiescent relaxed read agrees");
+}
+
+#[test]
+fn relaxed_sharded_counter_stays_within_its_lag_spec() {
+    let threads = stress_threads();
+    let c = Arc::new(RelaxedShardedCounter::new(threads, 4));
+    let issued = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let c = Arc::clone(&c);
+            let issued = Arc::clone(&issued);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let deadline = Instant::now() + WINDOW;
+                while Instant::now() < deadline {
+                    issued.fetch_add(1, Ordering::SeqCst);
+                    c.inc(p);
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        let c2 = Arc::clone(&c);
+        let issued2 = Arc::clone(&issued);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut last = 0;
+            while !stop2.load(Ordering::SeqCst) {
+                // One-pass sweeps of monotone stripes are still
+                // monotone between themselves, and never run ahead.
+                let v = c2.read();
+                assert!(v >= last, "relaxed read regressed {last} -> {v}");
+                assert!(v <= issued2.load(Ordering::SeqCst), "read ran ahead");
+                last = v;
+            }
+        });
+    });
+    assert_eq!(c.read_exact(), issued.load(Ordering::SeqCst));
+}
+
+#[test]
+fn sharded_max_register_tracks_the_exact_maximum() {
+    let threads = stress_threads();
+    let m = Arc::new(ShardedMaxRegister::new(threads, 4));
+    let high_water = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let m = Arc::clone(&m);
+            let high_water = Arc::clone(&high_water);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let deadline = Instant::now() + WINDOW;
+                let mut v = 0u64;
+                while Instant::now() < deadline {
+                    v += 1 + p as u64; // distinct strides → distinct shards
+                                       // Publish the intent first: the global high-water
+                                       // mark is always ≥ every landed write.
+                    high_water.fetch_max(v, Ordering::SeqCst);
+                    m.write_max(p, v);
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        let m2 = Arc::clone(&m);
+        let high2 = Arc::clone(&high_water);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut last = 0;
+            while !stop2.load(Ordering::SeqCst) {
+                let v = m2.read_max();
+                assert!(v >= last, "max register regressed {last} -> {v}");
+                assert!(
+                    v <= high2.load(Ordering::SeqCst),
+                    "read_max invented a value"
+                );
+                last = v;
+            }
+        });
+    });
+    // Quiescent: every published intent also landed before its thread
+    // exited, so the fold must equal the high-water mark exactly.
+    let v = m.read_max();
+    assert!(v > 0, "the window must fit some work");
+    assert_eq!(v, high_water.load(Ordering::SeqCst));
+}
+
+#[test]
+fn sharded_snapshot_group_cuts_hold_under_churn() {
+    // Writers keep both components of their own group equal; group
+    // scans must never tear a pair, and whole-object stable scans must
+    // observe per-group-equal views.
+    let groups = 3usize;
+    let n = groups * 2;
+    let snap = Arc::new(ShardedSnapshot::new(n, 2));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for g in 0..groups {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let deadline = Instant::now() + WINDOW;
+                let mut v = 0u64;
+                while Instant::now() < deadline {
+                    v += 1;
+                    snap.update(2 * g, v);
+                    snap.update(2 * g + 1, v);
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        for reader in 0..2 {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if reader == 0 {
+                        for g in 0..groups {
+                            let view = snap.scan_group(g);
+                            assert!(
+                                view[0] == view[1] || view[0] == view[1] + 1,
+                                "group {g} cut torn: {view:?}"
+                            );
+                        }
+                    } else {
+                        let view = snap.scan();
+                        for g in 0..groups {
+                            let (a, b) = (view[2 * g], view[2 * g + 1]);
+                            assert!(
+                                a == b || a == b + 1,
+                                "stable whole-object scan tore group {g}: {view:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn sharded_and_global_max_registers_agree_on_mirrored_ops() {
+    // Differential harness: run the same operation stream against the
+    // global Theorem-1 register and the sharded form; quiescent reads
+    // must agree at every synchronization point.
+    let threads = stress_threads();
+    let sharded = Arc::new(ShardedMaxRegister::new(threads, 4));
+    let global = Arc::new(SlMaxRegister::new(threads));
+    for round in 0..3 {
+        std::thread::scope(|s| {
+            for p in 0..threads {
+                let sharded = Arc::clone(&sharded);
+                let global = Arc::clone(&global);
+                s.spawn(move || {
+                    let deadline = Instant::now() + WINDOW / 4;
+                    let mut v = round * 1000;
+                    while Instant::now() < deadline {
+                        v += 1 + p as u64;
+                        sharded.write_max(p, v);
+                        global.write_max(p, v);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sharded.read_max(),
+            global.read_max(),
+            "round {round}: mirrored streams diverged"
+        );
+    }
+}
