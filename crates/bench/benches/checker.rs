@@ -1,16 +1,21 @@
 //! Tooling benchmark — throughput of the verification substrate
 //! itself: the strong-linearizability checker on the canonical
 //! positive (Theorem 5) and negative (AGM stack) scenarios, the
-//! memoization (DAG vs tree) ablation, and the plain linearizability
-//! checker on generated histories.
+//! memoization ablation on the PR-4 canonical keys (E24: sound
+//! equality-checked DAG vs tree), the batch corpus driver (E25), and
+//! the plain linearizability checker on generated histories.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sl2_core::baselines::agm_stack::AgmStackAlg;
+use sl2_core::machines::max_register::MaxRegAlg;
 use sl2_core::machines::readable_ts::ReadableTasAlg;
+use sl2_exec::corpus::{CorpusOptions, ScenarioCorpus};
 use sl2_exec::sched::{run, CrashPlan, RandomSched, Scenario};
 use sl2_exec::strong::{check_strong, check_strong_with, StrongOptions};
 use sl2_exec::{is_linearizable, SimMemory};
+use sl2_sharded::{fan_in_max_scenario, frontier_safe_max_scenario, ShardedMaxRegAlg};
 use sl2_spec::fifo::{StackOp, StackSpec};
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
 use sl2_spec::tas::{ReadableTasSpec, TasOp};
 use std::hint::black_box;
 
@@ -88,10 +93,7 @@ fn bench_memoization_ablation(c: &mut Criterion) {
                         &alg,
                         mem,
                         scenario,
-                        StrongOptions {
-                            node_limit: 64_000_000,
-                            memoize,
-                        },
+                        StrongOptions::with_limit(64_000_000).memoize(memoize),
                     ))
                 });
             });
@@ -99,10 +101,7 @@ fn bench_memoization_ablation(c: &mut Criterion) {
         // Report the deterministic state counts once per scenario.
         let mut mem = SimMemory::new();
         let alg = ReadableTasAlg::new(&mut mem);
-        let opts = |memoize| StrongOptions {
-            node_limit: 64_000_000,
-            memoize,
-        };
+        let opts = |memoize| StrongOptions::with_limit(64_000_000).memoize(memoize);
         let dag = check_strong_with(&alg, mem.clone(), scenario, opts(true));
         let tree = check_strong_with(&alg, mem, scenario, opts(false));
         println!(
@@ -112,6 +111,45 @@ fn bench_memoization_ablation(c: &mut Criterion) {
             tree.nodes / dag.nodes.max(1)
         );
     }
+    group.finish();
+}
+
+/// E25: checker throughput at corpus scale — the whole E23-shaped
+/// batch (family enumeration, dedup, budget accounting, one
+/// `check_strong` per member) measured end to end, plus the S = 4
+/// sharded adjudication pair on its own. This is the number that says
+/// how fast the repo can re-certify itself.
+fn bench_corpus_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_throughput");
+    group.sample_size(10);
+
+    group.bench_function("thm1_families", |b| {
+        b.iter(|| {
+            let alphabet = [MaxOp::Write(1), MaxOp::Write(3), MaxOp::Read];
+            let mut corpus = ScenarioCorpus::<MaxRegisterSpec>::new();
+            corpus.symmetric_family("thm1", &[2], &alphabet, 2);
+            corpus.fan_in_family("thm1", &alphabet, 2, &[MaxOp::Read]);
+            black_box(corpus.run(
+                |mem| MaxRegAlg::new(mem, 3),
+                &CorpusOptions::default(),
+                16_000_000,
+            ))
+        });
+    });
+
+    group.bench_function("sharded_s4_adjudication", |b| {
+        b.iter(|| {
+            let mut corpus = ScenarioCorpus::<MaxRegisterSpec>::new();
+            corpus.push("frontier_safe", frontier_safe_max_scenario(4));
+            corpus.push("fan_in", fan_in_max_scenario(4));
+            black_box(corpus.run(
+                |mem| ShardedMaxRegAlg::new(mem, 3, 4),
+                &CorpusOptions::default(),
+                16_000_000,
+            ))
+        });
+    });
+
     group.finish();
 }
 
@@ -174,6 +212,7 @@ criterion_group!(
     benches,
     bench_strong_checker,
     bench_memoization_ablation,
+    bench_corpus_throughput,
     bench_lin_checker
 );
 criterion_main!(benches);

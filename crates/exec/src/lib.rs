@@ -18,8 +18,11 @@
 //!   specifications (needed for the relaxed queues/stacks of §5).
 //! * [`strong`] — the strong-linearizability checker: an AND/OR search
 //!   for a prefix-closed linearization function over the execution tree
-//!   of a bounded scenario, reporting a counterexample branch on
-//!   failure.
+//!   of a bounded scenario, with sound (equality-checked) memoization,
+//!   reporting a replayable counterexample branch on failure.
+//! * [`corpus`] — the batch driver: scenario-family enumeration with
+//!   isomorphism dedup, shared node budgets, and machine-readable
+//!   [`corpus::CorpusReport`]s (the E23 re-certification artifact).
 //!
 //! # Example: checking an atomic cell is strongly linearizable
 //!
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corpus;
 pub mod history;
 pub mod lin;
 pub mod machine;
@@ -43,12 +47,14 @@ pub mod scenarios;
 pub mod sched;
 pub mod strong;
 
+pub use corpus::{CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, ScenarioCorpus};
 pub use history::{History, OpId};
 pub use lin::{is_linearizable, linearize};
 pub use machine::{Algorithm, OpMachine, Step};
 pub use mem::{ArrayLoc, Cell, Loc, SimMemory, Word};
-pub use scenarios::{fan_in, symmetric};
+pub use scenarios::{fan_in, symmetric, tower};
 pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
 pub use strong::{
-    check_strong, check_strong_with, for_each_history, StrongOptions, StrongReport, Witness,
+    check_strong, check_strong_outcome, check_strong_with, for_each_history, validate_witness,
+    MemoMode, Outcome, StrongOptions, StrongOutcome, StrongReport, Witness,
 };

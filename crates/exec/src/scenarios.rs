@@ -51,6 +51,31 @@ pub fn symmetric<S: Spec>(processes: usize, ops: Vec<S::Op>) -> Scenario<S> {
     Scenario::new((0..processes).map(|_| ops.clone()).collect())
 }
 
+/// A *tower*: process 0 runs `block` cycled out to `height`
+/// operations, racing the fixed `rivals` processes (process `i + 1`
+/// runs `rivals[i]`). Towers are the depth-shaped scenarios — the
+/// explicit-stack checker engine and the widened per-process op
+/// packing exist so these keep checking as `height` grows past what a
+/// recursive explorer (or the old 1024-op `OpId` packing) tolerated.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_exec::scenarios::tower;
+/// use sl2_spec::counters::{CounterOp, CounterSpec};
+///
+/// let s = tower::<CounterSpec>(&[CounterOp::Inc], 5, &[vec![CounterOp::Read]]);
+/// assert_eq!(s.processes(), 2);
+/// assert_eq!(s.ops[0].len(), 5);
+/// ```
+pub fn tower<S: Spec>(block: &[S::Op], height: usize, rivals: &[Vec<S::Op>]) -> Scenario<S> {
+    assert!(!block.is_empty(), "tower needs a non-empty block");
+    let tall: Vec<S::Op> = block.iter().cycle().take(height).cloned().collect();
+    let mut ops = vec![tall];
+    ops.extend(rivals.iter().cloned());
+    Scenario::new(ops)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +103,21 @@ mod tests {
     fn symmetric_clones_the_list() {
         let s = symmetric::<CounterSpec>(4, vec![CounterOp::Inc]);
         assert!(s.ops.iter().all(|l| l == &vec![CounterOp::Inc]));
+    }
+
+    #[test]
+    fn tower_cycles_the_block_to_height() {
+        let s = tower::<CounterSpec>(&[CounterOp::Inc, CounterOp::Read], 5, &[]);
+        assert_eq!(s.processes(), 1);
+        assert_eq!(
+            s.ops[0],
+            vec![
+                CounterOp::Inc,
+                CounterOp::Read,
+                CounterOp::Inc,
+                CounterOp::Read,
+                CounterOp::Inc,
+            ]
+        );
     }
 }

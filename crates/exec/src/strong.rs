@@ -23,10 +23,18 @@
 //! The implementation is strongly linearizable on the scenario iff
 //! `feasible(root, ε)`. The search memoizes on the pair (execution
 //! state, linearization-relevant state), which merges schedule
-//! prefixes that converged. On failure a [`Witness`] describes the
-//! branch on which no linearization choice can survive — precisely the
-//! shape of counterexample discussed in the paper's related work for
-//! the AW multi-shot fetch&inc and the AGM stack.
+//! prefixes that converged — and the memo is **sound**: states are
+//! keyed by a canonical `StateKey` stored by value and compared by
+//! equality, never by a bare hash (DESIGN.md §7; a hash collision in
+//! the pre-PR-4 scheme could silently flip a verdict, which for a
+//! referee is the one unforgivable failure). The explorer itself is an
+//! explicit-stack machine, so scenario depth is bounded by heap, not
+//! by the thread stack.
+//!
+//! On refutation the engine re-walks the failing branch — reading
+//! memoized verdicts instead of stopping at them — to produce a
+//! [`Witness`] whose `path`/`schedule` run from the root to the actual
+//! dying step; [`validate_witness`] replays it against the scenario.
 //!
 //! Scope notes:
 //! * Invocations are folded into the invoked operation's first step.
@@ -40,6 +48,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 
 use sl2_spec::Spec;
 
@@ -47,6 +56,12 @@ use crate::history::{History, OpId};
 use crate::machine::{Algorithm, OpMachine, Step};
 use crate::mem::SimMemory;
 use crate::sched::Scenario;
+
+/// Bits of an [`OpId`] carrying the per-process operation index; the
+/// process index occupies the bits above. 32 index bits on 64-bit
+/// targets (the pre-PR-4 packing allowed only 1024 operations per
+/// process and *panicked* past it).
+const OP_INDEX_BITS: u32 = if usize::BITS >= 64 { 32 } else { 16 };
 
 /// Canonical operation identity within a scenario: `(process, index)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -59,7 +74,7 @@ pub struct OpKey {
 
 impl OpKey {
     fn id(self) -> OpId {
-        OpId(self.process * 1024 + self.index)
+        OpId((self.process << OP_INDEX_BITS) | self.index)
     }
 }
 
@@ -71,7 +86,59 @@ enum OpStatus<R> {
     Done(R),
 }
 
-/// Outcome of a strong-linearizability check.
+/// Outcome of a strong-linearizability check (non-panicking API).
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// A prefix-closed linearization function exists on the scenario's
+    /// execution tree.
+    Certified,
+    /// No prefix-closed linearization function exists; the witness is
+    /// a branch on which every linearization choice dies.
+    Refuted(Witness),
+    /// The search could not complete within the engine's limits (node
+    /// budget, or an operation index too wide for the [`OpId`]
+    /// packing). No semantic claim is made either way;
+    /// [`StrongOutcome::nodes`] says how far the search got.
+    Bounded,
+}
+
+/// Result of [`check_strong_outcome`]: the verdict plus search-size
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct StrongOutcome {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Distinct search states explored.
+    pub nodes: usize,
+}
+
+impl StrongOutcome {
+    /// Whether the scenario was certified strongly linearizable.
+    pub fn is_certified(&self) -> bool {
+        matches!(self.outcome, Outcome::Certified)
+    }
+
+    /// Whether the scenario was refuted (a witness exists).
+    pub fn is_refuted(&self) -> bool {
+        matches!(self.outcome, Outcome::Refuted(_))
+    }
+
+    /// Whether the search ran out of budget before deciding.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.outcome, Outcome::Bounded)
+    }
+
+    /// The refutation witness, when refuted.
+    pub fn witness(&self) -> Option<&Witness> {
+        match &self.outcome {
+            Outcome::Refuted(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a strong-linearizability check (legacy panicking API;
+/// prefer [`check_strong_outcome`] / [`StrongOutcome`] in new code).
 #[derive(Debug, Clone)]
 pub struct StrongReport {
     /// Whether a prefix-closed linearization function exists on the
@@ -79,19 +146,82 @@ pub struct StrongReport {
     pub strongly_linearizable: bool,
     /// Number of distinct search states explored.
     pub nodes: usize,
-    /// A failing branch, when not strongly linearizable.
+    /// A failing branch, when not strongly linearizable (always `None`
+    /// on success).
     pub witness: Option<Witness>,
 }
 
 /// A branch of the execution tree on which every linearization prefix
-/// dies: the schedule (events from the root) and a human-readable
-/// explanation.
+/// dies: the schedule (events from the root to the dying step) and a
+/// human-readable explanation. `schedule[i]` is the process taking
+/// step `i`; `path[i]` is the rendered event — [`validate_witness`]
+/// replays the former and checks it reproduces the latter.
 #[derive(Debug, Clone)]
 pub struct Witness {
     /// Event descriptions from the root to the failing step.
     pub path: Vec<String>,
+    /// The process scheduled at each step of `path` (replayable form).
+    pub schedule: Vec<usize>,
     /// What went wrong at the final step.
     pub detail: String,
+}
+
+/// How the search memoizes converged schedule prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoMode {
+    /// Sound memoization: canonical `StateKey`s stored by value and
+    /// compared by equality. The default.
+    Canonical,
+    /// The pre-PR-4 scheme: states keyed by a bare `u64` hash, so a
+    /// collision silently reuses another state's verdict. **Unsound**;
+    /// retained only so the collision regression test and the memo
+    /// ablation (EXPERIMENTS.md E24) can demonstrate the failure mode.
+    HashOnly,
+    /// No memoization: the execution tree is re-explored at every join.
+    /// Exponentially slower on racy scenarios; used by the soundness
+    /// differential tests and the E16/E24 ablations.
+    Off,
+}
+
+/// Tuning knobs for [`check_strong_with`] / [`check_strong_outcome`].
+#[derive(Debug, Clone, Copy)]
+pub struct StrongOptions {
+    /// Bound on distinct search states. [`check_strong_outcome`]
+    /// returns [`Outcome::Bounded`] when exceeded (the legacy wrappers
+    /// panic, as they always did).
+    pub node_limit: usize,
+    /// Memoization mode (see [`MemoMode`]).
+    pub memo: MemoMode,
+}
+
+impl StrongOptions {
+    /// Canonical memoization with the given node budget.
+    pub fn with_limit(node_limit: usize) -> Self {
+        StrongOptions {
+            node_limit,
+            memo: MemoMode::Canonical,
+        }
+    }
+
+    /// Switches between canonical memoization and none (the two sound
+    /// modes), keeping the node budget.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memo = if on {
+            MemoMode::Canonical
+        } else {
+            MemoMode::Off
+        };
+        self
+    }
+}
+
+impl Default for StrongOptions {
+    fn default() -> Self {
+        StrongOptions {
+            node_limit: 1_000_000,
+            memo: MemoMode::Canonical,
+        }
+    }
 }
 
 struct ExecState<A: Algorithm> {
@@ -110,11 +240,26 @@ impl<A: Algorithm> Clone for ExecState<A> {
     }
 }
 
+impl<A: Algorithm> ExecState<A> {
+    fn initial(scenario: &Scenario<A::Spec>, mem: SimMemory) -> Self {
+        ExecState {
+            mem,
+            machines: (0..scenario.processes()).map(|_| None).collect(),
+            status: scenario
+                .ops
+                .iter()
+                .map(|l| l.iter().map(|_| OpStatus::NotInvoked).collect())
+                .collect(),
+        }
+    }
+}
+
 #[derive(Clone)]
 struct LinState<S: Spec> {
-    /// Ops already linearized, with their (actual or assigned) responses.
+    /// Ops already linearized, in linearization order, with their
+    /// (actual or assigned) responses.
     assigned: Vec<(OpKey, S::Resp)>,
-    /// Spec states consistent with the linearization prefix.
+    /// Spec states consistent with the linearization prefix (deduped).
     states: Vec<S::State>,
 }
 
@@ -149,56 +294,84 @@ impl<S: Spec> LinState<S> {
     }
 }
 
-/// Tuning knobs for [`check_strong_with`].
-#[derive(Debug, Clone, Copy)]
-pub struct StrongOptions {
-    /// Bound on distinct search states (panics when exceeded).
-    pub node_limit: usize,
-    /// Whether to memoize search states (hashing the execution tree
-    /// into a DAG). Disabling this re-explores every path separately —
-    /// exponentially slower on racy scenarios; exposed for the ablation
-    /// benchmark of the design choice.
-    pub memoize: bool,
+fn hash_of<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
 }
 
-impl Default for StrongOptions {
-    fn default() -> Self {
-        StrongOptions {
-            node_limit: 1_000_000,
-            memoize: true,
-        }
+/// Canonical memoization key: the full search state — execution state,
+/// sorted linearization prefix, deduped spec-state set — stored **by
+/// value** and compared by **equality**. Hashing only routes to a
+/// bucket; a collision costs a comparison, never a verdict. Two nodes
+/// merge iff their future behavior is literally identical: same base
+/// objects, same machine states, same op lifecycle, same set of
+/// linearized `(op, resp)` pairs, same spec-state set (the
+/// linearization *order* is deliberately erased — futures depend only
+/// on the set and the states it can reach).
+struct StateKey<A: Algorithm> {
+    exec: Rc<ExecState<A>>,
+    /// `lin.assigned`, sorted by [`OpKey`] (order-erased).
+    assigned: Vec<(OpKey, <A::Spec as Spec>::Resp)>,
+    /// `lin.states`, sorted by per-state hash for near-canonical order.
+    /// Hash ties between distinct states may order ambiguously; that
+    /// can only split one semantic state over two entries (a missed
+    /// merge), never conflate two states.
+    states: Vec<<A::Spec as Spec>::State>,
+}
+
+impl<A: Algorithm> PartialEq for StateKey<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.exec.mem == other.exec.mem
+            && self.exec.machines == other.exec.machines
+            && self.exec.status == other.exec.status
+            && self.assigned == other.assigned
+            && self.states == other.states
     }
 }
 
-/// Checks strong linearizability of `alg` on `scenario`.
+impl<A: Algorithm> Eq for StateKey<A> {}
+
+impl<A: Algorithm> Hash for StateKey<A> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.exec.mem.hash(h);
+        self.exec.machines.hash(h);
+        self.exec.status.hash(h);
+        self.assigned.hash(h);
+        // Order-independent fold over the spec-state set, so hash-tied
+        // states whose sort order differed still share a bucket (their
+        // keys then compare unequal — a missed merge, not a collision).
+        let mut acc: u64 = 0;
+        for s in &self.states {
+            acc = acc.wrapping_add(hash_of(s));
+        }
+        acc.hash(h);
+    }
+}
+
+/// Checks strong linearizability of `alg` on `scenario` (legacy
+/// wrapper over [`check_strong_outcome`]; prefer that in new code —
+/// this one panics where the outcome API reports
+/// [`Outcome::Bounded`]).
 ///
 /// `mem` must be the memory in which the algorithm allocated its base
 /// objects (i.e. the state right after `A::new(&mut mem, ...)`).
-/// `node_limit` bounds the search (panics if exceeded — raise it or
-/// shrink the scenario).
 ///
 /// # Panics
 ///
-/// Panics if the scenario needs more than `node_limit` search states,
-/// or if any process has more than 1024 operations.
+/// Panics if the scenario needs more than `node_limit` search states —
+/// raise the limit or shrink the scenario.
 pub fn check_strong<A: Algorithm>(
     alg: &A,
     mem: SimMemory,
     scenario: &Scenario<A::Spec>,
     node_limit: usize,
 ) -> StrongReport {
-    check_strong_with(
-        alg,
-        mem,
-        scenario,
-        StrongOptions {
-            node_limit,
-            memoize: true,
-        },
-    )
+    check_strong_with(alg, mem, scenario, StrongOptions::with_limit(node_limit))
 }
 
-/// [`check_strong`] with explicit [`StrongOptions`].
+/// [`check_strong`] with explicit [`StrongOptions`] (legacy wrapper;
+/// prefer [`check_strong_outcome`]).
 ///
 /// # Panics
 ///
@@ -209,149 +382,220 @@ pub fn check_strong_with<A: Algorithm>(
     scenario: &Scenario<A::Spec>,
     options: StrongOptions,
 ) -> StrongReport {
-    assert!(
-        scenario.ops.iter().all(|l| l.len() <= 1024),
-        "per-process op lists limited to 1024"
-    );
-    let spec = alg.spec();
-    let n = scenario.processes();
-    let exec = ExecState::<A> {
-        mem,
-        machines: (0..n).map(|_| None).collect(),
-        status: scenario
-            .ops
-            .iter()
-            .map(|l| l.iter().map(|_| OpStatus::NotInvoked).collect())
-            .collect(),
-    };
-    let lin = LinState::<A::Spec> {
-        assigned: Vec::new(),
-        states: vec![spec.initial()],
-    };
-    let mut checker = Checker {
-        alg,
-        spec,
-        scenario,
-        memo: HashMap::new(),
-        memoize: options.memoize,
-        nodes: 0,
-        node_limit: options.node_limit,
-        witness: None,
-    };
-    let ok = checker.feasible(&exec, &lin, &mut Vec::new());
-    StrongReport {
-        strongly_linearizable: ok,
-        nodes: checker.nodes,
-        witness: checker.witness,
-    }
-}
-
-struct Checker<'a, A: Algorithm> {
-    alg: &'a A,
-    spec: A::Spec,
-    scenario: &'a Scenario<A::Spec>,
-    memo: HashMap<u64, bool>,
-    memoize: bool,
-    nodes: usize,
-    node_limit: usize,
-    witness: Option<Witness>,
-}
-
-impl<'a, A: Algorithm> Checker<'a, A> {
-    fn feasible(
-        &mut self,
-        exec: &ExecState<A>,
-        lin: &LinState<A::Spec>,
-        path: &mut Vec<String>,
-    ) -> bool {
-        let enabled: Vec<usize> = (0..self.scenario.processes())
-            .filter(|&p| {
-                exec.machines[p].is_some()
-                    || exec.status[p]
-                        .iter()
-                        .any(|s| matches!(s, OpStatus::NotInvoked))
-            })
-            .collect();
-        if enabled.is_empty() {
-            return true;
-        }
-
-        let key = self.key(exec, lin);
-        if self.memoize {
-            if let Some(&cached) = self.memo.get(&key) {
-                return cached;
-            }
-        }
-        self.nodes += 1;
-        assert!(
-            self.nodes <= self.node_limit,
+    let out = check_strong_outcome(alg, mem, scenario, options);
+    match out.outcome {
+        Outcome::Certified => StrongReport {
+            strongly_linearizable: true,
+            nodes: out.nodes,
+            witness: None,
+        },
+        Outcome::Refuted(w) => StrongReport {
+            strongly_linearizable: false,
+            nodes: out.nodes,
+            witness: Some(w),
+        },
+        Outcome::Bounded => panic!(
             "strong-linearizability search exceeded {} states",
-            self.node_limit
-        );
-
-        let mut ok = true;
-        for p in enabled {
-            let (child, label, completed) = self.step_child(exec, p);
-            path.push(label);
-            let child_ok = match &completed {
-                Some((k, r)) if lin.contains(*k) => {
-                    // Already linearized as pending: response must match.
-                    if lin.resp_of(*k) == Some(r) {
-                        self.extensions(&child, lin, None, path)
-                    } else {
-                        false
-                    }
-                }
-                Some((k, _)) => self.extensions(&child, lin, Some(*k), path),
-                None => self.extensions(&child, lin, None, path),
-            };
-            if !child_ok {
-                if self.witness.is_none() {
-                    let detail = match &completed {
-                        Some((k, r)) => format!(
-                            "after this step, op {k:?} completed with {r:?} but no \
-                             linearization extension of {:?} can accommodate it \
-                             across all futures",
-                            lin.assigned
-                        ),
-                        None => format!(
-                            "no linearization extension of {:?} survives all futures \
-                             of this step",
-                            lin.assigned
-                        ),
-                    };
-                    self.witness = Some(Witness {
-                        path: path.clone(),
-                        detail,
-                    });
-                }
-                path.pop();
-                ok = false;
-                break;
-            }
-            path.pop();
-        }
-        if self.memoize {
-            self.memo.insert(key, ok);
-        }
-        ok
+            options.node_limit
+        ),
     }
+}
 
-    /// EXISTS-side: tries all linearization extensions σ (sequences of
-    /// unlinearized invoked ops) such that `must` (the op that just
-    /// completed, if any) ends up linearized, recursing into
-    /// `feasible`.
-    fn extensions(
-        &mut self,
-        child: &ExecState<A>,
-        lin: &LinState<A::Spec>,
-        must: Option<OpKey>,
-        path: &mut Vec<String>,
-    ) -> bool {
-        // σ = ε allowed iff nothing is forced.
-        if must.is_none() && self.feasible(child, lin, path) {
-            return true;
+/// Checks strong linearizability of `alg` on `scenario`, reporting
+/// [`Outcome::Bounded`] instead of panicking when the node budget runs
+/// out.
+///
+/// `mem` must be the memory in which the algorithm allocated its base
+/// objects (i.e. the state right after `A::new(&mut mem, ...)`).
+pub fn check_strong_outcome<A: Algorithm>(
+    alg: &A,
+    mem: SimMemory,
+    scenario: &Scenario<A::Spec>,
+    options: StrongOptions,
+) -> StrongOutcome {
+    // Operation indices must fit the OpId packing; a scenario past it
+    // is reported as out of engine bounds, not panicked on.
+    if scenario.ops.iter().any(|l| l.len() >= 1 << OP_INDEX_BITS) {
+        return StrongOutcome {
+            outcome: Outcome::Bounded,
+            nodes: 0,
+        };
+    }
+    let exec = Rc::new(ExecState::<A>::initial(scenario, mem));
+    let lin = Rc::new(LinState::<A::Spec> {
+        assigned: Vec::new(),
+        states: vec![alg.spec().initial()],
+    });
+    let mut engine = Engine::new(alg, scenario, options);
+    match engine.run_task(SpawnTask::Feasible(Rc::clone(&exec), Rc::clone(&lin))) {
+        Err(BudgetExhausted) => StrongOutcome {
+            outcome: Outcome::Bounded,
+            nodes: engine.nodes,
+        },
+        Ok(true) => StrongOutcome {
+            outcome: Outcome::Certified,
+            nodes: engine.nodes,
+        },
+        Ok(false) => {
+            let nodes = engine.nodes;
+            let witness = engine.extract_witness(&exec, &lin);
+            StrongOutcome {
+                outcome: Outcome::Refuted(witness),
+                nodes,
+            }
         }
+    }
+}
+
+/// Replays `witness.schedule` against `alg` on `scenario` from `mem`
+/// (the same initial memory handed to the check) and verifies that
+/// every step is enabled and renders exactly `witness.path` — i.e.
+/// that the witness describes a real branch of the execution tree, all
+/// the way to its final (dying) step.
+pub fn validate_witness<A: Algorithm>(
+    alg: &A,
+    mem: SimMemory,
+    scenario: &Scenario<A::Spec>,
+    witness: &Witness,
+) -> Result<(), String> {
+    if witness.schedule.len() != witness.path.len() {
+        return Err(format!(
+            "schedule has {} steps but path has {} events",
+            witness.schedule.len(),
+            witness.path.len()
+        ));
+    }
+    let mut exec = ExecState::<A>::initial(scenario, mem);
+    for (i, (&p, event)) in witness.schedule.iter().zip(&witness.path).enumerate() {
+        let enabled = enabled_of(scenario, &exec);
+        if !enabled.contains(&p) {
+            return Err(format!("step {i}: process {p} is not enabled"));
+        }
+        let (child, label, _) = step_child(alg, scenario, &exec, p);
+        if *event != label {
+            return Err(format!(
+                "step {i}: witness says {event:?} but replay produces {label:?}"
+            ));
+        }
+        exec = child;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+fn enabled_of<A: Algorithm>(scenario: &Scenario<A::Spec>, exec: &ExecState<A>) -> Vec<usize> {
+    (0..scenario.processes())
+        .filter(|&p| {
+            exec.machines[p].is_some()
+                || exec.status[p]
+                    .iter()
+                    .any(|s| matches!(s, OpStatus::NotInvoked))
+        })
+        .collect()
+}
+
+/// Executes one step of process `p` (invoking its next operation if
+/// idle). Returns the child state, an event label, and the completion
+/// `(op, resp)` if the step finished an operation.
+#[allow(clippy::type_complexity)]
+fn step_child<A: Algorithm>(
+    alg: &A,
+    scenario: &Scenario<A::Spec>,
+    exec: &ExecState<A>,
+    p: usize,
+) -> (
+    ExecState<A>,
+    String,
+    Option<(OpKey, <A::Spec as Spec>::Resp)>,
+) {
+    let mut child = exec.clone();
+    let mut label;
+    let key;
+    if child.machines[p].is_none() {
+        let index = child.status[p]
+            .iter()
+            .position(|s| matches!(s, OpStatus::NotInvoked))
+            .expect("caller ensured an op remains");
+        let op = &scenario.ops[p][index];
+        key = OpKey { process: p, index };
+        child.status[p][index] = OpStatus::Active;
+        child.machines[p] = Some(alg.machine(p, op));
+        label = format!("p{p}: invoke {op:?}; step");
+    } else {
+        let index = child.status[p]
+            .iter()
+            .position(|s| matches!(s, OpStatus::Active))
+            .expect("an active machine implies an active op");
+        key = OpKey { process: p, index };
+        label = format!("p{p}: step");
+    }
+    let mut machine = child.machines[p].take().expect("set above");
+    let completed = match machine.step(&mut child.mem) {
+        Step::Pending => {
+            child.machines[p] = Some(machine);
+            None
+        }
+        Step::Ready(resp) => {
+            child.status[key.process][key.index] = OpStatus::Done(resp.clone());
+            label.push_str(&format!(" → {resp:?}"));
+            Some((key, resp))
+        }
+    };
+    (child, label, completed)
+}
+
+/// Node budget exhausted: unwinds the engine without a verdict.
+struct BudgetExhausted;
+
+enum Memo<A: Algorithm> {
+    Canonical(HashMap<StateKey<A>, bool>),
+    HashOnly(HashMap<u64, bool>),
+    Off,
+}
+
+/// A subproblem the engine can evaluate: the two mutually recursive
+/// procedures of the AND/OR search, reified.
+enum SpawnTask<A: Algorithm> {
+    /// `feasible(exec, lin)` — the AND side.
+    Feasible(Rc<ExecState<A>>, Rc<LinState<A::Spec>>),
+    /// `extensions(child, lin, must)` — the OR side.
+    Ext(Rc<ExecState<A>>, Rc<LinState<A::Spec>>, Option<OpKey>),
+}
+
+enum FrameKey<A: Algorithm> {
+    Canonical(StateKey<A>),
+    Hash(u64),
+}
+
+/// AND frame: every enabled step must admit a surviving extension.
+struct FeasibleFrame<A: Algorithm> {
+    exec: Rc<ExecState<A>>,
+    lin: Rc<LinState<A::Spec>>,
+    key: Option<FrameKey<A>>,
+    enabled: Vec<usize>,
+    next_child: usize,
+}
+
+/// OR frame: some linearization extension σ keeps the child feasible.
+/// Alternatives are generated lazily: first σ = ε (allowed only when
+/// nothing is forced), then every `(candidate, response)` pair.
+struct ExtFrame<A: Algorithm> {
+    child: Rc<ExecState<A>>,
+    lin: Rc<LinState<A::Spec>>,
+    must: Option<OpKey>,
+    tried_epsilon: bool,
+    cands: Vec<OpKey>,
+    cand_i: usize,
+    cand_loaded: bool,
+    resp_opts: Vec<<A::Spec as Spec>::Resp>,
+    resp_i: usize,
+}
+
+impl<A: Algorithm> ExtFrame<A> {
+    fn new(child: Rc<ExecState<A>>, lin: Rc<LinState<A::Spec>>, must: Option<OpKey>) -> Self {
         // Candidates: invoked, unlinearized ops.
         let mut cands: Vec<OpKey> = Vec::new();
         for (p, stats) in child.status.iter().enumerate() {
@@ -365,89 +609,165 @@ impl<'a, A: Algorithm> Checker<'a, A> {
                 }
             }
         }
-        for &k in &cands {
-            let op = &self.scenario.ops[k.process][k.index];
-            let resp_options: Vec<<A::Spec as Spec>::Resp> = match &child.status[k.process][k.index]
-            {
-                OpStatus::Done(r) => vec![r.clone()],
-                OpStatus::Active => {
-                    let mut opts = Vec::new();
-                    for s in &lin.states {
-                        for (_, r) in self.spec.step(s, op) {
-                            if !opts.contains(&r) {
-                                opts.push(r);
-                            }
-                        }
-                    }
-                    opts
-                }
-                OpStatus::NotInvoked => unreachable!("filtered above"),
-            };
-            for resp in resp_options {
-                if let Some(next_lin) = lin.extended(&self.spec, k, op, &resp) {
-                    let still_must = match must {
+        ExtFrame {
+            child,
+            lin,
+            must,
+            tried_epsilon: false,
+            cands,
+            cand_i: 0,
+            cand_loaded: false,
+            resp_opts: Vec::new(),
+            resp_i: 0,
+        }
+    }
+
+    /// Produces the next alternative as a subtask, or `None` when the
+    /// OR is exhausted (the frame then resolves to false).
+    fn next_alternative(
+        &mut self,
+        spec: &A::Spec,
+        scenario: &Scenario<A::Spec>,
+    ) -> Option<SpawnTask<A>> {
+        if !self.tried_epsilon {
+            self.tried_epsilon = true;
+            if self.must.is_none() {
+                return Some(SpawnTask::Feasible(
+                    Rc::clone(&self.child),
+                    Rc::clone(&self.lin),
+                ));
+            }
+        }
+        loop {
+            if self.cand_i >= self.cands.len() {
+                return None;
+            }
+            if !self.cand_loaded {
+                self.resp_opts = resp_options::<A>(
+                    spec,
+                    &self.child,
+                    &self.lin,
+                    scenario,
+                    self.cands[self.cand_i],
+                );
+                self.resp_i = 0;
+                self.cand_loaded = true;
+            }
+            let k = self.cands[self.cand_i];
+            let op = &scenario.ops[k.process][k.index];
+            while self.resp_i < self.resp_opts.len() {
+                let resp = self.resp_opts[self.resp_i].clone();
+                self.resp_i += 1;
+                if let Some(next_lin) = self.lin.extended(spec, k, op, &resp) {
+                    let still_must = match self.must {
                         Some(m) if m == k => None,
                         other => other,
                     };
-                    if self.extensions(child, &next_lin, still_must, path) {
-                        return true;
+                    return Some(SpawnTask::Ext(
+                        Rc::clone(&self.child),
+                        Rc::new(next_lin),
+                        still_must,
+                    ));
+                }
+            }
+            self.cand_i += 1;
+            self.cand_loaded = false;
+        }
+    }
+}
+
+/// Legal responses for linearizing candidate `k` now: its actual
+/// response if it completed, else every response the spec admits from
+/// some consistent state.
+fn resp_options<A: Algorithm>(
+    spec: &A::Spec,
+    child: &ExecState<A>,
+    lin: &LinState<A::Spec>,
+    scenario: &Scenario<A::Spec>,
+    k: OpKey,
+) -> Vec<<A::Spec as Spec>::Resp> {
+    let op = &scenario.ops[k.process][k.index];
+    match &child.status[k.process][k.index] {
+        OpStatus::Done(r) => vec![r.clone()],
+        OpStatus::Active => {
+            let mut opts = Vec::new();
+            for s in &lin.states {
+                for (_, r) in spec.step(s, op) {
+                    if !opts.contains(&r) {
+                        opts.push(r);
                     }
                 }
             }
+            opts
         }
-        false
+        OpStatus::NotInvoked => unreachable!("candidates are invoked ops"),
+    }
+}
+
+enum Frame<A: Algorithm> {
+    Feasible(FeasibleFrame<A>),
+    Ext(ExtFrame<A>),
+}
+
+enum Entered<A: Algorithm> {
+    Done(bool),
+    Frame(FeasibleFrame<A>),
+}
+
+/// Probe result while re-walking a refuted branch for its witness.
+enum ExtProbe<S: Spec> {
+    /// Some extension survives: this schedule step is not the failing
+    /// one.
+    Survives,
+    /// All extensions die and `(child, lin)` is a false feasible leaf:
+    /// the refuting schedule continues from there.
+    Descend(Rc<LinState<S>>),
+    /// All extensions die before reaching any feasible leaf: the
+    /// branch dies at this very step.
+    DeadEnd,
+    /// A verdict probe ran out of node budget.
+    Truncated,
+}
+
+struct Engine<'a, A: Algorithm> {
+    alg: &'a A,
+    spec: A::Spec,
+    scenario: &'a Scenario<A::Spec>,
+    memo: Memo<A>,
+    nodes: usize,
+    node_limit: usize,
+}
+
+impl<'a, A: Algorithm> Engine<'a, A> {
+    fn new(alg: &'a A, scenario: &'a Scenario<A::Spec>, options: StrongOptions) -> Self {
+        Engine {
+            alg,
+            spec: alg.spec(),
+            scenario,
+            memo: match options.memo {
+                MemoMode::Canonical => Memo::Canonical(HashMap::new()),
+                MemoMode::HashOnly => Memo::HashOnly(HashMap::new()),
+                MemoMode::Off => Memo::Off,
+            },
+            nodes: 0,
+            node_limit: options.node_limit,
+        }
     }
 
-    /// Executes one step of process `p` (invoking its next operation if
-    /// idle). Returns the child state, an event label, and the
-    /// completion `(op, resp)` if the step finished an operation.
-    #[allow(clippy::type_complexity)]
-    fn step_child(
-        &self,
-        exec: &ExecState<A>,
-        p: usize,
-    ) -> (
-        ExecState<A>,
-        String,
-        Option<(OpKey, <A::Spec as Spec>::Resp)>,
-    ) {
-        let mut child = exec.clone();
-        let mut label;
-        let key;
-        if child.machines[p].is_none() {
-            let index = child.status[p]
-                .iter()
-                .position(|s| matches!(s, OpStatus::NotInvoked))
-                .expect("caller ensured an op remains");
-            let op = &self.scenario.ops[p][index];
-            key = OpKey { process: p, index };
-            child.status[p][index] = OpStatus::Active;
-            child.machines[p] = Some(self.alg.machine(p, op));
-            label = format!("p{p}: invoke {op:?}; step");
-        } else {
-            let index = child.status[p]
-                .iter()
-                .position(|s| matches!(s, OpStatus::Active))
-                .expect("an active machine implies an active op");
-            key = OpKey { process: p, index };
-            label = format!("p{p}: step");
+    fn state_key(&self, exec: &Rc<ExecState<A>>, lin: &LinState<A::Spec>) -> StateKey<A> {
+        let mut assigned = lin.assigned.clone();
+        assigned.sort_by_key(|(k, _)| *k);
+        let mut states = lin.states.clone();
+        states.sort_by_cached_key(hash_of);
+        StateKey {
+            exec: Rc::clone(exec),
+            assigned,
+            states,
         }
-        let mut machine = child.machines[p].take().expect("set above");
-        let completed = match machine.step(&mut child.mem) {
-            Step::Pending => {
-                child.machines[p] = Some(machine);
-                None
-            }
-            Step::Ready(resp) => {
-                child.status[key.process][key.index] = OpStatus::Done(resp.clone());
-                label.push_str(&format!(" → {resp:?}"));
-                Some((key, resp))
-            }
-        };
-        (child, label, completed)
     }
 
-    fn key(&self, exec: &ExecState<A>, lin: &LinState<A::Spec>) -> u64 {
+    /// The pre-PR-4 collision-prone key, kept for [`MemoMode::HashOnly`].
+    fn hash_key(&self, exec: &ExecState<A>, lin: &LinState<A::Spec>) -> u64 {
         let mut h = DefaultHasher::new();
         exec.mem.hash(&mut h);
         exec.machines.hash(&mut h);
@@ -455,15 +775,316 @@ impl<'a, A: Algorithm> Checker<'a, A> {
         let mut assigned = lin.assigned.clone();
         assigned.sort_by_key(|(k, _)| *k);
         assigned.hash(&mut h);
-        // Order-independent hash of the spec-state set.
         let mut acc: u64 = 0;
         for s in &lin.states {
-            let mut sh = DefaultHasher::new();
-            s.hash(&mut sh);
-            acc = acc.wrapping_add(sh.finish());
+            acc = acc.wrapping_add(hash_of(s));
         }
         acc.hash(&mut h);
         h.finish()
+    }
+
+    /// Starts a `feasible` evaluation: resolves terminal and memoized
+    /// states immediately, otherwise opens an AND frame.
+    fn enter_feasible(
+        &mut self,
+        exec: Rc<ExecState<A>>,
+        lin: Rc<LinState<A::Spec>>,
+    ) -> Result<Entered<A>, BudgetExhausted> {
+        let enabled = enabled_of(self.scenario, &exec);
+        if enabled.is_empty() {
+            return Ok(Entered::Done(true));
+        }
+        let key = match &self.memo {
+            Memo::Canonical(map) => {
+                let k = self.state_key(&exec, &lin);
+                if let Some(&cached) = map.get(&k) {
+                    return Ok(Entered::Done(cached));
+                }
+                Some(FrameKey::Canonical(k))
+            }
+            Memo::HashOnly(map) => {
+                let h = self.hash_key(&exec, &lin);
+                if let Some(&cached) = map.get(&h) {
+                    return Ok(Entered::Done(cached));
+                }
+                Some(FrameKey::Hash(h))
+            }
+            Memo::Off => None,
+        };
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            return Err(BudgetExhausted);
+        }
+        Ok(Entered::Frame(FeasibleFrame {
+            exec,
+            lin,
+            key,
+            enabled,
+            next_child: 0,
+        }))
+    }
+
+    fn memo_store(&mut self, key: Option<FrameKey<A>>, verdict: bool) {
+        match (key, &mut self.memo) {
+            (Some(FrameKey::Canonical(k)), Memo::Canonical(map)) => {
+                map.insert(k, verdict);
+            }
+            (Some(FrameKey::Hash(h)), Memo::HashOnly(map)) => {
+                map.insert(h, verdict);
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluates one subproblem to a verdict with an explicit frame
+    /// stack — the search never recurses, so scenario depth is bounded
+    /// by heap, not by the thread stack.
+    fn run_task(&mut self, task: SpawnTask<A>) -> Result<bool, BudgetExhausted> {
+        let mut stack: Vec<Frame<A>> = Vec::new();
+        let mut spawn = Some(task);
+        let mut result: Option<bool> = None;
+        loop {
+            if let Some(task) = spawn.take() {
+                match task {
+                    SpawnTask::Feasible(e, l) => match self.enter_feasible(e, l)? {
+                        Entered::Done(b) => result = Some(b),
+                        Entered::Frame(f) => stack.push(Frame::Feasible(f)),
+                    },
+                    SpawnTask::Ext(c, l, m) => stack.push(Frame::Ext(ExtFrame::new(c, l, m))),
+                }
+            }
+            let Some(top) = stack.last_mut() else {
+                return Ok(result.expect("root task resolved"));
+            };
+            match top {
+                Frame::Feasible(f) => {
+                    if let Some(r) = result.take() {
+                        if !r {
+                            // AND fails: record and propagate.
+                            let Some(Frame::Feasible(f)) = stack.pop() else {
+                                unreachable!("matched above");
+                            };
+                            self.memo_store(f.key, false);
+                            result = Some(false);
+                            continue;
+                        }
+                        f.next_child += 1;
+                    }
+                    if f.next_child >= f.enabled.len() {
+                        let Some(Frame::Feasible(f)) = stack.pop() else {
+                            unreachable!("matched above");
+                        };
+                        self.memo_store(f.key, true);
+                        result = Some(true);
+                        continue;
+                    }
+                    let p = f.enabled[f.next_child];
+                    let (child, _label, completed) =
+                        step_child(self.alg, self.scenario, &f.exec, p);
+                    let child = Rc::new(child);
+                    match completed {
+                        Some((k, r)) if f.lin.contains(k) => {
+                            // Already linearized as pending: the fixed
+                            // response must match what really happened.
+                            if f.lin.resp_of(k) == Some(&r) {
+                                spawn = Some(SpawnTask::Ext(child, Rc::clone(&f.lin), None));
+                            } else {
+                                let Some(Frame::Feasible(f)) = stack.pop() else {
+                                    unreachable!("matched above");
+                                };
+                                self.memo_store(f.key, false);
+                                result = Some(false);
+                            }
+                        }
+                        Some((k, _)) => {
+                            spawn = Some(SpawnTask::Ext(child, Rc::clone(&f.lin), Some(k)));
+                        }
+                        None => {
+                            spawn = Some(SpawnTask::Ext(child, Rc::clone(&f.lin), None));
+                        }
+                    }
+                }
+                Frame::Ext(f) => {
+                    if result.take() == Some(true) {
+                        stack.pop();
+                        result = Some(true);
+                        continue;
+                    }
+                    match f.next_alternative(&self.spec, self.scenario) {
+                        Some(task) => spawn = Some(task),
+                        None => {
+                            stack.pop();
+                            result = Some(false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verdict oracle for witness extraction: memoized states answer
+    /// instantly; unexplored ones are evaluated on the spot.
+    fn verdict(
+        &mut self,
+        exec: &Rc<ExecState<A>>,
+        lin: &Rc<LinState<A::Spec>>,
+    ) -> Result<bool, BudgetExhausted> {
+        self.run_task(SpawnTask::Feasible(Rc::clone(exec), Rc::clone(lin)))
+    }
+
+    /// Re-walks the refuted tree from the root, *through* memoized
+    /// verdicts instead of stopping at them, building the complete
+    /// schedule to the dying step. The pre-PR-4 checker reported
+    /// whatever path happened to be on the stack when a witness was
+    /// first recorded — truncated wherever a cached false was reused,
+    /// and sometimes left over from an exploratory OR branch of a
+    /// certification.
+    fn extract_witness(
+        &mut self,
+        exec0: &Rc<ExecState<A>>,
+        lin0: &Rc<LinState<A::Spec>>,
+    ) -> Witness {
+        // Replay gets a fresh budget on top of what the search spent;
+        // under canonical memoization nearly every probe is a lookup.
+        self.node_limit = self.nodes.saturating_add(self.node_limit);
+        // Without a sound memo the probes would re-explore subtrees
+        // exponentially; replay under a fresh canonical memo instead
+        // (memoization does not change verdicts — the differential
+        // suite pins that).
+        if matches!(self.memo, Memo::Off) {
+            self.memo = Memo::Canonical(HashMap::new());
+        }
+        let mut path = Vec::new();
+        let mut schedule = Vec::new();
+        let mut exec = Rc::clone(exec0);
+        let mut lin = Rc::clone(lin0);
+        loop {
+            let enabled = enabled_of(self.scenario, &exec);
+            let mut descended = false;
+            for &p in &enabled {
+                let (child, label, completed) = step_child(self.alg, self.scenario, &exec, p);
+                let child = Rc::new(child);
+                let (must, mismatch) = match &completed {
+                    Some((k, r)) if lin.contains(*k) => {
+                        if lin.resp_of(*k) == Some(r) {
+                            (None, false)
+                        } else {
+                            (None, true)
+                        }
+                    }
+                    Some((k, _)) => (Some(*k), false),
+                    None => (None, false),
+                };
+                if mismatch {
+                    let (k, r) = completed.expect("mismatch implies completion");
+                    path.push(label);
+                    schedule.push(p);
+                    return Witness {
+                        detail: format!(
+                            "after this step, op {k:?} completed with {r:?} but it was \
+                             already linearized with {:?} — a prefix-closed L cannot \
+                             revise the choice",
+                            lin.resp_of(k)
+                        ),
+                        path,
+                        schedule,
+                    };
+                }
+                match self.refute_ext(&child, &lin, must) {
+                    ExtProbe::Survives => continue,
+                    ExtProbe::Descend(next_lin) => {
+                        path.push(label);
+                        schedule.push(p);
+                        exec = child;
+                        lin = next_lin;
+                        descended = true;
+                        break;
+                    }
+                    ExtProbe::DeadEnd => {
+                        path.push(label);
+                        schedule.push(p);
+                        let detail = match &completed {
+                            Some((k, r)) => format!(
+                                "after this step, op {k:?} completed with {r:?} but no \
+                                 linearization extension of {:?} can accommodate it \
+                                 across all futures",
+                                lin.assigned
+                            ),
+                            None => format!(
+                                "no linearization extension of {:?} survives all futures \
+                                 of this step",
+                                lin.assigned
+                            ),
+                        };
+                        return Witness {
+                            detail,
+                            path,
+                            schedule,
+                        };
+                    }
+                    ExtProbe::Truncated => {
+                        return Witness {
+                            detail: "witness truncated: replay budget exhausted".to_string(),
+                            path,
+                            schedule,
+                        };
+                    }
+                }
+            }
+            if !descended {
+                // Every enabled branch probed feasible — possible only
+                // if a probe was inconsistent with the refutation
+                // (e.g. the unsound HashOnly memo); report honestly.
+                return Witness {
+                    detail: "witness incomplete: no failing branch found on replay \
+                             (memoization mode is not sound?)"
+                        .to_string(),
+                    path,
+                    schedule,
+                };
+            }
+        }
+    }
+
+    /// Decides how the OR side of one schedule step fails, if it does:
+    /// enumerates every extension alternative, preferring σ = ε as the
+    /// continuation so the witness follows the adversary's schedule.
+    fn refute_ext(
+        &mut self,
+        child: &Rc<ExecState<A>>,
+        lin: &Rc<LinState<A::Spec>>,
+        must: Option<OpKey>,
+    ) -> ExtProbe<A::Spec> {
+        let mut descend: Option<Rc<LinState<A::Spec>>> = None;
+        if must.is_none() {
+            match self.verdict(child, lin) {
+                Ok(true) => return ExtProbe::Survives,
+                Ok(false) => descend = Some(Rc::clone(lin)),
+                Err(BudgetExhausted) => return ExtProbe::Truncated,
+            }
+        }
+        let mut frame = ExtFrame::new(Rc::clone(child), Rc::clone(lin), must);
+        frame.tried_epsilon = true; // ε handled above
+        loop {
+            let Some(task) = frame.next_alternative(&self.spec, self.scenario) else {
+                break;
+            };
+            let SpawnTask::Ext(c, next_lin, still_must) = task else {
+                unreachable!("alternatives after ε are extension tasks");
+            };
+            match self.refute_ext(&c, &next_lin, still_must) {
+                ExtProbe::Survives => return ExtProbe::Survives,
+                ExtProbe::Descend(l) => {
+                    descend.get_or_insert(l);
+                }
+                ExtProbe::DeadEnd => {}
+                ExtProbe::Truncated => return ExtProbe::Truncated,
+            }
+        }
+        match descend {
+            Some(l) => ExtProbe::Descend(l),
+            None => ExtProbe::DeadEnd,
+        }
     }
 }
 
@@ -481,16 +1102,7 @@ pub fn for_each_history<A: Algorithm>(
     limit: usize,
     f: &mut dyn FnMut(&History<A::Spec>),
 ) {
-    let n = scenario.processes();
-    let exec = ExecState::<A> {
-        mem,
-        machines: (0..n).map(|_| None).collect(),
-        status: scenario
-            .ops
-            .iter()
-            .map(|l| l.iter().map(|_| OpStatus::NotInvoked).collect())
-            .collect(),
-    };
+    let exec = ExecState::<A>::initial(scenario, mem);
     let mut history = History::new();
     let mut count = 0usize;
     recurse(alg, scenario, &exec, &mut history, &mut count, limit, f);
@@ -505,14 +1117,7 @@ fn recurse<A: Algorithm>(
     limit: usize,
     f: &mut dyn FnMut(&History<A::Spec>),
 ) {
-    let enabled: Vec<usize> = (0..scenario.processes())
-        .filter(|&p| {
-            exec.machines[p].is_some()
-                || exec.status[p]
-                    .iter()
-                    .any(|s| matches!(s, OpStatus::NotInvoked))
-        })
-        .collect();
+    let enabled = enabled_of(scenario, exec);
     if enabled.is_empty() {
         *count += 1;
         assert!(*count <= limit, "history enumeration exceeded {limit}");
@@ -660,6 +1265,10 @@ mod tests {
         let report = check_strong(&alg, mem, &scenario, 2_000_000);
         assert!(report.strongly_linearizable, "{:?}", report.witness);
         assert!(report.nodes > 0);
+        assert!(
+            report.witness.is_none(),
+            "certification must not carry a leftover exploratory witness"
+        );
     }
 
     #[test]
@@ -673,10 +1282,12 @@ mod tests {
             vec![CounterOp::Inc],
             vec![CounterOp::Read],
         ]);
-        let report = check_strong(&alg, mem, &scenario, 2_000_000);
+        let report = check_strong(&alg, mem.clone(), &scenario, 2_000_000);
         assert!(!report.strongly_linearizable);
         let w = report.witness.expect("witness on failure");
         assert!(!w.path.is_empty());
+        assert_eq!(w.path.len(), w.schedule.len());
+        validate_witness(&alg, mem, &scenario, &w).expect("witness must replay");
     }
 
     #[test]
@@ -718,7 +1329,7 @@ mod tests {
 
     #[test]
     fn memoization_ablation_agrees_and_saves_states() {
-        // Same verdicts with and without the state-hashing DAG; the
+        // Same verdicts with and without the state-keyed DAG; the
         // tree mode re-explores joins, so it visits at least as many
         // states (strictly more on racy scenarios).
         let mut mem = SimMemory::new();
@@ -734,19 +1345,13 @@ mod tests {
             &alg,
             mem.clone(),
             &scenario,
-            StrongOptions {
-                node_limit: 4_000_000,
-                memoize: true,
-            },
+            StrongOptions::with_limit(4_000_000),
         );
         let tree = check_strong_with(
             &alg,
             mem,
             &scenario,
-            StrongOptions {
-                node_limit: 4_000_000,
-                memoize: false,
-            },
+            StrongOptions::with_limit(4_000_000).memoize(false),
         );
         assert!(dag.strongly_linearizable && tree.strongly_linearizable);
         assert!(
@@ -769,20 +1374,227 @@ mod tests {
             &alg,
             mem.clone(),
             &scenario,
-            StrongOptions {
-                node_limit: 4_000_000,
-                memoize: true,
-            },
+            StrongOptions::with_limit(4_000_000),
         );
         let tree = check_strong_with(
             &alg,
             mem,
             &scenario,
-            StrongOptions {
-                node_limit: 4_000_000,
-                memoize: false,
-            },
+            StrongOptions::with_limit(4_000_000).memoize(false),
         );
         assert!(!dag.strongly_linearizable && !tree.strongly_linearizable);
+    }
+
+    #[test]
+    fn node_budget_reports_bounded_instead_of_panicking() {
+        let mut mem = SimMemory::new();
+        let alg = RacyCounter {
+            loc: mem.alloc(Cell::Reg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc],
+            vec![CounterOp::Inc],
+            vec![CounterOp::Read],
+        ]);
+        let out = check_strong_outcome(&alg, mem, &scenario, StrongOptions::with_limit(3));
+        assert!(out.is_bounded(), "{:?}", out.outcome);
+        assert!(out.nodes >= 3);
+    }
+
+    #[test]
+    fn scenarios_past_1024_ops_per_process_now_check() {
+        // The pre-PR-4 OpId packing panicked on >1024 ops per process;
+        // the widened packing takes a 1100-op solo tower in stride —
+        // and the explicit-stack engine keeps depth off the thread
+        // stack.
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let ops: Vec<MaxOp> = (0..1100)
+            .map(|i| {
+                if i % 5 == 4 {
+                    MaxOp::Read
+                } else {
+                    MaxOp::Write(i as u64)
+                }
+            })
+            .collect();
+        let scenario = Scenario::new(vec![ops]);
+        let out = check_strong_outcome(&alg, mem, &scenario, StrongOptions::with_limit(4_000_000));
+        assert!(out.is_certified(), "{:?}", out.outcome);
+        assert!(out.nodes >= 1100);
+    }
+
+    // -----------------------------------------------------------------
+    // The PR-4 soundness regression: deliberately hash-colliding search
+    // states. `Colliding`'s Hash impl is constant (legal — the Hash
+    // contract only requires equal values to hash equally), so every
+    // spec-state set collides under the pre-PR-4 hash-only memo key.
+    // The last-writer spec checked against a max-register machine is
+    // genuinely NOT strongly linearizable (schedule Write(2) to
+    // completion before Write(1) is invoked: L = [Write 2] is forced,
+    // then [Write 2, Write 1] — but a later Read returns 2, the
+    // register's max, contradicting spec state 1). The hash-only memo
+    // conflates the {state 2} and {state 1} nodes at the converged
+    // execution state and certifies; equality-checked keys refute.
+    // -----------------------------------------------------------------
+
+    /// Last-writer register state with a deliberately degenerate Hash.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Colliding(u64);
+
+    impl Hash for Colliding {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            0u64.hash(state);
+        }
+    }
+
+    /// Last-writer (ordinary) register spec over `MaxOp`/`MaxResp`.
+    #[derive(Debug, Clone)]
+    struct LastWriteSpec;
+
+    impl Spec for LastWriteSpec {
+        type State = Colliding;
+        type Op = MaxOp;
+        type Resp = MaxResp;
+
+        fn initial(&self) -> Colliding {
+            Colliding(0)
+        }
+
+        fn step(&self, s: &Colliding, op: &MaxOp) -> Vec<(Colliding, MaxResp)> {
+            match op {
+                MaxOp::Write(v) => vec![(Colliding(*v), MaxResp::Ok)],
+                MaxOp::Read => vec![(s.clone(), MaxResp::Value(s.0))],
+            }
+        }
+    }
+
+    /// The max-register machine judged against the last-writer spec.
+    #[derive(Debug, Clone)]
+    struct MaxVsLastWrite {
+        loc: Loc,
+    }
+
+    impl Algorithm for MaxVsLastWrite {
+        type Spec = LastWriteSpec;
+        type Machine = AtomicMaxMachine;
+        fn spec(&self) -> LastWriteSpec {
+            LastWriteSpec
+        }
+        fn machine(&self, _p: usize, op: &MaxOp) -> AtomicMaxMachine {
+            match op {
+                MaxOp::Write(v) => AtomicMaxMachine::Write(self.loc, *v),
+                MaxOp::Read => AtomicMaxMachine::Read(self.loc),
+            }
+        }
+    }
+
+    fn collider_scenario() -> (SimMemory, MaxVsLastWrite, Scenario<LastWriteSpec>) {
+        let mut mem = SimMemory::new();
+        let alg = MaxVsLastWrite {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(1)],
+            vec![MaxOp::Write(2)],
+            vec![MaxOp::Read],
+        ]);
+        (mem, alg, scenario)
+    }
+
+    #[test]
+    fn hash_only_memo_misreferees_on_colliding_states() {
+        // The bug this PR fixes, pinned: under the pre-PR-4 hash-only
+        // memo the colliding spec-state sets conflate and the checker
+        // *certifies* a non-strongly-linearizable object.
+        let (mem, alg, scenario) = collider_scenario();
+        let out = check_strong_outcome(
+            &alg,
+            mem,
+            &scenario,
+            StrongOptions {
+                node_limit: 1_000_000,
+                memo: MemoMode::HashOnly,
+            },
+        );
+        assert!(
+            out.is_certified(),
+            "expected the hash-only memo to misreferee (did the exploration \
+             order change?): {:?}",
+            out.outcome
+        );
+    }
+
+    #[test]
+    fn canonical_memo_is_immune_to_hash_collisions() {
+        // Equality-checked keys: same scenario, correct refutation —
+        // and agreeing with the memo-free ground truth.
+        let (mem, alg, scenario) = collider_scenario();
+        let canonical = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(1_000_000),
+        );
+        assert!(canonical.is_refuted(), "{:?}", canonical.outcome);
+        let tree = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(1_000_000).memoize(false),
+        );
+        assert!(tree.is_refuted(), "{:?}", tree.outcome);
+        let w = canonical.witness().expect("refutation carries a witness");
+        validate_witness(&alg, mem, &scenario, w).expect("witness must replay");
+    }
+
+    #[test]
+    fn witness_extends_to_the_dying_step() {
+        // The refuting branch needs Write(2) complete, then Write(1)
+        // complete, then the Read observing the max — three steps. The
+        // pre-PR-4 checker could stop the path wherever a cached false
+        // was reused; the replayed witness always reaches the step
+        // whose completion no linearization extension survives.
+        let (mem, alg, scenario) = collider_scenario();
+        let out = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(1_000_000),
+        );
+        let w = out.witness().expect("refuted");
+        assert_eq!(w.path.len(), 3, "complete branch: {:?}", w.path);
+        assert!(
+            w.path.last().expect("non-empty").contains("→"),
+            "the dying step is a completion: {:?}",
+            w.path
+        );
+        validate_witness(&alg, mem, &scenario, w).expect("witness must replay");
+    }
+
+    #[test]
+    fn memo_modes_agree_on_sound_configurations() {
+        // Canonical and Off must always agree (HashOnly deliberately
+        // does not, on the collider). Both certification and
+        // refutation shapes.
+        let mut mem = SimMemory::new();
+        let alg = AtomicMax {
+            loc: mem.alloc(Cell::AMaxReg(0)),
+        };
+        let scenario = Scenario::new(vec![
+            vec![MaxOp::Write(2), MaxOp::Read],
+            vec![MaxOp::Write(5)],
+        ]);
+        for memoize in [true, false] {
+            let out = check_strong_outcome(
+                &alg,
+                mem.clone(),
+                &scenario,
+                StrongOptions::with_limit(4_000_000).memoize(memoize),
+            );
+            assert!(out.is_certified());
+        }
     }
 }

@@ -52,6 +52,9 @@ pub mod max_register;
 pub mod snapshot;
 
 pub use counter::{RelaxedShardedCounter, ShardTicket, ShardedFetchInc};
-pub use machines::{ShardedCounterAlg, ShardedMaxRegAlg, ShardedSnapshotAlg, WholeReadMode};
+pub use machines::{
+    fan_in_max_scenario, frontier_safe_max_scenario, ShardedCounterAlg, ShardedMaxRegAlg,
+    ShardedSnapshotAlg, WholeReadMode,
+};
 pub use max_register::ShardedMaxRegister;
 pub use snapshot::ShardedSnapshot;

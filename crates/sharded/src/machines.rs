@@ -73,6 +73,37 @@ fn finish_pass(
 }
 
 // ---------------------------------------------------------------------
+// Canonical adjudication scenarios
+// ---------------------------------------------------------------------
+
+/// The frontier-*safe* sharded max-register scenario at `shards`
+/// shards: both writes land in shard 0 (values `shards` and
+/// `2·shards`, i.e. residue 0) and the reader is fused with the first
+/// writer, so no shard can change behind an independent reader's
+/// collect frontier. Certified at every `S` — one of the corpus's
+/// re-certification points (E23; DESIGN.md §6/§7).
+pub fn frontier_safe_max_scenario(shards: usize) -> sl2_exec::sched::Scenario<MaxRegisterSpec> {
+    let s = shards as u64;
+    sl2_exec::sched::Scenario::new(vec![
+        vec![MaxOp::Write(s), MaxOp::Read],
+        vec![MaxOp::Write(2 * s)],
+    ])
+}
+
+/// The fan-in sharded max-register scenario at ≥ 2 shards: two writers
+/// whose values take distinct residues race one independent reader, so
+/// a write can complete behind the reader's frontier while a shard
+/// ahead of it can still change. Refuted for every `S ≥ 2` (and the
+/// `S = 1` control is certified) — the other corpus re-certification
+/// point.
+pub fn fan_in_max_scenario(_shards: usize) -> sl2_exec::sched::Scenario<MaxRegisterSpec> {
+    sl2_exec::scenarios::fan_in::<MaxRegisterSpec>(
+        vec![MaxOp::Write(1), MaxOp::Write(2)],
+        vec![MaxOp::Read],
+    )
+}
+
+// ---------------------------------------------------------------------
 // Sharded max register
 // ---------------------------------------------------------------------
 
@@ -771,6 +802,62 @@ mod tests {
         ]);
         let report = check_strong(&alg, mem, &scenario, 16_000_000);
         assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    // -- S = 4 re-certification points (E23 corpus anchors) ------------
+
+    #[test]
+    fn four_shard_frontier_safe_scenario_is_strongly_linearizable() {
+        // The PR-4 acceptance scenario: at S = 4 the reader folds four
+        // shards per collect pass, yet both writes land in shard 0 and
+        // the reader is fused with a writer — no shard can change
+        // behind the frontier, so the certificate survives the wider
+        // collect.
+        let mut mem = SimMemory::new();
+        let alg = ShardedMaxRegAlg::new(&mut mem, 2, 4);
+        let report = check_strong(&alg, mem, &frontier_safe_max_scenario(4), 16_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    #[test]
+    fn four_shard_fan_in_is_refuted_like_two_shard() {
+        // The frontier refutation is not an S = 2 artifact: residues 1
+        // and 2 land in distinct shards at S = 4 too, and the same
+        // complete-behind-the-frontier branch kills every prefix-closed
+        // L. The witness replays (PR-4: witnesses are complete paths).
+        let mut mem = SimMemory::new();
+        let alg = ShardedMaxRegAlg::new(&mut mem, 3, 4);
+        let scenario = fan_in_max_scenario(4);
+        let report = check_strong(&alg, mem.clone(), &scenario, 64_000_000);
+        assert!(!report.strongly_linearizable);
+        let witness = report.witness.expect("refutation carries a witness");
+        sl2_exec::validate_witness(&alg, mem, &scenario, &witness)
+            .expect("fan-in witness must replay");
+    }
+
+    #[test]
+    fn frontier_scenarios_bracket_the_boundary_at_every_shard_count() {
+        // One sweep over S ∈ {1, 2, 4}: frontier-safe certified at all
+        // three; fan-in certified only at the S = 1 control.
+        for shards in [1usize, 2, 4] {
+            let mut mem = SimMemory::new();
+            let alg = ShardedMaxRegAlg::new(&mut mem, 2, shards);
+            let report = check_strong(&alg, mem, &frontier_safe_max_scenario(shards), 16_000_000);
+            assert!(
+                report.strongly_linearizable,
+                "frontier-safe S={shards}: {:?}",
+                report.witness
+            );
+
+            let mut mem = SimMemory::new();
+            let alg = ShardedMaxRegAlg::new(&mut mem, 3, shards);
+            let report = check_strong(&alg, mem, &fan_in_max_scenario(shards), 64_000_000);
+            assert_eq!(
+                report.strongly_linearizable,
+                shards == 1,
+                "fan-in S={shards}"
+            );
+        }
     }
 
     // -- randomized differential cover ---------------------------------

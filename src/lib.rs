@@ -136,17 +136,20 @@ pub mod prelude {
     pub use sl2_core::machines::snapshot::SnapshotAlg;
     pub use sl2_core::universal::{CodedOp, PaxosRace, UniversalAlg};
     pub use sl2_exec::{
-        check_strong, check_strong_with, fan_in, for_each_history, is_linearizable, linearize,
-        symmetric, Algorithm, BurstSched, CrashPlan, OpMachine, RandomSched, RoundRobin, Scenario,
-        SimMemory, Step, StrongOptions,
+        check_strong, check_strong_outcome, check_strong_with, fan_in, for_each_history,
+        is_linearizable, linearize, symmetric, tower, validate_witness, Algorithm, BurstSched,
+        CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, CrashPlan, MemoMode, OpMachine,
+        Outcome, RandomSched, RoundRobin, Scenario, ScenarioCorpus, SimMemory, Step, StrongOptions,
+        StrongOutcome, Witness,
     };
     pub use sl2_primitives::{
         BaseObject, CachePadded, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Sharding,
         Swap, TestAndSet,
     };
     pub use sl2_sharded::{
-        RelaxedShardedCounter, ShardTicket, ShardedCounterAlg, ShardedFetchInc, ShardedMaxRegAlg,
-        ShardedMaxRegister, ShardedSnapshot, ShardedSnapshotAlg, WholeReadMode,
+        fan_in_max_scenario, frontier_safe_max_scenario, RelaxedShardedCounter, ShardTicket,
+        ShardedCounterAlg, ShardedFetchInc, ShardedMaxRegAlg, ShardedMaxRegister, ShardedSnapshot,
+        ShardedSnapshotAlg, WholeReadMode,
     };
     pub use sl2_spec::relaxed::LaggingCounterSpec;
     pub use sl2_spec::Spec;

@@ -207,6 +207,8 @@ fn checker_witness_replays_to_a_real_execution() {
 
 #[test]
 fn op_ids_in_enumerated_histories_are_canonical() {
+    // PR 4 widened the OpId packing from 1024 to 2^32 per-process
+    // operations: process 1's first op now sits at 1 << 32.
     let scenario: Scenario<MaxRegisterSpec> =
         Scenario::new(vec![vec![MaxOp::Write(1)], vec![MaxOp::Read]]);
     let mut mem = SimMemory::new();
@@ -214,9 +216,206 @@ fn op_ids_in_enumerated_histories_are_canonical() {
     for_each_history(&alg, mem, &scenario, 100_000, &mut |h| {
         let ids: Vec<OpId> = h.ops().iter().map(|r| r.id).collect();
         for id in ids {
-            assert!(id.0 == 0 || id.0 == 1024, "canonical ids: {id:?}");
+            assert!(id.0 == 0 || id.0 == 1 << 32, "canonical ids: {id:?}");
         }
     });
+}
+
+// ---------------------------------------------------------------------
+// E24 differential: the corpus run with memoization on vs off must
+// produce identical verdicts AND witnesses of identical feasibility —
+// and every certification must survive the for_each_history
+// cross-check (a certified scenario cannot have a non-linearizable
+// history; a refuted one must carry a replayable witness).
+// ---------------------------------------------------------------------
+
+mod memo_differential {
+    use super::*;
+    use sl2_exec::{
+        check_strong_outcome, validate_witness, CorpusOptions, CorpusReport, CorpusVerdict,
+        MemoMode, ScenarioCorpus, StrongOptions,
+    };
+
+    /// Non-atomic counter increment (read; write): the refutation-rich
+    /// half of the differential corpus.
+    #[derive(Debug, Clone)]
+    struct RacyCounter {
+        loc: sl2_exec::Loc,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum RacyMachine {
+        IncRead(sl2_exec::Loc),
+        IncWrite(sl2_exec::Loc, u64),
+        Read(sl2_exec::Loc),
+    }
+
+    impl OpMachine for RacyMachine {
+        type Resp = sl2_spec::counters::CounterResp;
+        fn step(&mut self, mem: &mut SimMemory) -> Step<Self::Resp> {
+            use sl2_spec::counters::CounterResp;
+            match *self {
+                RacyMachine::IncRead(loc) => {
+                    let v = mem.read(loc);
+                    *self = RacyMachine::IncWrite(loc, v);
+                    Step::Pending
+                }
+                RacyMachine::IncWrite(loc, v) => {
+                    mem.write(loc, v + 1);
+                    Step::Ready(CounterResp::Ok)
+                }
+                RacyMachine::Read(loc) => Step::Ready(CounterResp::Value(mem.read(loc))),
+            }
+        }
+    }
+
+    impl Algorithm for RacyCounter {
+        type Spec = sl2_spec::counters::CounterSpec;
+        type Machine = RacyMachine;
+        fn spec(&self) -> Self::Spec {
+            sl2_spec::counters::CounterSpec
+        }
+        fn machine(&self, _p: usize, op: &sl2_spec::counters::CounterOp) -> RacyMachine {
+            use sl2_spec::counters::CounterOp;
+            match op {
+                CounterOp::Inc => RacyMachine::IncRead(self.loc),
+                CounterOp::Read => RacyMachine::Read(self.loc),
+            }
+        }
+    }
+
+    fn racy_counter(mem: &mut SimMemory) -> RacyCounter {
+        RacyCounter {
+            loc: mem.alloc(Cell::Reg(0)),
+        }
+    }
+
+    fn counter_corpus() -> ScenarioCorpus<sl2_spec::counters::CounterSpec> {
+        use sl2_spec::counters::CounterOp;
+        let mut corpus = ScenarioCorpus::new();
+        corpus.symmetric_family("racy", &[2, 3], &[CounterOp::Inc, CounterOp::Read], 1);
+        corpus.fan_in_family(
+            "racy",
+            &[CounterOp::Inc, CounterOp::Read],
+            2,
+            &[CounterOp::Read],
+        );
+        corpus
+    }
+
+    fn max_corpus() -> ScenarioCorpus<MaxRegisterSpec> {
+        let mut corpus = ScenarioCorpus::new();
+        corpus.symmetric_family("thm1", &[2], &[MaxOp::Write(2), MaxOp::Read], 2);
+        corpus
+    }
+
+    /// Runs one `(make, corpus)` pair through the full differential:
+    /// memo-on/memo-off verdict equality, witness feasibility in both
+    /// modes, and the history cross-check on every verdict.
+    fn differential<A, F>(make: F, corpus: &ScenarioCorpus<A::Spec>)
+    where
+        A: Algorithm,
+        F: Fn(&mut SimMemory) -> A,
+    {
+        let opts = |memoize| CorpusOptions {
+            per_scenario_limit: 4_000_000,
+            memo: if memoize {
+                MemoMode::Canonical
+            } else {
+                MemoMode::Off
+            },
+        };
+        let mut on = CorpusReport::new(usize::MAX);
+        corpus.run_into(&make, &opts(true), &mut on);
+        let mut off = CorpusReport::new(usize::MAX);
+        corpus.run_into(&make, &opts(false), &mut off);
+        for ((a, b), (name, scenario)) in on.records.iter().zip(&off.records).zip(corpus.entries())
+        {
+            assert_eq!(a.verdict, b.verdict, "memo ablation disagrees on {name}");
+            match a.verdict {
+                CorpusVerdict::Certified => {
+                    // Cross-check: certified ⇒ every complete history
+                    // of the scenario is linearizable.
+                    let mut mem = SimMemory::new();
+                    let alg = make(&mut mem);
+                    let spec = alg.spec();
+                    for_each_history(&alg, mem, scenario, 4_000_000, &mut |h| {
+                        assert!(
+                            is_linearizable(&spec, h),
+                            "{name}: certified but history {h:?} is not linearizable"
+                        );
+                    });
+                }
+                CorpusVerdict::Refuted => {
+                    // Cross-check: both modes' witnesses replay as real
+                    // schedules reaching the dying step.
+                    for memoize in [true, false] {
+                        let mut mem = SimMemory::new();
+                        let alg = make(&mut mem);
+                        let out = check_strong_outcome(
+                            &alg,
+                            mem.clone(),
+                            scenario,
+                            StrongOptions::with_limit(4_000_000).memoize(memoize),
+                        );
+                        let w = out.witness().expect("refuted scenarios carry witnesses");
+                        assert_eq!(w.path.len(), w.schedule.len());
+                        validate_witness(&alg, mem, scenario, w).unwrap_or_else(|e| {
+                            panic!("{name} (memoize={memoize}): witness does not replay: {e}")
+                        });
+                    }
+                }
+                CorpusVerdict::Bounded => panic!("{name}: differential corpus hit the budget"),
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_verdicts_and_witnesses_agree_across_memo_modes() {
+        differential(racy_counter, &counter_corpus());
+        differential(|mem| MaxRegAlg::new(mem, 3), &max_corpus());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        /// Randomized differential: generated scenarios over the racy
+        /// counter (verdicts of both kinds) run memoized and
+        /// unmemoized; verdicts agree and refutation witnesses replay
+        /// in both modes.
+        #[test]
+        fn random_scenarios_agree_across_memo_modes(
+            ops in prop::collection::vec(
+                prop::collection::vec(
+                    prop_oneof![
+                        Just(sl2_spec::counters::CounterOp::Inc),
+                        Just(sl2_spec::counters::CounterOp::Read),
+                    ],
+                    0..3,
+                ),
+                2..4,
+            )
+        ) {
+            let scenario = Scenario::new(ops);
+            let mut verdicts = Vec::new();
+            for memoize in [true, false] {
+                let mut mem = SimMemory::new();
+                let alg = racy_counter(&mut mem);
+                let out = check_strong_outcome(
+                    &alg,
+                    mem.clone(),
+                    &scenario,
+                    StrongOptions::with_limit(4_000_000).memoize(memoize),
+                );
+                if let Some(w) = out.witness() {
+                    validate_witness(&alg, mem, &scenario, w)
+                        .map_err(TestCaseError::fail)?;
+                }
+                verdicts.push(out.is_certified());
+            }
+            prop_assert_eq!(verdicts[0], verdicts[1], "memo ablation flipped a verdict");
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

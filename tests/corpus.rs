@@ -1,0 +1,329 @@
+//! Experiment E23: the batch corpus re-certification.
+//!
+//! Every semantic claim this repo has shipped flows through
+//! `check_strong`; PR 4 replaced its collision-prone memo with
+//! equality-checked canonical keys, so every claim must be re-proved
+//! under the fixed referee. This suite assembles the shipped verdicts
+//! — the Theorem-1/9 certificate families (E2, E7, E18), the
+//! AGM/Treiber/CAS boundary (E11), the sharded frontier adjudication
+//! at S ∈ {1, 2, 4} (E20–E21) — into `ScenarioCorpus` batches, runs
+//! them under one shared node budget with memoization **on and off**,
+//! and asserts the verdicts agree pairwise and match the shipped
+//! claims.
+//!
+//! When `SL2_CORPUS_JSON` is set, the memo-on `CorpusReport` is
+//! written there as JSON lines — CI's corpus-smoke step uploads it,
+//! and `BENCH_PR4.json` commits a snapshot.
+
+use sl2::prelude::*;
+use sl2_core::baselines::agm_stack::AgmStackAlg;
+use sl2_core::baselines::cas_queue::CasQueueAlg;
+use sl2_core::baselines::treiber_stack::TreiberStackAlg;
+use sl2_spec::counters::{CounterOp, CounterSpec, FetchIncOp, FetchIncSpec};
+use sl2_spec::fifo::{QueueOp, QueueSpec, StackOp, StackSpec};
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
+
+/// Global node budget shared by the whole re-certification pass; the
+/// memo-on run spends well under a million nodes, so this is headroom,
+/// not a cliff — but a runaway scenario surfaces as a `Bounded` record
+/// instead of an eaten CI hour.
+const NODE_BUDGET: usize = 32_000_000;
+
+fn options(memoize: bool) -> CorpusOptions {
+    CorpusOptions {
+        per_scenario_limit: 8_000_000,
+        memo: if memoize {
+            MemoMode::Canonical
+        } else {
+            MemoMode::Off
+        },
+    }
+}
+
+/// Theorem 1 max register: symmetric, fan-in, and tower families —
+/// every member certified (E2/E18). The 1100-op tower crosses the old
+/// 1024-ops-per-process packing limit on purpose.
+fn max_register_corpus() -> ScenarioCorpus<MaxRegisterSpec> {
+    let alphabet = [MaxOp::Write(1), MaxOp::Write(3), MaxOp::Read];
+    let mut corpus = ScenarioCorpus::new();
+    corpus.symmetric_family("thm1", &[2], &alphabet, 2);
+    corpus.fan_in_family("thm1", &alphabet, 2, &[MaxOp::Read]);
+    corpus.tower_family(
+        "thm1",
+        &[MaxOp::Write(2), MaxOp::Read],
+        &[4, 6],
+        &[vec![MaxOp::Write(5)]],
+    );
+    corpus.tower_family("thm1", &[MaxOp::Write(2), MaxOp::Read], &[1100], &[]);
+    corpus
+}
+
+/// Theorem 9 fetch&increment: the E7/E18 mixes — every member
+/// certified.
+fn fetch_inc_corpus() -> ScenarioCorpus<FetchIncSpec> {
+    let alphabet = [FetchIncOp::FetchInc, FetchIncOp::Read];
+    let mut corpus = ScenarioCorpus::new();
+    corpus.symmetric_family("thm9", &[2], &alphabet, 2);
+    corpus.fan_in_family("thm9", &alphabet, 2, &[FetchIncOp::Read]);
+    corpus
+}
+
+/// The E11 stack scenarios, named per algorithm under test so the AGM
+/// and Treiber runs keep distinct records.
+fn stack_corpus(prefix: &str) -> ScenarioCorpus<StackSpec> {
+    let mut corpus = ScenarioCorpus::new();
+    corpus.push(
+        format!("{prefix}/witness_scenario"),
+        Scenario::new(vec![
+            vec![StackOp::Push(1)],
+            vec![StackOp::Push(2)],
+            vec![StackOp::Pop, StackOp::Pop],
+        ]),
+    );
+    corpus.push(
+        format!("{prefix}/single_pusher"),
+        Scenario::new(vec![
+            vec![StackOp::Push(1)],
+            vec![StackOp::Pop, StackOp::Pop],
+        ]),
+    );
+    corpus
+}
+
+/// Sharded max register at one shard count: the two §6 anchors.
+fn sharded_corpus(shards: usize) -> ScenarioCorpus<MaxRegisterSpec> {
+    let mut corpus = ScenarioCorpus::new();
+    corpus.push(
+        format!("sharded_s{shards}/frontier_safe"),
+        frontier_safe_max_scenario(shards),
+    );
+    corpus.push(
+        format!("sharded_s{shards}/fan_in"),
+        fan_in_max_scenario(shards),
+    );
+    corpus
+}
+
+/// The sharded counter adjudication (E21), named per read mode. Home
+/// shards depend on process indices, so these corpora keep
+/// process-permuted members (`without_dedup`).
+fn counter_corpus(prefix: &str) -> ScenarioCorpus<CounterSpec> {
+    let mut corpus = ScenarioCorpus::without_dedup();
+    corpus.push(
+        format!("{prefix}/fan_in"),
+        fan_in::<CounterSpec>(vec![CounterOp::Inc, CounterOp::Inc], vec![CounterOp::Read]),
+    );
+    corpus.push(
+        format!("{prefix}/inc_read_pair"),
+        Scenario::new(vec![
+            vec![CounterOp::Inc, CounterOp::Read],
+            vec![CounterOp::Inc],
+        ]),
+    );
+    corpus
+}
+
+/// Treiber answers the *same* stack scenarios as AGM; a newtype keeps
+/// the two runs' algorithms apart.
+#[derive(Debug, Clone)]
+struct StackVsTreiber(TreiberStackAlg);
+
+impl Algorithm for StackVsTreiber {
+    type Spec = StackSpec;
+    type Machine = <TreiberStackAlg as Algorithm>::Machine;
+    fn spec(&self) -> StackSpec {
+        StackSpec
+    }
+    fn machine(&self, p: usize, op: &StackOp) -> Self::Machine {
+        self.0.machine(p, op)
+    }
+}
+
+/// Runs every corpus into `report` with the given memoization mode.
+fn run_all(memoize: bool, report: &mut CorpusReport) {
+    let opts = options(memoize);
+    max_register_corpus().run_into(|mem| MaxRegAlg::new(mem, 3), &opts, report);
+    fetch_inc_corpus().run_into(FetchIncAlg::new, &opts, report);
+    stack_corpus("agm").run_into(AgmStackAlg::new, &opts, report);
+    stack_corpus("treiber").run_into(
+        |mem| StackVsTreiber(TreiberStackAlg::new(mem)),
+        &opts,
+        report,
+    );
+    for shards in [1usize, 2, 4] {
+        sharded_corpus(shards).run_into(|mem| ShardedMaxRegAlg::new(mem, 3, shards), &opts, report);
+    }
+    counter_corpus("counter_naive").run_into(
+        |mem| ShardedCounterAlg::naive(mem, 3, 2),
+        &opts,
+        report,
+    );
+    counter_corpus("counter_exact").run_into(
+        |mem| ShardedCounterAlg::exact(mem, 3, 2),
+        &opts,
+        report,
+    );
+    // The CAS queue (E11, queue side).
+    let mut q = ScenarioCorpus::<QueueSpec>::new();
+    q.push(
+        "cas_queue/witness_scenario",
+        Scenario::new(vec![
+            vec![QueueOp::Enq(1)],
+            vec![QueueOp::Enq(2)],
+            vec![QueueOp::Deq, QueueOp::Deq],
+        ]),
+    );
+    q.run_into(CasQueueAlg::new, &opts, report);
+}
+
+/// `(name, certified?)` for every individually pinned record; the
+/// `thm1/` and `thm9/` families are additionally blanket-asserted
+/// certified.
+fn pinned_verdicts() -> Vec<(&'static str, bool)> {
+    vec![
+        // E18 deep tower past the old 1024-op packing limit.
+        ("thm1/tower_h1100", true),
+        // E11: linearizable-but-not-strongly AGM vs the CAS routes.
+        ("agm/witness_scenario", false),
+        ("agm/single_pusher", true),
+        ("treiber/witness_scenario", true),
+        ("treiber/single_pusher", true),
+        ("cas_queue/witness_scenario", true),
+        // E20: the sharded frontier boundary, bracketed at S ∈ {1,2,4}.
+        ("sharded_s1/frontier_safe", true),
+        ("sharded_s1/fan_in", true), // the S = 1 control
+        ("sharded_s2/frontier_safe", true),
+        ("sharded_s2/fan_in", false),
+        ("sharded_s4/frontier_safe", true), // the PR-4 acceptance anchor
+        ("sharded_s4/fan_in", false),
+        // E21: the counter ladder — the independent-reader fan-in
+        // breaks both read modes (the stable collect retries but the
+        // frontier race survives it, as for the max register); the
+        // reader-fused pair passes both.
+        ("counter_naive/fan_in", false),
+        ("counter_naive/inc_read_pair", true),
+        ("counter_exact/fan_in", false),
+        ("counter_exact/inc_read_pair", true),
+    ]
+}
+
+#[test]
+fn corpus_recertifies_every_shipped_verdict() {
+    let mut on = CorpusReport::new(NODE_BUDGET);
+    run_all(true, &mut on);
+    let mut off = CorpusReport::new(NODE_BUDGET);
+    run_all(false, &mut off);
+
+    // The two sound memoization modes agree record-for-record.
+    assert_eq!(on.records.len(), off.records.len());
+    for (a, b) in on.records.iter().zip(&off.records) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.verdict, b.verdict,
+            "memo-on vs memo-off disagree on {}",
+            a.name
+        );
+    }
+
+    // No scenario ran out of budget, and the budget was respected.
+    assert_eq!(on.count(CorpusVerdict::Bounded), 0, "{:?}", on.records);
+    assert!(on.nodes_spent <= on.node_budget);
+
+    // Pinned claims reproduce.
+    for (name, certified) in pinned_verdicts() {
+        let rec = on.get(name).unwrap_or_else(|| panic!("missing {name}"));
+        let expect = if certified {
+            CorpusVerdict::Certified
+        } else {
+            CorpusVerdict::Refuted
+        };
+        assert_eq!(rec.verdict, expect, "{name}: {rec:?}");
+    }
+
+    // Blanket family expectations: every Theorem-1 / Theorem-9 family
+    // member is certified.
+    for rec in &on.records {
+        if rec.name.starts_with("thm1/") || rec.name.starts_with("thm9/") {
+            assert_eq!(
+                rec.verdict,
+                CorpusVerdict::Certified,
+                "{}: {rec:?}",
+                rec.name
+            );
+        }
+    }
+
+    // Every refutation carries a non-trivial witness path.
+    for rec in &on.records {
+        if rec.verdict == CorpusVerdict::Refuted {
+            assert!(rec.witness_steps > 0, "{}: empty witness", rec.name);
+        }
+    }
+
+    // The S = 4 acceptance anchor certified within the shared budget.
+    let anchor = on.get("sharded_s4/frontier_safe").expect("anchor present");
+    assert!(anchor.nodes > 0 && anchor.nodes < on.node_budget);
+
+    // Machine-readable artifact for CI / BENCH_PR4.json.
+    if let Ok(path) = std::env::var("SL2_CORPUS_JSON") {
+        std::fs::write(&path, on.to_json_lines())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+}
+
+#[test]
+fn corpus_dedup_collapses_isomorphic_members() {
+    // The fan-in families generate process-permuted duplicates; dedup
+    // must collapse them and the report must surface the count.
+    let corpus = max_register_corpus();
+    assert!(corpus.deduped() > 0, "families produce no duplicates?");
+    let report = corpus.run(|mem| MaxRegAlg::new(mem, 3), &options(true), NODE_BUDGET);
+    assert_eq!(report.deduped, corpus.deduped());
+    assert_eq!(report.records.len(), corpus.len());
+}
+
+#[test]
+fn corpus_budget_starvation_reports_bounded() {
+    // Budget exhaustion is a recorded outcome, not a panic: with a
+    // near-zero shared budget every scenario lands Bounded (the first
+    // may sneak a node in).
+    let report = max_register_corpus().run(|mem| MaxRegAlg::new(mem, 3), &options(true), 2);
+    assert!(report.count(CorpusVerdict::Bounded) >= report.records.len() - 1);
+    assert!(report.nodes_spent <= 3);
+}
+
+#[test]
+fn refutation_witnesses_replay_against_their_scenarios() {
+    // Witness feasibility for the corpus refutations, end to end: the
+    // schedule replays step-for-step against a fresh algorithm
+    // instance (PR-4 witnesses are complete, not truncated at memo
+    // hits).
+    for shards in [2usize, 4] {
+        let scenario = fan_in_max_scenario(shards);
+        let mut mem = SimMemory::new();
+        let alg = ShardedMaxRegAlg::new(&mut mem, 3, shards);
+        let out = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(8_000_000),
+        );
+        let w = out.witness().expect("fan-in refuted");
+        validate_witness(&alg, mem, &scenario, w).unwrap_or_else(|e| panic!("S={shards}: {e}"));
+    }
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let scenario = Scenario::new(vec![
+        vec![StackOp::Push(1)],
+        vec![StackOp::Push(2)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ]);
+    let out = check_strong_outcome(
+        &alg,
+        mem.clone(),
+        &scenario,
+        StrongOptions::with_limit(8_000_000),
+    );
+    let w = out.witness().expect("AGM refuted");
+    validate_witness(&alg, mem, &scenario, w).expect("AGM witness must replay");
+}

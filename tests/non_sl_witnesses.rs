@@ -179,6 +179,89 @@ fn sharded_max_register_same_scenario_single_shard_passes() {
     assert!(report.strongly_linearizable, "{:?}", report.witness);
 }
 
+// ---------------------------------------------------------------------
+// Witness completeness (PR 4): refutation witnesses must be complete
+// branches — replayable from the root, step for step, down to the
+// actual dying step. The pre-PR-4 checker truncated the path wherever
+// a memoized-false subtree was reused (and could even report a
+// leftover path from an exploratory branch of a *certification*); the
+// engine now re-walks the failing branch through the memo instead.
+// ---------------------------------------------------------------------
+
+#[test]
+fn agm_witness_is_complete_and_memoization_independent() {
+    let mut mem = SimMemory::new();
+    let alg = AgmStackAlg::new(&mut mem);
+    let scenario = witness_scenario();
+    let mut witnesses = Vec::new();
+    for memoize in [true, false] {
+        let out = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(16_000_000).memoize(memoize),
+        );
+        let w = out.witness().expect("AGM refuted").clone();
+        // Feasibility: the schedule replays against a fresh execution
+        // and reproduces every rendered event, including the last.
+        assert_eq!(w.path.len(), w.schedule.len());
+        validate_witness(&alg, mem.clone(), &scenario, &w)
+            .unwrap_or_else(|e| panic!("memoize={memoize}: {e}"));
+        // Completeness: the branch ends at the step whose completion
+        // no linearization extension survives — a completion event,
+        // not a mid-operation step where a cached verdict was reused.
+        assert!(
+            w.path.last().expect("non-empty").contains("→"),
+            "dying step must be a completion: {:?}",
+            w.path
+        );
+        witnesses.push(w);
+    }
+    assert_eq!(
+        witnesses[0].path, witnesses[1].path,
+        "witness must not depend on memoization"
+    );
+    assert_eq!(witnesses[0].schedule, witnesses[1].schedule);
+}
+
+#[test]
+fn sharded_witness_is_complete_and_memoization_independent() {
+    let mut mem = SimMemory::new();
+    let alg = ShardedCounterAlg::naive(&mut mem, 3, 2);
+    let scenario =
+        fan_in::<CounterSpec>(vec![CounterOp::Inc, CounterOp::Inc], vec![CounterOp::Read]);
+    let mut witnesses = Vec::new();
+    for memoize in [true, false] {
+        let out = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(16_000_000).memoize(memoize),
+        );
+        let w = out.witness().expect("naive counter refuted").clone();
+        validate_witness(&alg, mem.clone(), &scenario, &w)
+            .unwrap_or_else(|e| panic!("memoize={memoize}: {e}"));
+        assert!(
+            w.path.last().expect("non-empty").contains("→"),
+            "dying step must be a completion: {:?}",
+            w.path
+        );
+        witnesses.push(w);
+    }
+    assert_eq!(witnesses[0].path, witnesses[1].path);
+}
+
+#[test]
+fn certifications_carry_no_leftover_witness() {
+    // The pre-PR-4 checker could attach an exploratory witness to a
+    // *passing* report; a certificate must come clean.
+    let mut mem = SimMemory::new();
+    let alg = TreiberStackAlg::new(&mut mem);
+    let report = check_strong(&alg, mem, &witness_scenario(), 32_000_000);
+    assert!(report.strongly_linearizable);
+    assert!(report.witness.is_none());
+}
+
 #[test]
 fn agm_stack_smallest_scenarios_are_fine() {
     // Strong linearizability only breaks once the future can
