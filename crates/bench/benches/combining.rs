@@ -1,0 +1,267 @@
+//! Experiments E26 and E29 — the combining front-end in the
+//! read-heavy regime (see EXPERIMENTS.md).
+//!
+//! Series reported:
+//! * `combining_read/*` — single-thread whole-object read latency at a
+//!   fixed population: the global Theorem-1 register, the S=16 sharded
+//!   fold (stable and relaxed), and the combined cached read (one
+//!   load) with its stable fallback — the per-op costs the mixed sweep
+//!   composes;
+//! * `combining_mixed/*` — the E26 acceptance series: 1:9 and 1:3
+//!   write:read mixes across 1..=16 threads for global vs S=16 fold vs
+//!   combined cached read (writes through the front-end), uniform
+//!   values — the ISSUE-5 bar is the combined column beating both
+//!   others on the 1:9 mix at ≥ 8 threads;
+//! * `combining_mixed_zipf/*` — the same sweep under zipf-skewed
+//!   values (hot keys re-concentrate shards, but the cached read never
+//!   touches them);
+//! * `combining_counter/*` — the counter-shaped analogue: striped incs
+//!   with exact, relaxed, and cached reads under a 1:9 mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl2_bench::{parallel_duration, ratio_mix, ValueStream, ZipfStream};
+use sl2_combine::{CombiningCounter, CombiningMaxRegister};
+use sl2_core::algos::max_register::SlMaxRegister;
+use sl2_core::algos::MaxRegister;
+use sl2_sharded::{ShardedFetchInc, ShardedMaxRegister};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Same value bound as the sharded and max-register benches.
+const VALUE_BOUND: u64 = 64;
+
+/// Per-thread operations per measured makespan.
+const OPS: u64 = 2_000;
+
+/// Thread counts for the scaling sweeps (matching `sharded`).
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Shard count under the front-end (the PR-3 contended-write winner).
+const SHARDS: usize = 16;
+
+/// One read-heavy participant over the shared [`ratio_mix`] cycle
+/// driver, with `write` and `read` supplied per register flavor.
+fn mix<W: Fn(u64), R: Fn()>(t: usize, writes: u64, reads: u64, zipf: bool, write: W, read: R) {
+    let mut uniform = ValueStream::new(t as u64 + 1);
+    let mut skewed = ZipfStream::new(t as u64 + 1, VALUE_BOUND);
+    ratio_mix(
+        OPS,
+        writes,
+        reads,
+        || {
+            if zipf {
+                skewed.next_value()
+            } else {
+                uniform.next_in(VALUE_BOUND)
+            }
+        },
+        write,
+        || {
+            read();
+        },
+    );
+}
+
+fn bench_read_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combining_read");
+    group.sample_size(10);
+
+    let global = SlMaxRegister::new(4);
+    let sharded = ShardedMaxRegister::new(4, SHARDS);
+    let combined = CombiningMaxRegister::new(ShardedMaxRegister::new(4, SHARDS));
+    for p in 0..4 {
+        for v in 0..VALUE_BOUND {
+            global.write_max(p, v);
+            sharded.write_max(p, v);
+            combined.write_max(p, v);
+        }
+    }
+    combined.refresh();
+
+    group.bench_function("global", |b| b.iter(|| black_box(global.read_max())));
+    group.bench_function("sharded_s16_fold", |b| {
+        b.iter(|| black_box(sharded.read_max()))
+    });
+    group.bench_function("sharded_s16_relaxed", |b| {
+        b.iter(|| black_box(sharded.read_max_relaxed()))
+    });
+    group.bench_function("combined_cached", |b| {
+        b.iter(|| black_box(combined.read_cached()))
+    });
+    group.bench_function("combined_stable", |b| {
+        b.iter(|| black_box(combined.read_max()))
+    });
+    group.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    for (group_name, zipf) in [("combining_mixed", false), ("combining_mixed_zipf", true)] {
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(10);
+        for (writes, reads) in [(1u64, 9u64), (1, 3)] {
+            for threads in THREADS {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("global_w{writes}r{reads}"), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter_custom(|iters| {
+                            let mut total = Duration::ZERO;
+                            for _ in 0..iters {
+                                let m = SlMaxRegister::new(threads);
+                                total += parallel_duration(threads, |t| {
+                                    mix(
+                                        t,
+                                        writes,
+                                        reads,
+                                        zipf,
+                                        |v| m.write_max(t, v),
+                                        || {
+                                            black_box(m.read_max());
+                                        },
+                                    )
+                                });
+                            }
+                            total
+                        });
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sharded_s16_w{writes}r{reads}"), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter_custom(|iters| {
+                            let mut total = Duration::ZERO;
+                            for _ in 0..iters {
+                                let m = ShardedMaxRegister::new(threads, SHARDS);
+                                total += parallel_duration(threads, |t| {
+                                    mix(
+                                        t,
+                                        writes,
+                                        reads,
+                                        zipf,
+                                        |v| m.write_max(t, v),
+                                        || {
+                                            black_box(m.read_max());
+                                        },
+                                    )
+                                });
+                            }
+                            total
+                        });
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("combined_w{writes}r{reads}"), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter_custom(|iters| {
+                            let mut total = Duration::ZERO;
+                            for _ in 0..iters {
+                                let m = CombiningMaxRegister::new(ShardedMaxRegister::new(
+                                    threads, SHARDS,
+                                ));
+                                total += parallel_duration(threads, |t| {
+                                    mix(
+                                        t,
+                                        writes,
+                                        reads,
+                                        zipf,
+                                        |v| m.write_max(t, v),
+                                        || {
+                                            black_box(m.read_cached());
+                                        },
+                                    )
+                                });
+                            }
+                            total
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combining_counter");
+    group.sample_size(10);
+
+    // Read-path latencies at a fixed population.
+    let plain = ShardedFetchInc::new(4, SHARDS);
+    let combined = CombiningCounter::new(ShardedFetchInc::new(4, SHARDS));
+    for i in 0..64 {
+        plain.inc(i % 4);
+        combined.inc(i % 4);
+    }
+    combined.refresh();
+    group.bench_function("read_exact_s16", |b| b.iter(|| black_box(plain.read())));
+    group.bench_function("read_relaxed_s16", |b| {
+        b.iter(|| black_box(plain.read_relaxed()))
+    });
+    group.bench_function("read_cached", |b| {
+        b.iter(|| black_box(combined.read_cached()))
+    });
+
+    // 1:9 inc:read mix across the thread sweep.
+    for threads in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_sharded_w1r9", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = ShardedFetchInc::new(threads, SHARDS);
+                        total += parallel_duration(threads, |t| {
+                            mix(
+                                t,
+                                1,
+                                9,
+                                false,
+                                |_| {
+                                    m.inc(t);
+                                },
+                                || {
+                                    black_box(m.read());
+                                },
+                            )
+                        });
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mixed_combined_w1r9", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = CombiningCounter::new(ShardedFetchInc::new(threads, SHARDS));
+                        total += parallel_duration(threads, |t| {
+                            mix(
+                                t,
+                                1,
+                                9,
+                                false,
+                                |_| {
+                                    m.inc(t);
+                                },
+                                || {
+                                    black_box(m.read_cached());
+                                },
+                            )
+                        });
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_latency, bench_mixed, bench_counter);
+criterion_main!(benches);

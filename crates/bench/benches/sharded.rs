@@ -8,7 +8,9 @@
 //!   acceptance bar is S=16 beating global at ≥ 8 threads);
 //! * `sharded_write_max_zipf/*` — the same sweep under zipf-skewed
 //!   values, the regime where hot keys re-concentrate shards;
-//! * `sharded_mixed/*` — 3:1 write:read mix, paying the fold reads;
+//! * `sharded_mixed/*` — write:read ratio sweep (3:1, 1:3, 1:9) so the
+//!   fold-read cost side is measurable across the whole mix spectrum
+//!   (the `combining` bench target answers it on the read-heavy end);
 //! * `sharded_counter/*` — striped increments (E21) for the global
 //!   `WideFetchInc` vs `ShardedFetchInc` at S ∈ {4, 16}, plus the
 //!   exact vs relaxed read cost at a fixed shard count;
@@ -17,7 +19,7 @@
 //!   granularities (E20's cost side).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl2_bench::{parallel_duration, ValueStream, ZipfStream};
+use sl2_bench::{parallel_duration, ratio_mix, ValueStream, ZipfStream};
 use sl2_core::algos::fetch_inc::WideFetchInc;
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::snapshot::SlSnapshot;
@@ -51,15 +53,20 @@ fn write_workload<M: MaxRegister>(m: &M, t: usize, zipf: bool) {
     }
 }
 
-fn mixed_workload<M: MaxRegister>(m: &M, t: usize) {
+/// The write:read ratio sweep the mixed group reports, over the
+/// shared [`ratio_mix`] cycle driver.
+fn mixed_workload<M: MaxRegister>(m: &M, t: usize, writes: u64, reads: u64) {
     let mut vals = ValueStream::new(t as u64 + 1);
-    for k in 0..OPS {
-        if k % 4 == 3 {
+    ratio_mix(
+        OPS,
+        writes,
+        reads,
+        || vals.next_in(VALUE_BOUND),
+        |v| m.write_max(t, v),
+        || {
             black_box(m.read_max());
-        } else {
-            m.write_max(t, vals.next_in(VALUE_BOUND));
-        }
-    }
+        },
+    );
 }
 
 fn bench_write_max(c: &mut Criterion) {
@@ -109,35 +116,45 @@ fn bench_write_max(c: &mut Criterion) {
 fn bench_mixed(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_mixed");
     group.sample_size(10);
-    for threads in [4usize, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("global", threads),
-            &threads,
-            |b, &threads| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        let m = SlMaxRegister::new(threads);
-                        total += parallel_duration(threads, |t| mixed_workload(&m, t));
-                    }
-                    total
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sharded_s16", threads),
-            &threads,
-            |b, &threads| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        let m = ShardedMaxRegister::new(threads, 16);
-                        total += parallel_duration(threads, |t| mixed_workload(&m, t));
-                    }
-                    total
-                });
-            },
-        );
+    // Write:read ratios across the mix spectrum — 3:1 is PR 3's
+    // write-heavy point, 1:9 is the read-heavy regime the combining
+    // front-end targets (its win/loss crossover is only measurable if
+    // the fold read's cost is charted on the same ratios).
+    for (writes, reads) in [(3u64, 1u64), (1, 3), (1, 9)] {
+        for threads in [4usize, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("global_w{writes}r{reads}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let m = SlMaxRegister::new(threads);
+                            total += parallel_duration(threads, |t| {
+                                mixed_workload(&m, t, writes, reads)
+                            });
+                        }
+                        total
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_s16_w{writes}r{reads}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let m = ShardedMaxRegister::new(threads, 16);
+                            total += parallel_duration(threads, |t| {
+                                mixed_workload(&m, t, writes, reads)
+                            });
+                        }
+                        total
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

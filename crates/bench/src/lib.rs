@@ -95,6 +95,34 @@ impl ZipfStream {
     }
 }
 
+/// One read-heavy participant's operation stream: `writes` writes then
+/// `reads` reads per cycle, out to `ops` total operations. The shared
+/// write:read ratio driver of the E19 `sharded_mixed` sweep and the
+/// E26 `combining_mixed` sweep — one definition, so the two series the
+/// docs compare cannot drift apart. `value` supplies each write's
+/// operand (uniform or zipf stream, caller's choice).
+pub fn ratio_mix<V, W, R>(
+    ops: u64,
+    writes: u64,
+    reads: u64,
+    mut value: V,
+    mut write: W,
+    mut read: R,
+) where
+    V: FnMut() -> u64,
+    W: FnMut(u64),
+    R: FnMut(),
+{
+    let cycle = writes + reads;
+    for k in 0..ops {
+        if k % cycle < writes {
+            write(value());
+        } else {
+            read();
+        }
+    }
+}
+
 /// Runs `f(threads, thread_id)` under [`parallel_duration`] for every
 /// thread count in `counts`, returning `(threads, makespan)` pairs —
 /// the scaling series shape used by E19's sweeps.
@@ -153,6 +181,23 @@ mod tests {
             "zipf head {head} should dominate tail {tail}"
         );
         assert!(hits.iter().sum::<u32>() == 4000);
+    }
+
+    #[test]
+    fn ratio_mix_honors_the_cycle() {
+        let ops = std::cell::RefCell::new(Vec::new());
+        ratio_mix(
+            10,
+            1,
+            4,
+            || 7,
+            |v| ops.borrow_mut().push(format!("w{v}")),
+            || ops.borrow_mut().push("r".into()),
+        );
+        assert_eq!(
+            ops.into_inner(),
+            vec!["w7", "r", "r", "r", "r", "w7", "r", "r", "r", "r"]
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! [`Combiner`]: the generic flat-combining front-end.
+//!
+//! Khanchandani & Wattenhofer ("Is Compare-and-Swap Really
+//! Necessary?") observe that combining — one process applying many
+//! processes' operations in a batch — needs nothing above consensus
+//! number 2. This module is that observation as a production object:
+//! announcement slots ([`crate::PublicationArray`], swap), a combiner
+//! election ([`crate::CombinerLock`], swap), a fetch&add epoch
+//! counter, and a single-word published fold — no compare&swap
+//! anywhere, which [`Combiner::consensus_ceiling`] asserts through the
+//! [`BaseObject`] constants.
+//!
+//! # The protocol, and why it never blocks
+//!
+//! An operation is *announced* (one swap), then its owner runs the
+//! combiner election (one swap):
+//!
+//! * **won** — the owner sweeps every slot, claims the announced
+//!   operations (its own usually among them), applies each to the
+//!   inner §3 object, publishes a fresh whole-object fold to the cache
+//!   register, bumps the epoch, and releases;
+//! * **lost** — the owner applies its operation to the inner object
+//!   *directly* (the plain sharded path) and withdraws its
+//!   announcement. **No waiting, ever**: classic flat combining parks
+//!   losers on their slots until the combiner serves them, which turns
+//!   a stalled combiner into a stalled system (and turns the checker's
+//!   execution tree into a cycle). Here the slow path is the ordinary
+//!   wait-free sharded write.
+//!
+//! The price of not waiting is that claim ([`PublicationArray::take`])
+//! and withdraw can race, so an operation may be applied by both its
+//! owner and a helper. [`Combinable`] makes that harmless by
+//! *re-attribution*: the helper runs the announced operation through
+//! its **own** lanes (the §3 single-writer-per-lane discipline is what
+//! makes a probing `fetch&add` regression-free, so a helper must never
+//! touch the announcer's lane), and only operations whose meaning is
+//! lane-independent — max-register writes — qualify. Owner and helper
+//! then write different lanes with the same monotone intent, and the
+//! fold absorbs the duplicate.
+//!
+//! # The cached read, honestly
+//!
+//! [`Combiner::read_cached`] is one load of the published fold: the
+//! fast path the read-heavy regime wants (E26). The fold is exact *as
+//! of its publication* and monotone across publications, but direct-
+//! path operations complete without republishing — so a cached read
+//! may trail completed operations. Against the exact specification the
+//! checker **refutes** the cached read (a replayable [`Witness`]);
+//! what it meets strongly is the `sl2_spec::relaxed` window
+//! specification, exactly the `LaggingCounterSpec` pattern — DESIGN.md
+//! §8 walks the adjudication, [`crate::machines`] pins it.
+//!
+//! [`Witness`]: sl2_exec::Witness
+//! [`PublicationArray::take`]: crate::PublicationArray::take
+
+use std::fmt::Debug;
+
+use sl2_primitives::{BaseObject, CachePadded, ConsensusNumber, FetchAdd, Swap};
+
+use crate::slots::{CombinerLock, PublicationArray};
+
+/// An inner object the combining front-end can drive.
+///
+/// Implementations must satisfy two laws the protocol leans on:
+///
+/// * **applier-attributed operations** — `apply(applier, op)` runs the
+///   operation through `applier`'s *own* lanes, whoever originally
+///   announced it. The §3 constructions are only sound under their
+///   single-writer-per-lane discipline (a probing `fetch&add` is
+///   regression-free only because the probed lane cannot move under
+///   its one writer), so a helper must never write the announcer's
+///   lane — it re-attributes the operation to itself. That demands
+///   operations whose *meaning* is lane-independent: a max-register
+///   write is (the fold takes the maximum over all lanes, so any lane
+///   can carry the value), a counter increment is **not** (units are
+///   owner-attributed; a helper landing "owner's unit" in its own lane
+///   double-counts when the owner also applies). This is why the
+///   counter front-end combines only publication, never application —
+///   DESIGN.md §8 states the taxonomy.
+/// * **sound folds** — [`Combinable::fold_relaxed`] must never exceed
+///   the landed whole-object value and must be monotone across calls
+///   (the published cache inherits both), while
+///   [`Combinable::fold_exact`] is the stable exact read.
+///
+/// Applier attribution also makes re-application harmless: owner and
+/// helper racing on one announcement write *different* lanes with the
+/// same monotone intent, and the fold absorbs the duplicate.
+pub trait Combinable {
+    /// The announced operation.
+    type Op: Copy + Debug;
+
+    /// Number of processes sharing the object (= announcement slots).
+    fn processes(&self) -> usize;
+
+    /// Injective encoding of an operation into a word below
+    /// `u64::MAX` (the slot reserves one encoding).
+    fn encode(op: Self::Op) -> u64;
+
+    /// Inverse of [`Combinable::encode`].
+    fn decode(word: u64) -> Self::Op;
+
+    /// Applies `op` through `applier`'s own lanes (see the trait docs:
+    /// `applier` is the process *executing* the application, not
+    /// necessarily the announcer).
+    fn apply(&self, applier: usize, op: Self::Op);
+
+    /// Merges one applied operation into a published fold value — the
+    /// arithmetic the combiner uses to advance the cache *without*
+    /// probing the inner shards (`max(prev, v)` for the max register).
+    /// Must be **idempotent** (an operation already covered by `prev`
+    /// leaves it unchanged — that is what lets batch publication
+    /// compose with the fold-based [`Combiner::refresh`]; a sum has no
+    /// such merge, which is one more reason the counter front-end
+    /// combines publication only) and must keep the two fold laws:
+    /// `fold_batch(prev, op) ≥ prev`, and `≤` the landed fold whenever
+    /// `prev` is and `op` has been applied.
+    fn fold_batch(prev: u64, op: Self::Op) -> u64;
+
+    /// One-pass whole-object fold: wait-free, monotone, never ahead of
+    /// the landed value. This is what [`Combiner::refresh`] publishes.
+    fn fold_relaxed(&self) -> u64;
+
+    /// Exact whole-object fold (stable collect; lock-free).
+    fn fold_exact(&self) -> u64;
+}
+
+/// Which route an operation took through the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyPath {
+    /// The caller won the election and combined; `applied` counts the
+    /// announcements its sweep claimed and applied (usually including
+    /// its own — unless an earlier combiner already helped it).
+    Combined {
+        /// Announcements applied in this sweep.
+        applied: usize,
+    },
+    /// The caller lost the election and applied directly (the plain
+    /// sharded path); its announcement was withdrawn (or claimed by
+    /// the combiner, harmlessly, per idempotence).
+    Direct,
+}
+
+/// Flat-combining front-end over a [`Combinable`] inner object.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_combine::{Combinable, CombiningMaxRegister};
+/// use sl2_sharded::ShardedMaxRegister;
+/// use sl2_core::algos::MaxRegister;
+///
+/// let m = CombiningMaxRegister::new(ShardedMaxRegister::new(2, 4));
+/// m.write_max(0, 9);
+/// assert_eq!(m.read_cached(), 9, "the write combined and published");
+/// assert_eq!(m.read_max(), 9);
+/// ```
+#[derive(Debug)]
+pub struct Combiner<O> {
+    inner: O,
+    slots: PublicationArray,
+    lock: CombinerLock,
+    /// Published whole-object fold. A swap register written only by
+    /// the election winner, so publications are totally ordered by the
+    /// lock and the register needs no read-modify-write semantics.
+    cache: CachePadded<Swap>,
+    /// Publication count (combiner batches completed so far).
+    epoch: CachePadded<FetchAdd>,
+}
+
+impl<O: Combinable> Combiner<O> {
+    /// Wraps `inner`, allocating one announcement slot per process.
+    pub fn new(inner: O) -> Self {
+        let n = inner.processes();
+        Combiner {
+            inner,
+            slots: PublicationArray::new(n),
+            lock: CombinerLock::new(),
+            cache: CachePadded::new(Swap::new(0)),
+            epoch: CachePadded::new(FetchAdd::new(0)),
+        }
+    }
+
+    /// The wrapped inner object (for stable reads beyond the fold,
+    /// e.g. snapshot scans).
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Number of processes (= announcement slots).
+    pub fn processes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Combiner batches published so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.read()
+    }
+
+    /// Applies `op` on behalf of `process` through the front-end:
+    /// announce, run the election, then combine or go direct (see the
+    /// module docs). Wait-free either way.
+    pub fn apply(&self, process: usize, op: O::Op) -> ApplyPath {
+        self.slots.publish(process, O::encode(op));
+        if !self.lock.try_acquire() {
+            // Lost the election: the plain wait-free path, then retire
+            // the announcement (a combiner that already claimed it
+            // re-applies harmlessly — `apply` is idempotent).
+            self.inner.apply(process, op);
+            self.slots.withdraw(process);
+            return ApplyPath::Direct;
+        }
+        // Won: read the published fold, sweep (each claim applied
+        // through this process's own lanes — see the Combinable docs)
+        // while merging every applied operation into the fold, then
+        // publish and release. Publication is a merge, not an inner
+        // fold: every merged operation has landed (applies precede the
+        // publication), the previous published value never regresses
+        // (fold_batch only grows its accumulator), and — because
+        // fold_batch is idempotent — an operation the cache already
+        // covers changes nothing. The shard probes a one-pass fold
+        // would cost are exactly the contended lines the read-heavy
+        // regime is trying to avoid (E26).
+        let mut applied = 0;
+        let mut fold = self.cache.read();
+        for i in 0..self.slots.len() {
+            if let Some(word) = self.slots.take(i) {
+                let op = O::decode(word);
+                self.inner.apply(process, op);
+                fold = O::fold_batch(fold, op);
+                applied += 1;
+            }
+        }
+        if applied > 0 {
+            self.cache.swap(fold);
+            self.epoch.fetch_add(1);
+        }
+        self.lock.release();
+        ApplyPath::Combined { applied }
+    }
+
+    /// The 1-load fast path: the last published whole-object fold.
+    /// Wait-free, one shared read; monotone across calls and never
+    /// ahead of the exact value — but it may trail operations that
+    /// completed on the direct path since the last publication
+    /// (DESIGN.md §8 has the strong-linearizability adjudication).
+    pub fn read_cached(&self) -> u64 {
+        self.cache.read()
+    }
+
+    /// The exact read: the inner object's stable fold (lock-free).
+    pub fn read_stable(&self) -> u64 {
+        self.inner.fold_exact()
+    }
+
+    /// Opportunistically republishes a fresh fold (one election
+    /// attempt; a held lock means a combiner is about to publish
+    /// anyway). Read-heavy callers can use this to bound cache lag at
+    /// quiescence. Returns whether a publication happened.
+    ///
+    /// No sweep: announcements never *need* service (owners always
+    /// apply their own operations — the protocol has no waiters), so a
+    /// refresher only folds and publishes.
+    pub fn refresh(&self) -> bool {
+        if !self.lock.try_acquire() {
+            return false;
+        }
+        self.cache.swap(self.inner.fold_relaxed());
+        self.epoch.fetch_add(1);
+        self.lock.release();
+        true
+    }
+
+    /// The highest consensus number among the front-end's own base
+    /// objects — [`ConsensusNumber::Two`], by construction: slots and
+    /// lock are swap, the epoch is fetch&add, the cache is a
+    /// single-writer swap register. The test suite asserts this stays
+    /// put (the paper's budget; cf. Khanchandani & Wattenhofer).
+    pub fn consensus_ceiling(&self) -> ConsensusNumber {
+        use crate::slots::{PubSlot, SeqCache};
+        let parts = [
+            PubSlot::CONSENSUS_NUMBER,
+            CombinerLock::CONSENSUS_NUMBER,
+            SeqCache::CONSENSUS_NUMBER,
+            Swap::CONSENSUS_NUMBER,
+            FetchAdd::CONSENSUS_NUMBER,
+            sl2_bignum::WideFaa::CONSENSUS_NUMBER,
+        ];
+        parts.into_iter().max().expect("the part list is non-empty")
+    }
+}

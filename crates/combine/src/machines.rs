@@ -1,0 +1,1000 @@
+//! Step-machine forms of the combining front-end, for the
+//! strong-linearizability checker.
+//!
+//! These are the referee's copy of [`crate::Combiner`] and
+//! [`crate::CombiningCounter`]: the same announce → elect →
+//! (combine | direct) protocol, with every base object a [`SimMemory`]
+//! cell (`Swap` slots, `Swap` lock, `Swap` cache, `Wide` inner shards)
+//! and every protocol action one [`OpMachine::step`]. The whole point
+//! of the front-end — a 1-load cached read — is also its semantic
+//! risk: combining is a *helping* pattern, exactly the structure the
+//! "Difficulty of Consistent Refereeing" line warns can break strong
+//! linearizability, so the read paths come in both granularities of
+//! honesty ([`ReadMode::Cached`] vs [`ReadMode::Stable`]) and every
+//! claim below is a `check_strong` verdict (DESIGN.md §8):
+//!
+//! * **cached reads** are refuted against the exact specifications at
+//!   *every* shard count — staleness, not sharding, is the culprit: an
+//!   operation that loses the election completes without republishing,
+//!   and a later 1-load read returns the pre-election fold after that
+//!   operation completed;
+//! * the same cached scenarios are **certified** against the honest
+//!   `sl2_spec::relaxed` window specifications
+//!   ([`LaggingCounterSpec`], [`LaggingMaxSpec`]) — the DESIGN.md §6
+//!   pattern, one layer up;
+//! * **stable reads** bypass the cache and keep (at most) the PR-3
+//!   collect-frontier boundary — the tests bracket which combining
+//!   scenarios certify and which inherit the sharded fan-in
+//!   refutation.
+//!
+//! The machines deliberately skip the production epoch counter (it is
+//! observability, not semantics — no read path consults it) to keep
+//! the checker's state space tight.
+//!
+//! [`LaggingCounterSpec`]: sl2_spec::relaxed::LaggingCounterSpec
+//! [`LaggingMaxSpec`]: sl2_spec::relaxed::LaggingMaxSpec
+
+use sl2_bignum::{BigNat, Layout};
+use sl2_exec::machine::{Algorithm, OpMachine, Step};
+use sl2_exec::mem::{Cell, Loc, SimMemory};
+use sl2_primitives::Sharding;
+use sl2_spec::counters::{CounterOp, CounterResp};
+use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
+use sl2_spec::relaxed::LaggingMaxSpec;
+use sl2_spec::Spec;
+
+/// Which route a whole-object read takes through the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadMode {
+    /// One load of the published cache register (wait-free; exact as
+    /// of the last publication, stale against unpublished
+    /// completions).
+    Cached,
+    /// The inner object's stable collect (lock-free, exact; bypasses
+    /// the cache entirely).
+    Stable,
+}
+
+/// Shared stable-collect bookkeeping (the sharded machines'
+/// discipline): returns the finished pass once two consecutive passes
+/// agree, else rewinds for another pass.
+fn stable_pass(
+    done: Vec<u64>,
+    previous: &mut Option<Vec<u64>>,
+    idx: &mut usize,
+) -> Option<Vec<u64>> {
+    if previous.as_ref() == Some(&done) {
+        Some(done)
+    } else {
+        *previous = Some(done);
+        *idx = 0;
+        None
+    }
+}
+
+/// The common base-object block of a combining algorithm: slots, lock,
+/// cache, inner shards. Opaque — it appears in machine states so the
+/// checker can clone/hash them, but its cells are only reachable
+/// through the protocol steps.
+#[derive(Debug, Clone)]
+pub struct FrontCells {
+    slots: Vec<Loc>,
+    lock: Loc,
+    cache: Loc,
+    shards: Vec<Loc>,
+    layout: Layout,
+    sharding: Sharding,
+}
+
+impl FrontCells {
+    fn alloc(mem: &mut SimMemory, n: usize, shards: usize) -> Self {
+        FrontCells {
+            slots: (0..n).map(|_| mem.alloc(Cell::Swap(0))).collect(),
+            lock: mem.alloc(Cell::Swap(0)),
+            cache: mem.alloc(Cell::Swap(0)),
+            shards: (0..shards)
+                .map(|_| mem.alloc(Cell::Wide(BigNat::zero())))
+                .collect(),
+            layout: Layout::new(n),
+            sharding: Sharding::new(shards),
+        }
+    }
+
+    /// Home shard and quotient count of a max-register value.
+    fn ensure_of(&self, value: u64) -> (Loc, u64) {
+        let shard = self.shards[self.sharding.of_value(value)];
+        let count = value / self.sharding.shards() as u64 + 1;
+        (shard, count)
+    }
+}
+
+impl PartialEq for FrontCells {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+            && self.lock == other.lock
+            && self.cache == other.cache
+            && self.shards == other.shards
+    }
+}
+
+impl Eq for FrontCells {}
+
+impl std::hash::Hash for FrontCells {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.slots.hash(h);
+        self.lock.hash(h);
+        self.cache.hash(h);
+        self.shards.hash(h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical adjudication scenarios
+// ---------------------------------------------------------------------
+
+/// The cached-read refutation scenario: two announced writes race one
+/// independent 1-load reader. On the refuting branch one writer loses
+/// the election, completes on the direct path, and the reader then
+/// loads the pre-election fold — refuted against the exact spec at
+/// every shard count (the staleness needs no collect frontier),
+/// certified against [`sl2_spec::relaxed::LaggingMaxSpec`] with
+/// `k = 2`.
+pub fn cached_fan_in_max_scenario() -> sl2_exec::sched::Scenario<MaxRegisterSpec> {
+    sl2_exec::scenarios::fan_in::<MaxRegisterSpec>(
+        vec![MaxOp::Write(1), MaxOp::Write(2)],
+        vec![MaxOp::Read],
+    )
+}
+
+/// The same fan-in shape typed against the k-stale window spec, for
+/// the certification half of the cached-read adjudication.
+pub fn cached_fan_in_lagging_scenario() -> sl2_exec::sched::Scenario<LaggingMaxSpec> {
+    sl2_exec::scenarios::fan_in::<LaggingMaxSpec>(
+        vec![MaxOp::Write(1), MaxOp::Write(2)],
+        vec![MaxOp::Read],
+    )
+}
+
+/// The stable-read scenario at `shards` shards: both writes land in
+/// shard 0 and the reader is fused with the first writer — the PR-3
+/// frontier-safe shape, routed through the combining front-end.
+pub fn combining_frontier_safe_scenario(
+    shards: usize,
+) -> sl2_exec::sched::Scenario<MaxRegisterSpec> {
+    let s = shards as u64;
+    sl2_exec::sched::Scenario::new(vec![
+        vec![MaxOp::Write(s), MaxOp::Read],
+        vec![MaxOp::Write(2 * s)],
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Combining max register
+// ---------------------------------------------------------------------
+
+/// Factory for the combining max register
+/// ([`crate::CombiningMaxRegister`]'s checkable twin), generic over
+/// the specification it is judged against — the exact
+/// [`MaxRegisterSpec`] for the refutations,
+/// [`sl2_spec::relaxed::LaggingMaxSpec`] for what the cached read
+/// honestly meets.
+#[derive(Debug, Clone)]
+pub struct CombiningMaxRegAlg<S = MaxRegisterSpec> {
+    cells: FrontCells,
+    mode: ReadMode,
+    spec: S,
+}
+
+impl CombiningMaxRegAlg<MaxRegisterSpec> {
+    /// Allocates the front-end (slots, lock, cache) plus `shards`
+    /// inner wide registers for `n` processes, judged against the
+    /// exact max-register specification.
+    pub fn new(mem: &mut SimMemory, n: usize, shards: usize, mode: ReadMode) -> Self {
+        CombiningMaxRegAlg {
+            cells: FrontCells::alloc(mem, n, shards),
+            mode,
+            spec: MaxRegisterSpec,
+        }
+    }
+}
+
+impl CombiningMaxRegAlg<LaggingMaxSpec> {
+    /// As [`CombiningMaxRegAlg::new`], judged against the k-stale
+    /// window specification (the cached read's honest contract).
+    pub fn relaxed(mem: &mut SimMemory, n: usize, shards: usize, mode: ReadMode, k: usize) -> Self {
+        CombiningMaxRegAlg {
+            cells: FrontCells::alloc(mem, n, shards),
+            mode,
+            spec: LaggingMaxSpec { k },
+        }
+    }
+}
+
+impl<S> Algorithm for CombiningMaxRegAlg<S>
+where
+    S: Spec<Op = MaxOp, Resp = MaxResp>,
+{
+    type Spec = S;
+    type Machine = CombiningMaxRegMachine;
+
+    fn spec(&self) -> S {
+        self.spec.clone()
+    }
+
+    fn machine(&self, process: usize, op: &MaxOp) -> CombiningMaxRegMachine {
+        match *op {
+            MaxOp::Write(v) => CombiningMaxRegMachine::Write(WriteState {
+                cells: self.cells.clone(),
+                process,
+                payload: v,
+                fold: 0,
+                applied: false,
+                stage: WriteStage::Publish,
+            }),
+            MaxOp::Read => match self.mode {
+                ReadMode::Cached => CombiningMaxRegMachine::CachedLoad {
+                    cache: self.cells.cache,
+                },
+                ReadMode::Stable => CombiningMaxRegMachine::Collect {
+                    cells: self.cells.clone(),
+                    idx: 0,
+                    current: Vec::new(),
+                    previous: None,
+                },
+            },
+        }
+    }
+}
+
+/// Where a combining max-register write currently is in the protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WriteStage {
+    /// Announce: swap `payload + 1` into the own slot.
+    Publish,
+    /// Run the election: swap 1 into the lock.
+    TryLock,
+    /// Combiner sweep, peeking slot `i` (a read).
+    SweepPeek {
+        /// Slot under the sweep cursor.
+        i: usize,
+    },
+    /// Combiner sweep, claiming occupied slot `i` (a swap-out).
+    SweepTake {
+        /// Slot under the sweep cursor.
+        i: usize,
+    },
+    /// Combiner applying a claimed value through its **own** lane (the
+    /// re-attribution that keeps helping single-writer — see
+    /// [`crate::Combinable`]): the ensure probe.
+    ApplyProbe {
+        /// Sweep cursor (for the continuation).
+        i: usize,
+        /// The claimed value.
+        value: u64,
+    },
+    /// Combiner applying a claimed value: the fetch&add setting the
+    /// missing own-lane bits.
+    ApplyAdd {
+        /// Sweep cursor (for the continuation).
+        i: usize,
+        /// The claimed value (merged into the fold once landed).
+        value: u64,
+        /// Home shard of the claimed value.
+        shard: Loc,
+        /// The unary increment image.
+        inc: BigNat,
+    },
+    /// Combiner reading the published fold before the sweep (the merge
+    /// base; production reads it under the lock for the same reason —
+    /// publication must never regress the cache).
+    ReadCache,
+    /// Combiner publishing the merged fold into the cache register.
+    PublishCache,
+    /// Combiner releasing the election lock.
+    Unlock,
+    /// Election lost: the ensure probe of the direct path.
+    DirectProbe,
+    /// Election lost: the direct fetch&add.
+    DirectAdd {
+        /// Home shard of the own value.
+        shard: Loc,
+        /// The unary increment image.
+        inc: BigNat,
+    },
+    /// Election lost: retiring the own announcement.
+    Withdraw,
+}
+
+/// One combining max-register write in flight.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WriteState {
+    /// The front-end's base objects.
+    cells: FrontCells,
+    /// Announcing process.
+    process: usize,
+    /// Announced value.
+    payload: u64,
+    /// Published fold read at [`WriteStage::ReadCache`], merged with
+    /// every value this sweep applies (max-merge — the production
+    /// `Combinable::fold_batch`).
+    fold: u64,
+    /// Whether the sweep claimed at least one announcement (an empty
+    /// sweep publishes nothing, exactly as production skips the swap).
+    applied: bool,
+    /// Protocol position.
+    stage: WriteStage,
+}
+
+impl WriteState {
+    /// Sweep continuation after finishing slot `i`: the next slot, or
+    /// publication once the sweep is done.
+    fn after_slot(&self, i: usize) -> WriteStage {
+        if i + 1 < self.cells.slots.len() {
+            WriteStage::SweepPeek { i: i + 1 }
+        } else if self.applied {
+            WriteStage::PublishCache
+        } else {
+            // Empty sweep (a previous combiner already claimed this
+            // op): nothing to publish.
+            WriteStage::Unlock
+        }
+    }
+
+    /// Advances the protocol by one memory operation.
+    fn step(&mut self, mem: &mut SimMemory) -> Step<MaxResp> {
+        let cells = self.cells.clone();
+        match self.stage.clone() {
+            WriteStage::Publish => {
+                mem.swap(cells.slots[self.process], self.payload + 1);
+                self.stage = WriteStage::TryLock;
+                Step::Pending
+            }
+            WriteStage::TryLock => {
+                if mem.swap(cells.lock, 1) == 0 {
+                    self.stage = WriteStage::ReadCache;
+                } else {
+                    self.stage = WriteStage::DirectProbe;
+                }
+                Step::Pending
+            }
+            WriteStage::ReadCache => {
+                self.fold = mem.read(cells.cache);
+                self.stage = WriteStage::SweepPeek { i: 0 };
+                Step::Pending
+            }
+            WriteStage::SweepPeek { i } => {
+                if mem.read(cells.slots[i]) == 0 {
+                    self.stage = self.after_slot(i);
+                } else {
+                    self.stage = WriteStage::SweepTake { i };
+                }
+                Step::Pending
+            }
+            WriteStage::SweepTake { i } => {
+                match mem.swap(cells.slots[i], 0) {
+                    0 => self.stage = self.after_slot(i), // withdraw raced the claim
+                    stored => {
+                        self.stage = WriteStage::ApplyProbe {
+                            i,
+                            value: stored - 1,
+                        }
+                    }
+                }
+                Step::Pending
+            }
+            WriteStage::ApplyProbe { i, value } => {
+                let (shard, count) = cells.ensure_of(value);
+                let image = mem.wide_adjust(shard, &BigNat::zero(), &BigNat::zero());
+                let prev = cells.layout.decode_unary(self.process, &image);
+                if count <= prev {
+                    // Already landed (this lane covers it): merged into
+                    // the fold all the same — it is a landed value.
+                    self.fold = self.fold.max(value);
+                    self.applied = true;
+                    self.stage = self.after_slot(i);
+                } else {
+                    let inc = cells.layout.unary_increment(self.process, prev, count);
+                    self.stage = WriteStage::ApplyAdd {
+                        i,
+                        value,
+                        shard,
+                        inc,
+                    };
+                }
+                Step::Pending
+            }
+            WriteStage::ApplyAdd {
+                i,
+                value,
+                shard,
+                inc,
+            } => {
+                mem.wide_adjust(shard, &inc, &BigNat::zero());
+                self.fold = self.fold.max(value);
+                self.applied = true;
+                self.stage = self.after_slot(i);
+                Step::Pending
+            }
+            WriteStage::PublishCache => {
+                mem.swap(cells.cache, self.fold);
+                self.stage = WriteStage::Unlock;
+                Step::Pending
+            }
+            WriteStage::Unlock => {
+                mem.swap(cells.lock, 0);
+                Step::Ready(MaxResp::Ok)
+            }
+            WriteStage::DirectProbe => {
+                let (shard, count) = cells.ensure_of(self.payload);
+                let image = mem.wide_adjust(shard, &BigNat::zero(), &BigNat::zero());
+                let prev = cells.layout.decode_unary(self.process, &image);
+                if count <= prev {
+                    self.stage = WriteStage::Withdraw;
+                } else {
+                    let inc = cells.layout.unary_increment(self.process, prev, count);
+                    self.stage = WriteStage::DirectAdd { shard, inc };
+                }
+                Step::Pending
+            }
+            WriteStage::DirectAdd { shard, inc } => {
+                mem.wide_adjust(shard, &inc, &BigNat::zero());
+                self.stage = WriteStage::Withdraw;
+                Step::Pending
+            }
+            WriteStage::Withdraw => {
+                mem.swap(cells.slots[self.process], 0);
+                Step::Ready(MaxResp::Ok)
+            }
+        }
+    }
+}
+
+/// Step machine for the combining max register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CombiningMaxRegMachine {
+    /// `writeMax` through the front-end.
+    Write(WriteState),
+    /// `readMax`, cached mode: one load of the cache register.
+    CachedLoad {
+        /// The cache register.
+        cache: Loc,
+    },
+    /// `readMax`, stable mode: the sharded stable collect (quotient
+    /// decode), bypassing the cache.
+    Collect {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// Next shard to probe.
+        idx: usize,
+        /// Folds collected so far in this pass.
+        current: Vec<u64>,
+        /// The previous complete pass.
+        previous: Option<Vec<u64>>,
+    },
+}
+
+impl OpMachine for CombiningMaxRegMachine {
+    type Resp = MaxResp;
+
+    fn step(&mut self, mem: &mut SimMemory) -> Step<MaxResp> {
+        match self {
+            CombiningMaxRegMachine::Write(w) => w.step(mem),
+            CombiningMaxRegMachine::CachedLoad { cache } => {
+                Step::Ready(MaxResp::Value(mem.read(*cache)))
+            }
+            CombiningMaxRegMachine::Collect {
+                cells,
+                idx,
+                current,
+                previous,
+            } => {
+                let image = mem.wide_adjust(cells.shards[*idx], &BigNat::zero(), &BigNat::zero());
+                let fold = (0..cells.layout.processes())
+                    .map(|i| cells.layout.decode_unary(i, &image))
+                    .max()
+                    .unwrap_or(0);
+                current.push(fold);
+                *idx += 1;
+                if *idx < cells.shards.len() {
+                    return Step::Pending;
+                }
+                let done = std::mem::take(current);
+                let s_count = cells.sharding.shards() as u64;
+                match stable_pass(done, previous, idx) {
+                    Some(done) => {
+                        let max = done
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c > 0)
+                            .map(|(s, &c)| (c - 1) * s_count + s as u64)
+                            .max()
+                            .unwrap_or(0);
+                        Step::Ready(MaxResp::Value(max))
+                    }
+                    None => Step::Pending,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combining counter (publication-combining: see crate::CombiningCounter)
+// ---------------------------------------------------------------------
+
+/// Factory for the publication-combining counter
+/// ([`crate::CombiningCounter`]'s checkable twin), generic over the
+/// specification it is judged against — the exact
+/// [`sl2_spec::counters::CounterSpec`] for the refutations,
+/// [`sl2_spec::relaxed::LaggingCounterSpec`] for what the cached read
+/// honestly meets.
+#[derive(Debug, Clone)]
+pub struct CombiningCounterAlg<S> {
+    cells: FrontCells,
+    mode: ReadMode,
+    spec: S,
+}
+
+impl<S> CombiningCounterAlg<S>
+where
+    S: Spec<Op = CounterOp, Resp = CounterResp>,
+{
+    /// Allocates the front-end (lock, cache) plus `shards` inner
+    /// stripes for `n` processes; reads use `mode`, claims are judged
+    /// against `spec`. (The counter announces nothing — its slots are
+    /// unused; see [`crate::CombiningCounter`].)
+    pub fn with_spec(
+        mem: &mut SimMemory,
+        n: usize,
+        shards: usize,
+        mode: ReadMode,
+        spec: S,
+    ) -> Self {
+        CombiningCounterAlg {
+            cells: FrontCells::alloc(mem, n, shards),
+            mode,
+            spec,
+        }
+    }
+}
+
+impl CombiningCounterAlg<sl2_spec::counters::CounterSpec> {
+    /// Cached 1-load reads judged against the exact counter — the
+    /// refutation target.
+    pub fn cached(mem: &mut SimMemory, n: usize, shards: usize) -> Self {
+        Self::with_spec(
+            mem,
+            n,
+            shards,
+            ReadMode::Cached,
+            sl2_spec::counters::CounterSpec,
+        )
+    }
+
+    /// Stable collect reads judged against the exact counter.
+    pub fn stable(mem: &mut SimMemory, n: usize, shards: usize) -> Self {
+        Self::with_spec(
+            mem,
+            n,
+            shards,
+            ReadMode::Stable,
+            sl2_spec::counters::CounterSpec,
+        )
+    }
+}
+
+impl CombiningCounterAlg<sl2_spec::relaxed::LaggingCounterSpec> {
+    /// Cached reads judged against the honest k-lagging specification.
+    pub fn relaxed(mem: &mut SimMemory, n: usize, shards: usize, k: u64) -> Self {
+        Self::with_spec(
+            mem,
+            n,
+            shards,
+            ReadMode::Cached,
+            sl2_spec::relaxed::LaggingCounterSpec { k },
+        )
+    }
+}
+
+impl<S> Algorithm for CombiningCounterAlg<S>
+where
+    S: Spec<Op = CounterOp, Resp = CounterResp>,
+{
+    type Spec = S;
+    type Machine = CombiningCounterMachine;
+
+    fn spec(&self) -> S {
+        self.spec.clone()
+    }
+
+    fn machine(&self, process: usize, op: &CounterOp) -> CombiningCounterMachine {
+        match op {
+            CounterOp::Inc => CombiningCounterMachine::IncProbe {
+                cells: self.cells.clone(),
+                process,
+            },
+            CounterOp::Read => match self.mode {
+                ReadMode::Cached => CombiningCounterMachine::CachedLoad {
+                    cache: self.cells.cache,
+                },
+                ReadMode::Stable => CombiningCounterMachine::Sum {
+                    cells: self.cells.clone(),
+                    idx: 0,
+                    current: Vec::new(),
+                    previous: None,
+                },
+            },
+        }
+    }
+}
+
+/// Step machine for the publication-combining counter: the plain
+/// striped increment, then one election attempt to republish the fold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CombiningCounterMachine {
+    /// `inc` step 1: probe the own lane on the home shard.
+    IncProbe {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// Incrementing process.
+        process: usize,
+    },
+    /// `inc` step 2: one fetch&add setting the next own-lane bit.
+    IncAdd {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// Home shard of the process.
+        shard: Loc,
+        /// The unary increment image.
+        delta: BigNat,
+    },
+    /// `inc` step 3: the election — lost completes the operation,
+    /// won proceeds to publish.
+    TryLock {
+        /// The front-end's base objects.
+        cells: FrontCells,
+    },
+    /// Election won: one-pass fold over the stripes, shard `s` next.
+    Fold {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// Shard under the fold cursor.
+        s: usize,
+        /// Sum accumulated so far.
+        acc: u64,
+    },
+    /// Election won: publishing the fold into the cache register.
+    PublishCache {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// The fold to publish.
+        fold: u64,
+    },
+    /// Election won: releasing the lock (completes the operation).
+    Unlock {
+        /// The front-end's base objects.
+        cells: FrontCells,
+    },
+    /// `read`, cached mode: one load of the cache register.
+    CachedLoad {
+        /// The cache register.
+        cache: Loc,
+    },
+    /// `read`, stable mode: the sharded stable-collect sum.
+    Sum {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// Next shard to probe.
+        idx: usize,
+        /// Counts collected so far in this pass.
+        current: Vec<u64>,
+        /// The previous complete pass.
+        previous: Option<Vec<u64>>,
+    },
+}
+
+impl OpMachine for CombiningCounterMachine {
+    type Resp = CounterResp;
+
+    fn step(&mut self, mem: &mut SimMemory) -> Step<CounterResp> {
+        match self {
+            CombiningCounterMachine::IncProbe { cells, process } => {
+                let shard = cells.shards[cells.sharding.of_process(*process)];
+                let image = mem.wide_adjust(shard, &BigNat::zero(), &BigNat::zero());
+                let mine = cells.layout.decode_unary(*process, &image);
+                let delta = BigNat::pow2(cells.layout.bit(*process, mine as usize));
+                *self = CombiningCounterMachine::IncAdd {
+                    cells: cells.clone(),
+                    shard,
+                    delta,
+                };
+                Step::Pending
+            }
+            CombiningCounterMachine::IncAdd {
+                cells,
+                shard,
+                delta,
+            } => {
+                mem.wide_adjust(*shard, delta, &BigNat::zero());
+                *self = CombiningCounterMachine::TryLock {
+                    cells: cells.clone(),
+                };
+                Step::Pending
+            }
+            CombiningCounterMachine::TryLock { cells } => {
+                if mem.swap(cells.lock, 1) == 0 {
+                    *self = CombiningCounterMachine::Fold {
+                        cells: cells.clone(),
+                        s: 0,
+                        acc: 0,
+                    };
+                    Step::Pending
+                } else {
+                    // Lost: the increment has already landed — complete
+                    // unpublished (the staleness the cached read pays).
+                    Step::Ready(CounterResp::Ok)
+                }
+            }
+            CombiningCounterMachine::Fold { cells, s, acc } => {
+                let image = mem.wide_adjust(cells.shards[*s], &BigNat::zero(), &BigNat::zero());
+                let acc = *acc + image.count_ones() as u64;
+                if *s + 1 < cells.shards.len() {
+                    *self = CombiningCounterMachine::Fold {
+                        cells: cells.clone(),
+                        s: *s + 1,
+                        acc,
+                    };
+                } else {
+                    *self = CombiningCounterMachine::PublishCache {
+                        cells: cells.clone(),
+                        fold: acc,
+                    };
+                }
+                Step::Pending
+            }
+            CombiningCounterMachine::PublishCache { cells, fold } => {
+                mem.swap(cells.cache, *fold);
+                *self = CombiningCounterMachine::Unlock {
+                    cells: cells.clone(),
+                };
+                Step::Pending
+            }
+            CombiningCounterMachine::Unlock { cells } => {
+                mem.swap(cells.lock, 0);
+                Step::Ready(CounterResp::Ok)
+            }
+            CombiningCounterMachine::CachedLoad { cache } => {
+                Step::Ready(CounterResp::Value(mem.read(*cache)))
+            }
+            CombiningCounterMachine::Sum {
+                cells,
+                idx,
+                current,
+                previous,
+            } => {
+                let image = mem.wide_adjust(cells.shards[*idx], &BigNat::zero(), &BigNat::zero());
+                current.push(image.count_ones() as u64);
+                *idx += 1;
+                if *idx < cells.shards.len() {
+                    return Step::Pending;
+                }
+                let done = std::mem::take(current);
+                match stable_pass(done, previous, idx) {
+                    Some(done) => Step::Ready(CounterResp::Value(done.iter().sum())),
+                    None => Step::Pending,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl2_exec::machine::run_solo;
+    use sl2_exec::scenarios::fan_in;
+    use sl2_exec::sched::Scenario;
+    use sl2_exec::strong::check_strong;
+    use sl2_exec::{for_each_history, is_linearizable, validate_witness};
+    use sl2_spec::counters::CounterSpec;
+    use sl2_spec::relaxed::LaggingCounterSpec;
+
+    // -- solo semantics ------------------------------------------------
+
+    #[test]
+    fn max_register_solo_semantics_and_publication() {
+        let mut mem = SimMemory::new();
+        let alg = CombiningMaxRegAlg::new(&mut mem, 2, 2, ReadMode::Cached);
+        // Solo, the writer always wins the election: publish, lock,
+        // read the cache, sweep 2 slots (peek+take+apply on its own),
+        // publish the merged fold, unlock.
+        let (r, steps) = run_solo(&mut alg.machine(0, &MaxOp::Write(4)), &mut mem);
+        assert_eq!(r, MaxResp::Ok);
+        assert_eq!(
+            steps, 10,
+            "publish + lock + read-cache + (peek,take,probe,add) + peek + publish + unlock"
+        );
+        let (r, steps) = run_solo(&mut alg.machine(1, &MaxOp::Read), &mut mem);
+        assert_eq!(r, MaxResp::Value(4), "the cache was published");
+        assert_eq!(steps, 1, "cached read is one load");
+    }
+
+    #[test]
+    fn max_register_stable_read_bypasses_the_cache() {
+        let mut mem = SimMemory::new();
+        let alg = CombiningMaxRegAlg::new(&mut mem, 2, 2, ReadMode::Stable);
+        run_solo(&mut alg.machine(0, &MaxOp::Write(5)), &mut mem);
+        let (r, steps) = run_solo(&mut alg.machine(1, &MaxOp::Read), &mut mem);
+        assert_eq!(r, MaxResp::Value(5));
+        assert_eq!(steps, 4, "two stable 2-shard collect passes");
+    }
+
+    #[test]
+    fn counter_solo_semantics_and_publication() {
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 2, 2);
+        // Solo inc: probe + add + trylock(won) + 2 folds + publish +
+        // unlock = 7 steps.
+        let (r, steps) = run_solo(&mut alg.machine(0, &CounterOp::Inc), &mut mem);
+        assert_eq!(r, CounterResp::Ok);
+        assert_eq!(steps, 7);
+        let (r, steps) = run_solo(&mut alg.machine(1, &CounterOp::Read), &mut mem);
+        assert_eq!(r, CounterResp::Value(1));
+        assert_eq!(steps, 1, "cached read is one load");
+    }
+
+    // -- checker verdicts (the DESIGN.md §8 table) ---------------------
+
+    #[test]
+    fn cached_max_read_is_refuted_at_every_shard_count() {
+        // Staleness needs no collect frontier: the refutation holds at
+        // S = 1, where the PR-3 sharded fan-in control *certified* —
+        // the cache, not sharding, is the culprit.
+        for shards in [1usize, 2] {
+            let mut mem = SimMemory::new();
+            let alg = CombiningMaxRegAlg::new(&mut mem, 3, shards, ReadMode::Cached);
+            let scenario = cached_fan_in_max_scenario();
+            let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+            assert!(!report.strongly_linearizable, "S={shards}");
+            let witness = report.witness.expect("refutation carries a witness");
+            validate_witness(&alg, mem, &scenario, &witness)
+                .unwrap_or_else(|e| panic!("S={shards}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cached_max_read_meets_the_stale_window_spec() {
+        // Same machine, same scenario, judged against the k-stale
+        // window (k = 2 writers): certified.
+        let mut mem = SimMemory::new();
+        let alg = CombiningMaxRegAlg::relaxed(&mut mem, 3, 1, ReadMode::Cached, 2);
+        let report = check_strong(&alg, mem, &cached_fan_in_lagging_scenario(), 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    #[test]
+    fn stable_max_read_keeps_the_frontier_safe_certificates() {
+        for shards in [1usize, 2] {
+            let mut mem = SimMemory::new();
+            let alg = CombiningMaxRegAlg::new(&mut mem, 2, shards, ReadMode::Stable);
+            let report = check_strong(
+                &alg,
+                mem,
+                &combining_frontier_safe_scenario(shards),
+                8_000_000,
+            );
+            assert!(
+                report.strongly_linearizable,
+                "frontier-safe S={shards}: {:?}",
+                report.witness
+            );
+        }
+    }
+
+    #[test]
+    fn stable_max_read_fan_in_certifies_only_the_single_shard_control() {
+        // The PR-3 boundary survives the front-end: the combining
+        // write path neither heals nor worsens the collect frontier.
+        let mut mem = SimMemory::new();
+        let alg = CombiningMaxRegAlg::new(&mut mem, 3, 1, ReadMode::Stable);
+        let report = check_strong(&alg, mem, &cached_fan_in_max_scenario(), 16_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+
+        let mut mem = SimMemory::new();
+        let alg = CombiningMaxRegAlg::new(&mut mem, 3, 2, ReadMode::Stable);
+        let scenario = cached_fan_in_max_scenario();
+        let report = check_strong(&alg, mem.clone(), &scenario, 16_000_000);
+        assert!(!report.strongly_linearizable);
+        let witness = report.witness.expect("refutation carries a witness");
+        validate_witness(&alg, mem, &scenario, &witness).expect("fan-in witness must replay");
+    }
+
+    #[test]
+    fn cached_counter_read_is_refuted_even_reader_fused() {
+        // The staleness is sharper than the sharded frontier race: the
+        // refutation does not need an independent reader — an inc that
+        // loses the election completes unpublished, and the *same
+        // process's* later read... stays honest only via the stable
+        // path. (The fused pair certified for the stable sharded
+        // counter in PR 3.)
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 2, 1);
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc, CounterOp::Read],
+            vec![CounterOp::Inc],
+        ]);
+        let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+        assert!(!report.strongly_linearizable);
+        let witness = report.witness.expect("refutation carries a witness");
+        validate_witness(&alg, mem, &scenario, &witness).expect("witness must replay");
+    }
+
+    #[test]
+    fn cached_counter_fan_in_is_linearizable_per_mixed_reads_but_refuted() {
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 3, 1);
+        let scenario =
+            fan_in::<CounterSpec>(vec![CounterOp::Inc, CounterOp::Inc], vec![CounterOp::Read]);
+        let report = check_strong(&alg, mem, &scenario, 8_000_000);
+        assert!(!report.strongly_linearizable);
+        assert!(report.witness.is_some());
+    }
+
+    #[test]
+    fn cached_counter_read_meets_the_lagging_spec() {
+        // Judged against the honest k-lagging window (k = 2 incs in
+        // flight), the same scenarios certify.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::relaxed(&mut mem, 3, 1, 2);
+        let scenario = fan_in::<LaggingCounterSpec>(
+            vec![CounterOp::Inc, CounterOp::Inc],
+            vec![CounterOp::Read],
+        );
+        let report = check_strong(&alg, mem, &scenario, 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    #[test]
+    fn stable_counter_reads_certify_fused_and_fan_in() {
+        // The publication-combining counter's stable read is the plain
+        // sharded collect; with the increments untouched by helping,
+        // the certificates cover both the fused pair and (at one
+        // stripe) the independent-reader fan-in.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::stable(&mut mem, 2, 2);
+        let scenario = Scenario::new(vec![
+            vec![CounterOp::Inc, CounterOp::Read],
+            vec![CounterOp::Inc],
+        ]);
+        let report = check_strong(&alg, mem, &scenario, 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::stable(&mut mem, 3, 1);
+        let scenario =
+            fan_in::<CounterSpec>(vec![CounterOp::Inc, CounterOp::Inc], vec![CounterOp::Read]);
+        let report = check_strong(&alg, mem, &scenario, 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+    }
+
+    #[test]
+    fn every_cached_history_stays_within_the_window_specs() {
+        // for_each_history differential: cached reads may lag but each
+        // history is linearizable against the window specification.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::relaxed(&mut mem, 3, 1, 2);
+        let scenario = fan_in::<LaggingCounterSpec>(
+            vec![CounterOp::Inc, CounterOp::Inc],
+            vec![CounterOp::Read],
+        );
+        let mut histories = 0usize;
+        for_each_history(&alg, mem, &scenario, 4_000_000, &mut |h| {
+            histories += 1;
+            assert!(
+                is_linearizable(&LaggingCounterSpec { k: 2 }, h),
+                "history: {h:?}"
+            );
+        });
+        assert!(histories > 50, "the scenario has real interleaving depth");
+    }
+}

@@ -1,0 +1,387 @@
+//! The publication substrate of the combining layer: per-process
+//! announcement slots, the combiner election lock, and the versioned
+//! multi-word cache — all built from consensus-number-2 primitives
+//! (swap and fetch&add; no compare&swap anywhere, which
+//! [`crate::Combiner::consensus_ceiling`] asserts through the
+//! [`BaseObject`] wiring).
+//!
+//! A [`PubSlot`] is one cache-line-padded [`Swap`] register holding at
+//! most one announced operation, encoded as a non-zero word. The three
+//! verbs are all single swaps, so each is one atomic step in the
+//! paper's model:
+//!
+//! * [`PublicationArray::publish`] — the owner announces an operation;
+//! * [`PublicationArray::take`] — the combiner claims it (a read
+//!   followed by a swap, so sweeping an *empty* slot costs a shared
+//!   load, not an exclusive cache-line transfer);
+//! * [`PublicationArray::withdraw`] — the owner retires its
+//!   announcement after applying the operation directly.
+//!
+//! Claim and withdraw race by design: the swap's atomicity means the
+//! operation word is handed to exactly one of them, and the combining
+//! protocol only ever announces *ensure-style idempotent* operations
+//! (see [`crate::Combinable`]), so the loser applying a stale copy is
+//! harmless. That idempotence is what lets the front-end stay
+//! non-blocking — an announcer that loses the combiner election never
+//! waits for help; it applies directly and withdraws.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sl2_primitives::{BaseObject, CachePadded, ConsensusNumber, FetchAdd, Swap};
+
+/// Slot word meaning "no operation announced".
+const EMPTY: u64 = 0;
+
+/// One process's announcement slot: a cache-line-padded swap register.
+#[derive(Debug, Default)]
+pub struct PubSlot {
+    cell: Swap,
+}
+
+impl PubSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        PubSlot::default()
+    }
+
+    /// Whether an operation is currently announced (one read).
+    pub fn is_occupied(&self) -> bool {
+        self.cell.read() != EMPTY
+    }
+}
+
+impl BaseObject for PubSlot {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+/// The announcement slots of all `n` processes, one padded cache line
+/// each.
+///
+/// Operation words are offset by one internally so the all-zeros
+/// initial state reads as "nothing announced" — callers publish any
+/// encoding below `u64::MAX` and get it back verbatim from
+/// [`PublicationArray::take`].
+///
+/// # Examples
+///
+/// ```
+/// use sl2_combine::PublicationArray;
+///
+/// let slots = PublicationArray::new(2);
+/// slots.publish(0, 7);
+/// assert_eq!(slots.take(0), Some(7));
+/// assert_eq!(slots.take(0), None, "claimed exactly once");
+/// ```
+#[derive(Debug)]
+pub struct PublicationArray {
+    slots: Box<[CachePadded<PubSlot>]>,
+}
+
+impl PublicationArray {
+    /// Allocates `n` empty slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a publication array needs at least one slot");
+        PublicationArray {
+            slots: (0..n).map(|_| CachePadded::new(PubSlot::new())).collect(),
+        }
+    }
+
+    /// Number of slots (= processes).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the array has no slots (never true — see
+    /// [`PublicationArray::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Announces `word` in `process`'s slot (one swap). Overwrites any
+    /// stale announcement — the protocol invariant is that a process
+    /// has at most one operation in flight, and an overwritten word
+    /// means the previous operation already completed via the direct
+    /// path with its withdraw lost to a concurrent [`take`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word == u64::MAX` (the one encoding the offset cannot
+    /// represent).
+    ///
+    /// [`take`]: PublicationArray::take
+    pub fn publish(&self, process: usize, word: u64) {
+        let stored = word
+            .checked_add(1)
+            .expect("operation encoding must stay below u64::MAX");
+        self.slots[process].cell.swap(stored);
+    }
+
+    /// Claims the announcement in slot `i`, if any: a read (cheap for
+    /// the common empty slot) followed by a swap-out. Returns the word
+    /// exactly once per announcement — a racing [`withdraw`] gets
+    /// nothing.
+    ///
+    /// [`withdraw`]: PublicationArray::withdraw
+    pub fn take(&self, i: usize) -> Option<u64> {
+        if !self.slots[i].is_occupied() {
+            return None;
+        }
+        match self.slots[i].cell.swap(EMPTY) {
+            EMPTY => None,
+            stored => Some(stored - 1),
+        }
+    }
+
+    /// Retires `process`'s own announcement after a direct application
+    /// (one swap). Returns whether the announcement was still there —
+    /// `false` means a combiner claimed it and will (re-)apply it,
+    /// which idempotent operations absorb.
+    pub fn withdraw(&self, process: usize) -> bool {
+        self.slots[process].cell.swap(EMPTY) != EMPTY
+    }
+}
+
+/// The combiner election: a swap-based try-lock (consensus number 2 —
+/// `swap` decides the two-process race the election is).
+///
+/// Strictly a *try*-lock: there is no blocking acquire, because the
+/// combining protocol has no waiters — losers take the direct path.
+///
+/// # Examples
+///
+/// ```
+/// use sl2_combine::CombinerLock;
+///
+/// let lock = CombinerLock::new();
+/// assert!(lock.try_acquire());
+/// assert!(!lock.try_acquire(), "election decides exactly one winner");
+/// lock.release();
+/// assert!(lock.try_acquire());
+/// ```
+#[derive(Debug, Default)]
+pub struct CombinerLock {
+    cell: CachePadded<Swap>,
+}
+
+impl CombinerLock {
+    /// A free lock.
+    pub fn new() -> Self {
+        CombinerLock::default()
+    }
+
+    /// One swap: returns whether the caller won the election.
+    pub fn try_acquire(&self) -> bool {
+        self.cell.swap(1) == 0
+    }
+
+    /// Releases the lock (one swap). Only the winner may call this.
+    pub fn release(&self) {
+        self.cell.swap(0);
+    }
+
+    /// Whether some combiner currently holds the lock (one read).
+    pub fn is_held(&self) -> bool {
+        self.cell.read() != 0
+    }
+}
+
+impl BaseObject for CombinerLock {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+/// A versioned multi-word read cache (for folds wider than one word,
+/// e.g. snapshot views): a fetch&add version counter — odd while a
+/// publication is in flight — over plain per-word atomic registers.
+/// Consensus number 2 overall (the registers alone are level 1).
+///
+/// Readers are optimistic: [`SeqCache::read_into`] returns `false` on
+/// a torn or in-flight view, and the caller falls back to the inner
+/// object's stable scan — the "cache miss" path of the combining
+/// snapshot. Only the combiner (under [`CombinerLock`]) publishes, so
+/// writers never race each other.
+#[derive(Debug)]
+pub struct SeqCache {
+    version: CachePadded<FetchAdd>,
+    words: Box<[AtomicU64]>,
+}
+
+impl SeqCache {
+    /// A cache of `width` words, version 0 (published never).
+    pub fn new(width: usize) -> Self {
+        SeqCache {
+            version: CachePadded::new(FetchAdd::new(0)),
+            words: (0..width).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of cached words.
+    pub fn width(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Publication count so far.
+    pub fn epoch(&self) -> u64 {
+        self.version.read() / 2
+    }
+
+    /// Whether the cache has ever been published.
+    pub fn is_published(&self) -> bool {
+        self.version.read() >= 2
+    }
+
+    /// Publishes `view` (combiner-only, under the election lock):
+    /// version goes odd, words are written, version goes even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view.len()` differs from the cache width.
+    pub fn publish(&self, view: &[u64]) {
+        assert_eq!(view.len(), self.words.len(), "cache width mismatch");
+        self.version.fetch_add(1); // odd: publication in flight
+        for (w, &v) in self.words.iter().zip(view) {
+            w.store(v, Ordering::SeqCst);
+        }
+        self.version.fetch_add(1); // even: stable
+    }
+
+    /// Optimistic read into `out`: `true` iff a published, untorn view
+    /// was copied (version even, unchanged across the copy, and at
+    /// least one publication has happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the cache width.
+    pub fn read_into(&self, out: &mut [u64]) -> bool {
+        assert_eq!(out.len(), self.words.len(), "cache width mismatch");
+        let v1 = self.version.read();
+        if v1 < 2 || v1 % 2 == 1 {
+            return false;
+        }
+        for (o, w) in out.iter_mut().zip(self.words.iter()) {
+            *o = w.load(Ordering::SeqCst);
+        }
+        self.version.read() == v1
+    }
+}
+
+impl BaseObject for SeqCache {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_take_withdraw_hand_the_word_to_exactly_one_party() {
+        let slots = PublicationArray::new(3);
+        assert_eq!(slots.len(), 3);
+        assert!(!slots.is_empty());
+        assert_eq!(slots.take(1), None, "initially empty");
+        slots.publish(1, 0); // word 0 is a legal encoding
+        assert!(slots.slots[1].is_occupied());
+        assert_eq!(slots.take(1), Some(0));
+        assert!(!slots.withdraw(1), "take already claimed it");
+        slots.publish(1, 41);
+        assert!(slots.withdraw(1), "owner got it back");
+        assert_eq!(slots.take(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "below u64::MAX")]
+    fn publish_rejects_the_unencodable_word() {
+        PublicationArray::new(1).publish(0, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_take_and_withdraw_claim_exactly_once() {
+        for _ in 0..200 {
+            let slots = Arc::new(PublicationArray::new(1));
+            slots.publish(0, 9);
+            let taker = Arc::clone(&slots);
+            let owner = Arc::clone(&slots);
+            let (a, b) = std::thread::scope(|s| {
+                let t = s.spawn(move || taker.take(0).is_some());
+                let w = s.spawn(move || owner.withdraw(0));
+                (t.join().expect("taker"), w.join().expect("owner"))
+            });
+            assert!(a ^ b, "exactly one side must claim the word: {a} {b}");
+        }
+    }
+
+    #[test]
+    fn lock_elects_one_winner_under_contention() {
+        let lock = Arc::new(CombinerLock::new());
+        let mut wins = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let lock = Arc::clone(&lock);
+                    s.spawn(move || lock.try_acquire())
+                })
+                .collect();
+            for h in handles {
+                if h.join().expect("no panics") {
+                    wins += 1;
+                }
+            }
+        });
+        assert_eq!(wins, 1);
+        assert!(lock.is_held());
+        lock.release();
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn seq_cache_round_trips_and_reports_unpublished() {
+        let cache = SeqCache::new(3);
+        assert_eq!(cache.width(), 3);
+        let mut out = [0u64; 3];
+        assert!(!cache.read_into(&mut out), "nothing published yet");
+        assert!(!cache.is_published());
+        cache.publish(&[4, 5, 6]);
+        assert!(cache.is_published());
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.read_into(&mut out));
+        assert_eq!(out, [4, 5, 6]);
+    }
+
+    #[test]
+    fn seq_cache_never_returns_a_torn_view() {
+        // Writers keep both words equal; an optimistic read that
+        // succeeds must never observe a mixed pair.
+        let cache = Arc::new(SeqCache::new(2));
+        std::thread::scope(|s| {
+            let w = Arc::clone(&cache);
+            s.spawn(move || {
+                for v in 1..=2000u64 {
+                    w.publish(&[v, v]);
+                }
+            });
+            let r = Arc::clone(&cache);
+            s.spawn(move || {
+                let mut out = [0u64; 2];
+                let mut hits = 0;
+                for _ in 0..4000 {
+                    if r.read_into(&mut out) {
+                        assert_eq!(out[0], out[1], "torn view {out:?}");
+                        hits += 1;
+                    }
+                }
+                assert!(hits > 0, "optimistic reads never once succeeded");
+            });
+        });
+    }
+
+    #[test]
+    fn every_piece_sits_at_consensus_number_two() {
+        assert_eq!(PubSlot::new().consensus_number(), ConsensusNumber::Two);
+        assert_eq!(CombinerLock::new().consensus_number(), ConsensusNumber::Two);
+        assert_eq!(SeqCache::new(1).consensus_number(), ConsensusNumber::Two);
+    }
+}

@@ -377,6 +377,130 @@ impl<S: Spec> ScenarioCorpus<S> {
         self.run_into(make, options, &mut report);
         report
     }
+
+    /// Parallel [`ScenarioCorpus::run_into`]: corpus records are
+    /// independent (each check builds its own algorithm in its own
+    /// fresh memory), so they split over `threads` OS workers. The
+    /// report keeps **entry order** regardless of completion order,
+    /// and the global node budget is enforced by **reservation**: a
+    /// worker atomically withdraws `per_scenario_limit.min(remaining)`
+    /// tokens before its check, runs under that limit, and refunds
+    /// what the check did not use — so concurrent workers can never
+    /// collectively overdraw the budget (the serial driver's
+    /// invariant, preserved up to the engine's existing +1-node
+    /// overshoot on `Bounded` outcomes).
+    ///
+    /// Determinism: reservations can transiently hold up to
+    /// `threads × per_scenario_limit` of the budget, so give the
+    /// report at least that much headroom — then every scenario
+    /// decides within its own limit, verdicts are independent of
+    /// worker scheduling, and the report equals the serial driver's
+    /// record for record (the shipped corpora size their budgets this
+    /// way and E23 asserts zero `Bounded` records). Under genuine
+    /// budget starvation, *which* scenarios land `Bounded` depends on
+    /// reservation order, which worker scheduling controls — only
+    /// those starved records may differ from the serial driver's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel_into<A, F>(
+        &self,
+        make: F,
+        options: &CorpusOptions,
+        threads: usize,
+        report: &mut CorpusReport,
+    ) where
+        A: Algorithm<Spec = S>,
+        F: Fn(&mut SimMemory) -> A + Sync,
+        S::Op: Sync,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        assert!(threads > 0, "the parallel driver needs at least one worker");
+        let next = AtomicUsize::new(0);
+        let remaining = AtomicUsize::new(report.remaining());
+        let slots: Vec<Mutex<Option<CorpusRecord>>> =
+            (0..self.entries.len()).map(|_| Mutex::new(None)).collect();
+        let make = &make;
+        let workers = threads.min(self.entries.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some((name, scenario)) = self.entries.get(i) else {
+                        break;
+                    };
+                    // Reserve the scenario's node allowance up front
+                    // (atomic withdraw), refund the unused part after.
+                    let mut limit = 0usize;
+                    let _ = remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| {
+                        limit = options.per_scenario_limit.min(r);
+                        Some(r - limit)
+                    });
+                    let (verdict, nodes, witness_steps) = if limit == 0 {
+                        (CorpusVerdict::Bounded, 0, 0)
+                    } else {
+                        let mut mem = SimMemory::new();
+                        let alg = make(&mut mem);
+                        let out = check_strong_outcome(
+                            &alg,
+                            mem,
+                            scenario,
+                            StrongOptions {
+                                node_limit: limit,
+                                memo: options.memo,
+                            },
+                        );
+                        match out.outcome {
+                            Outcome::Certified => (CorpusVerdict::Certified, out.nodes, 0),
+                            Outcome::Refuted(w) => {
+                                (CorpusVerdict::Refuted, out.nodes, w.path.len())
+                            }
+                            Outcome::Bounded => (CorpusVerdict::Bounded, out.nodes, 0),
+                        }
+                    };
+                    remaining.fetch_add(limit.saturating_sub(nodes), Ordering::SeqCst);
+                    *slots[i].lock().expect("record slot never poisoned") = Some(CorpusRecord {
+                        name: name.clone(),
+                        processes: scenario.processes(),
+                        total_ops: scenario.total_ops(),
+                        verdict,
+                        nodes,
+                        witness_steps,
+                    });
+                });
+            }
+        });
+        for slot in slots {
+            let rec = slot
+                .into_inner()
+                .expect("record slot never poisoned")
+                .expect("every claimed entry writes its record");
+            report.nodes_spent += rec.nodes;
+            report.records.push(rec);
+        }
+        report.deduped += self.deduped;
+    }
+
+    /// [`ScenarioCorpus::run_parallel_into`] with a fresh report of
+    /// its own.
+    pub fn run_parallel<A, F>(
+        &self,
+        make: F,
+        options: &CorpusOptions,
+        threads: usize,
+        node_budget: usize,
+    ) -> CorpusReport
+    where
+        A: Algorithm<Spec = S>,
+        F: Fn(&mut SimMemory) -> A + Sync,
+        S::Op: Sync,
+    {
+        let mut report = CorpusReport::new(node_budget);
+        self.run_parallel_into(make, options, threads, &mut report);
+        report
+    }
 }
 
 /// Process-renaming-invariant canonical form: the sorted per-process
@@ -512,6 +636,61 @@ mod tests {
         // A starved budget yields Bounded records, not panics.
         let starved = corpus.run(make, &CorpusOptions::default(), 1);
         assert!(starved.count(CorpusVerdict::Bounded) >= corpus.len() - 1);
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_record_for_record() {
+        let mut corpus = ScenarioCorpus::<MaxRegisterSpec>::new();
+        corpus.symmetric_family("max", &[2, 3], &[MaxOp::Write(1), MaxOp::Read], 2);
+        corpus.fan_in_family("max", &[MaxOp::Write(1), MaxOp::Read], 2, &[MaxOp::Read]);
+        // Budget ≥ threads × per_scenario_limit: reservations never
+        // starve a concurrent worker, so parallel ≡ serial exactly.
+        let budget = 4 * CorpusOptions::default().per_scenario_limit;
+        let serial = corpus.run(make, &CorpusOptions::default(), budget);
+        for threads in [1usize, 2, 4] {
+            let parallel = corpus.run_parallel(make, &CorpusOptions::default(), threads, budget);
+            assert_eq!(parallel.records.len(), serial.records.len());
+            for (a, b) in parallel.records.iter().zip(&serial.records) {
+                assert_eq!(a.name, b.name, "entry order must be preserved");
+                assert_eq!(a.verdict, b.verdict, "{}: parallel vs serial", a.name);
+                assert_eq!(
+                    a.nodes, b.nodes,
+                    "{}: node counts are deterministic",
+                    a.name
+                );
+            }
+            assert_eq!(parallel.nodes_spent, serial.nodes_spent);
+            assert_eq!(parallel.deduped, serial.deduped);
+        }
+    }
+
+    #[test]
+    fn parallel_driver_respects_a_starved_budget() {
+        let mut corpus = ScenarioCorpus::<MaxRegisterSpec>::new();
+        corpus.symmetric_family("max", &[2], &[MaxOp::Write(1), MaxOp::Read], 2);
+        let report = corpus.run_parallel(make, &CorpusOptions::default(), 4, 1);
+        assert_eq!(report.records.len(), corpus.len());
+        // Reservation-based budgeting: exactly one worker can withdraw
+        // the single node; everyone else reserves zero and lands
+        // Bounded without spending anything.
+        assert!(
+            report.count(CorpusVerdict::Bounded) >= corpus.len() - 1,
+            "a one-node budget must bound nearly everything: {:?}",
+            report.records
+        );
+        assert!(
+            report.nodes_spent <= 2,
+            "workers must not collectively overdraw the budget \
+             (engine overshoot on a Bounded run is at most one node): {}",
+            report.nodes_spent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallel_driver_rejects_zero_workers() {
+        let corpus = ScenarioCorpus::<MaxRegisterSpec>::new();
+        let _ = corpus.run_parallel(make, &CorpusOptions::default(), 0, 1_000);
     }
 
     #[test]

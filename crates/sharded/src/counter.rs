@@ -89,6 +89,11 @@ impl ShardedFetchInc {
         self.sharding.shards()
     }
 
+    /// Number of processes sharing the counter.
+    pub fn processes(&self) -> usize {
+        self.layout.processes()
+    }
+
     /// Increments by one on behalf of `process`; returns the unique
     /// receipt. Wait-free: one own-lane probe plus one fetch&add on the
     /// home shard (only `process` writes that lane, so the probed

@@ -81,6 +81,11 @@ impl ShardedMaxRegister {
         self.sharding.shards()
     }
 
+    /// Number of processes sharing the register.
+    pub fn processes(&self) -> usize {
+        self.layout.processes()
+    }
+
     /// Total width of the backing registers in bits (experiment E12's
     /// growth measure, summed over shards).
     pub fn register_bits(&self) -> usize {
@@ -132,6 +137,23 @@ impl MaxRegister for ShardedMaxRegister {
         let stable = self.sharding.stable_collect(|i| self.shard_fold(i));
         (0..self.sharding.shards())
             .map(|i| self.fold_value(i, stable[i]))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl ShardedMaxRegister {
+    /// One-pass fold with no stability check: wait-free, monotone
+    /// across calls, and never ahead of the exact maximum (every probed
+    /// shard fold was attained, and shard folds only grow), but it may
+    /// lag [`MaxRegister::read_max`] by writes concurrent with the
+    /// sweep. This is the fold the combining layer's cache publication
+    /// uses (`sl2_combine`): the published value must never exceed the
+    /// landed maximum, and a one-pass fold is the cheapest sound
+    /// source.
+    pub fn read_max_relaxed(&self) -> u64 {
+        (0..self.sharding.shards())
+            .map(|s| self.fold_value(s, self.shard_fold(s)))
             .max()
             .unwrap_or(0)
     }
@@ -238,6 +260,36 @@ mod tests {
         let g = sl2_core::algos::max_register::SlMaxRegister::new(2);
         g.write_max(0, 64 * 16 - 1);
         assert!(g.register_bits() > 128);
+    }
+
+    #[test]
+    fn relaxed_fold_matches_exact_at_quiescence_and_never_runs_ahead() {
+        let m = ShardedMaxRegister::new(2, 4);
+        assert_eq!(m.read_max_relaxed(), 0);
+        for (p, v) in [(0usize, 7u64), (1, 3), (0, 12), (1, 9)] {
+            m.write_max(p, v);
+            assert_eq!(m.read_max_relaxed(), m.read_max(), "quiescent sweep");
+        }
+        // Under contention the sweep stays bounded by the exact fold.
+        let m = Arc::new(ShardedMaxRegister::new(2, 4));
+        std::thread::scope(|s| {
+            let w = Arc::clone(&m);
+            s.spawn(move || {
+                for v in 1..=200u64 {
+                    w.write_max(0, v);
+                }
+            });
+            let r = Arc::clone(&m);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..100 {
+                    let v = r.read_max_relaxed();
+                    assert!(v >= last, "relaxed fold regressed {last} -> {v}");
+                    assert!(v <= r.read_max(), "relaxed fold ran ahead");
+                    last = v;
+                }
+            });
+        });
     }
 
     #[test]

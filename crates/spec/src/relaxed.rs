@@ -368,6 +368,80 @@ impl Spec for LaggingCounterSpec {
     }
 }
 
+// ---------------------------------------------------------------------
+// k-stale max register
+// ---------------------------------------------------------------------
+
+/// k-stale max register, the max-register analogue of
+/// [`LaggingCounterSpec`]: `Write` is exact, but `Read` may return the
+/// running maximum as it stood up to `k` writes ago (never a value the
+/// register did not previously hold, and never ahead of the current
+/// maximum). A 0-stale max register is the exact
+/// [`crate::max_register::MaxRegisterSpec`].
+///
+/// This is the specification a *combining* front-end's cached read
+/// meets **strongly**: the combiner publishes whole-object folds to a
+/// single cache register once per batch, while operations that lose
+/// the combiner election apply directly to the inner object and
+/// complete without republishing — so a 1-load cached read returns a
+/// previously-published exact fold that may miss up to `k` completed
+/// writes (DESIGN.md §8; the checker exhibits the exact-spec `Witness`
+/// in `tests/non_sl_witnesses.rs` and certifies this spec on the same
+/// scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaggingMaxSpec {
+    /// Maximum number of writes a `Read` may trail by.
+    pub k: usize,
+}
+
+/// State of a [`LaggingMaxSpec`]: the running maximum after each of the
+/// last `k` writes plus the current one, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaggingMaxState {
+    /// Window of recent running maxima; the last entry is current.
+    pub recent: VecDeque<Value>,
+}
+
+impl Spec for LaggingMaxSpec {
+    type State = LaggingMaxState;
+    type Op = crate::max_register::MaxOp;
+    type Resp = crate::max_register::MaxResp;
+
+    fn initial(&self) -> LaggingMaxState {
+        LaggingMaxState {
+            recent: VecDeque::from([0]),
+        }
+    }
+
+    fn step(
+        &self,
+        s: &LaggingMaxState,
+        op: &crate::max_register::MaxOp,
+    ) -> Vec<(LaggingMaxState, crate::max_register::MaxResp)> {
+        use crate::max_register::{MaxOp, MaxResp};
+        match op {
+            MaxOp::Write(v) => {
+                let mut next = s.clone();
+                let cur = *next.recent.back().expect("window is never empty");
+                next.recent.push_back(cur.max(*v));
+                while next.recent.len() > self.k + 1 {
+                    next.recent.pop_front();
+                }
+                vec![(next, MaxResp::Ok)]
+            }
+            MaxOp::Read => {
+                let mut out: Vec<(LaggingMaxState, MaxResp)> = Vec::new();
+                for &v in &s.recent {
+                    if !out.iter().any(|(_, r)| *r == MaxResp::Value(v)) {
+                        out.push((s.clone(), MaxResp::Value(v)));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +606,47 @@ mod tests {
             CounterResp::Value(1),
             "k = 0 leaves a single legal read"
         );
+    }
+
+    #[test]
+    fn lagging_max_read_window() {
+        use crate::max_register::{MaxOp, MaxResp};
+        let spec = LaggingMaxSpec { k: 1 };
+        let seq = vec![
+            (MaxOp::Write(4), MaxResp::Ok),
+            (MaxOp::Write(9), MaxResp::Ok),
+            (MaxOp::Read, MaxResp::Value(4)), // one write stale
+            (MaxOp::Read, MaxResp::Value(9)), // current
+        ];
+        assert!(is_legal(&spec, &seq));
+        let too_stale = vec![
+            (MaxOp::Write(4), MaxResp::Ok),
+            (MaxOp::Write(6), MaxResp::Ok),
+            (MaxOp::Write(9), MaxResp::Ok),
+            (MaxOp::Read, MaxResp::Value(4)), // two writes stale > k
+        ];
+        assert!(!is_legal(&spec, &too_stale));
+        let invented = vec![
+            (MaxOp::Write(4), MaxResp::Ok),
+            (MaxOp::Read, MaxResp::Value(3)), // never held
+        ];
+        assert!(!is_legal(&spec, &invented));
+    }
+
+    #[test]
+    fn zero_stale_max_is_exact() {
+        use crate::max_register::{MaxOp, MaxResp};
+        let spec = LaggingMaxSpec { k: 0 };
+        let mut s = spec.initial();
+        spec.apply(&mut s, &MaxOp::Write(5));
+        assert_eq!(
+            spec.apply(&mut s, &MaxOp::Read),
+            MaxResp::Value(5),
+            "k = 0 leaves a single legal read"
+        );
+        // Smaller writes do not shrink the window's newest entry.
+        spec.apply(&mut s, &MaxOp::Write(2));
+        assert_eq!(spec.apply(&mut s, &MaxOp::Read), MaxResp::Value(5));
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //!   objects striped over many cache-line-padded wide registers for
 //!   contended workloads, with the semantic cost of each sharding
 //!   adjudicated by the checker (DESIGN.md §6).
+//! * [`sl2_combine`] — the flat-combining front-end for the read-heavy
+//!   regime: announcement slots, a swap-based combiner election, and a
+//!   published whole-object fold giving reads a 1-load fast path — all
+//!   from consensus-number-2 primitives, with the cached read's
+//!   staleness adjudicated by the checker (DESIGN.md §8).
 //!
 //! ## Quick start
 //!
@@ -77,6 +82,33 @@
 //! assert_eq!(max.read_max(), 100);
 //! ```
 //!
+//! When the mix is read-heavy, put the combining front-end in front:
+//! writers announce and elect a combiner that publishes whole-object
+//! folds, and reads take a **1-load cached path** instead of the
+//! S-probe fold — still nothing above consensus number 2. The cached
+//! read trails unpublished completions by design; `read_max` stays the
+//! exact stable path, and DESIGN.md §8 holds the checker's verdicts on
+//! exactly what the cache trades away:
+//!
+//! ```
+//! use sl2::prelude::*;
+//!
+//! let max = CombiningMaxRegister::new(ShardedMaxRegister::new(4, 4));
+//! std::thread::scope(|s| {
+//!     for p in 0..4 {
+//!         let max = &max;
+//!         s.spawn(move || {
+//!             for v in 1..=25u64 {
+//!                 max.write_max(p, v * (p as u64 + 1));
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(max.read_max(), 100); // exact (stable collect)
+//! max.refresh(); // publish a fresh fold at quiescence
+//! assert_eq!(max.read_cached(), 100); // 1 load
+//! ```
+//!
 //! ## Verifying strong linearizability yourself
 //!
 //! ```
@@ -99,6 +131,7 @@ pub mod figure1;
 
 pub use sl2_agreement as agreement;
 pub use sl2_bignum as bignum;
+pub use sl2_combine as combine;
 pub use sl2_core as core;
 pub use sl2_exec as exec;
 pub use sl2_primitives as primitives;
@@ -113,6 +146,12 @@ pub mod prelude {
         TasConsensusShared,
     };
     pub use sl2_bignum::{BigNat, Layout, WideFaa};
+    pub use sl2_combine::{
+        cached_fan_in_lagging_scenario, cached_fan_in_max_scenario,
+        combining_frontier_safe_scenario, ApplyPath, Combinable, Combiner, CombinerLock,
+        CombiningCounter, CombiningCounterAlg, CombiningMaxRegAlg, CombiningMaxRegister,
+        CombiningSnapshot, PubSlot, PublicationArray, ReadMode, SeqCache,
+    };
     pub use sl2_core::algos::fetch_inc::SlFetchInc;
     pub use sl2_core::algos::max_register::SlMaxRegister;
     pub use sl2_core::algos::mult_queue::MultQueue;
@@ -151,6 +190,6 @@ pub mod prelude {
         ShardedCounterAlg, ShardedFetchInc, ShardedMaxRegAlg, ShardedMaxRegister, ShardedSnapshot,
         ShardedSnapshotAlg, WholeReadMode,
     };
-    pub use sl2_spec::relaxed::LaggingCounterSpec;
+    pub use sl2_spec::relaxed::{LaggingCounterSpec, LaggingMaxSpec};
     pub use sl2_spec::Spec;
 }

@@ -18,10 +18,11 @@ use std::cell::Cell;
 
 use sl2::prelude::*;
 use sl2_bignum::{BigNat, WideFaa};
+use sl2_combine::{CombiningCounter, CombiningMaxRegister, CombiningSnapshot};
 use sl2_core::algos::fetch_inc::WideFetchInc;
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::snapshot::SlSnapshot;
-use sl2_sharded::{ShardedFetchInc, ShardedMaxRegister};
+use sl2_sharded::{ShardedFetchInc, ShardedMaxRegister, ShardedSnapshot};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -195,6 +196,80 @@ fn small_count_sharded_counter_ops_are_allocation_free() {
     });
     assert_eq!(n, 0, "sharded counter inc/read allocated at small counts");
     assert_eq!(c.read(), 44);
+}
+
+#[test]
+fn combined_cached_reads_and_small_value_writes_are_allocation_free() {
+    // The ISSUE-5 pin: the combining front-end's 1-load cached read —
+    // its whole reason to exist — must never touch the heap, and the
+    // write path (announce, elect, sweep, fold, publish) stays
+    // allocation-free at small values too: slots/lock/cache are plain
+    // u64 swaps and the inner shards stay on BigNat's inline path.
+    let m = CombiningMaxRegister::new(ShardedMaxRegister::new(4, 4));
+    for p in 0..4 {
+        m.write_max(p, 4 + p as u64);
+    }
+    m.refresh();
+
+    let (n, last) = allocs_during(|| {
+        let mut last = 0;
+        for _ in 0..200 {
+            last = m.read_cached();
+        }
+        last
+    });
+    assert_eq!(n, 0, "cached read allocated");
+    assert_eq!(last, 7);
+
+    let (n, _) = allocs_during(|| {
+        for round in 0..8u64 {
+            for p in 0..4 {
+                m.write_max(p, 8 + round); // combining or direct path
+                m.write_max(p, 1); // stale value: probe-only apply
+            }
+        }
+        m.refresh()
+    });
+    assert_eq!(n, 0, "combining write allocated on the small-value path");
+    assert_eq!(m.read_cached(), 15);
+
+    let (n, _) = allocs_during(|| m.read_max());
+    assert_eq!(n, 0, "stable fallback read allocated");
+}
+
+#[test]
+fn combined_counter_cached_ops_are_allocation_free() {
+    let c = CombiningCounter::new(ShardedFetchInc::new(4, 2));
+    for p in 0..4 {
+        c.inc(p);
+    }
+    let (n, _) = allocs_during(|| {
+        for i in 0..40u64 {
+            c.inc((i % 4) as usize);
+        }
+        let cached = c.read_cached();
+        let exact = c.read_exact();
+        (cached, exact)
+    });
+    assert_eq!(n, 0, "combining counter inc/read allocated at small counts");
+    assert_eq!(c.read_exact(), 44);
+    c.refresh();
+    assert_eq!(c.read_cached(), 44);
+}
+
+#[test]
+fn combined_snapshot_cached_scan_into_buffer_is_allocation_free() {
+    let s = CombiningSnapshot::new(ShardedSnapshot::new(4, 2));
+    use sl2_core::algos::Snapshot;
+    for i in 0..4 {
+        s.update(i, i as u64 + 1);
+    }
+    assert!(s.refresh());
+    let mut buf = [0u64; 4];
+    let (n, hit) = allocs_during(|| s.scan_cached_into(&mut buf));
+    assert!(hit, "published cache must hit");
+    assert_eq!(n, 0, "cached scan into a caller buffer allocated");
+    assert_eq!(buf, [1, 2, 3, 4]);
 }
 
 #[test]

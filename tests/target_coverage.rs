@@ -90,8 +90,8 @@ fn every_bench_file_is_a_registered_bench_target() {
     );
     assert_eq!(
         registered.len(),
-        11,
-        "the suite documents eleven bench targets; update the README and this \
+        12,
+        "the suite documents twelve bench targets; update the README and this \
          test together if that changes"
     );
 }
