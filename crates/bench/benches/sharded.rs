@@ -16,7 +16,11 @@
 //!   exact vs relaxed read cost at a fixed shard count;
 //! * `sharded_snapshot/*` — update makespan for the global Theorem-2
 //!   snapshot vs lane groups of width 2, and the three scan
-//!   granularities (E20's cost side).
+//!   granularities (E20's cost side);
+//! * `binary_vs_unary/*` — the PR-6 lane-encoding width series (E32):
+//!   write/read latency of the unary vs binary `ShardedMaxRegister` as
+//!   the value bound grows past the 64·S inline ceiling, plus a
+//!   contended 8-thread makespan at the widest bound.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sl2_bench::{parallel_duration, ratio_mix, ValueStream, ZipfStream};
@@ -276,11 +280,80 @@ fn bench_snapshot(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-6 lane-encoding series (E32). At bound 64 both encodings are
+/// inline and unary's single-faa write is hard to beat; past 64·S = 256
+/// the unary shards spill to heap limbs while binary lanes stay a few
+/// bits wide — the series charts exactly where the O(log v) encoding
+/// starts paying for its probe-then-adjust write.
+fn bench_binary_vs_unary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_vs_unary");
+    group.sample_size(10);
+    const SHARDS: usize = 4;
+    for bound in [64u64, 1_024, 65_536, 1_048_576] {
+        for binary in [false, true] {
+            let tag = if binary { "binary" } else { "unary" };
+            let make = move |n: usize| {
+                if binary {
+                    ShardedMaxRegister::new_binary(n, SHARDS)
+                } else {
+                    ShardedMaxRegister::new(n, SHARDS)
+                }
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("write_{tag}"), bound),
+                &bound,
+                |b, &bound| {
+                    let m = make(4);
+                    let mut vals = ValueStream::new(7);
+                    b.iter(|| m.write_max(0, vals.next_in(bound)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("read_{tag}"), bound),
+                &bound,
+                |b, &bound| {
+                    let m = make(4);
+                    for p in 0..4 {
+                        m.write_max(p, bound - 1 - p as u64);
+                    }
+                    b.iter(|| black_box(m.read_max()));
+                },
+            );
+        }
+    }
+    // Contended makespan at the widest bound: 8 writer threads, values
+    // far past the unary inline ceiling.
+    for binary in [false, true] {
+        let tag = if binary { "binary" } else { "unary" };
+        group.bench_function(format!("contended8_{tag}/1048576"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = if binary {
+                        ShardedMaxRegister::new_binary(8, SHARDS)
+                    } else {
+                        ShardedMaxRegister::new(8, SHARDS)
+                    };
+                    total += parallel_duration(8, |t| {
+                        let mut vals = ValueStream::new(t as u64 + 1);
+                        for _ in 0..200 {
+                            m.write_max(t, vals.next_in(1_048_576));
+                        }
+                    });
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_write_max,
     bench_mixed,
     bench_counter,
-    bench_snapshot
+    bench_snapshot,
+    bench_binary_vs_unary
 );
 criterion_main!(benches);

@@ -210,6 +210,145 @@ impl Layout {
     }
 }
 
+/// Which per-lane value encoding a register uses.
+///
+/// The §3 constructions store each process's value in its interleaved
+/// lane. *How* a value becomes lane bits is a codec choice that the
+/// algorithms' atomicity arguments do not depend on — both codecs below
+/// update a lane with one atomic `fetch&add` adjustment — but the
+/// register width depends on it dramatically (experiment E31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneEncoding {
+    /// The paper's unary prefix code (§3.1): lane bit `v−1` set means
+    /// "value at least `v`" — O(v) bits per lane. Writes only ever
+    /// *set* bits, so the register image itself is bitwise monotone,
+    /// which is what lets §3.1 recover a lane with a single popcount.
+    #[default]
+    Unary,
+    /// Positional (binary) code: lane bit `k` carries weight `2^k` —
+    /// O(log v) bits per lane. Writes rewrite the differing bits in
+    /// one signed adjustment (clears are allowed, as in §3.2), so the
+    /// *decoded lane value* is monotone whenever its single writer only
+    /// increases it, even though the bit image is not.
+    Binary,
+}
+
+/// Log-width companion of [`Layout`]: the same interleaved lanes, with
+/// each lane holding its value in *binary* rather than unary.
+///
+/// A lane value `v` occupies `⌈log₂(v+1)⌉` lane bits instead of `v`,
+/// so a register of `n` lanes holding values up to `V` needs
+/// `n·⌈log₂(V+1)⌉` bits instead of `n·V` — this is what lifts the
+/// sharded quotient encoding's 64·S inline-value ceiling (ROADMAP item
+/// 5): with 4 shards and 4 lanes, values into the hundreds of
+/// thousands still fit a 128-bit register.
+///
+/// The price is the update discipline: moving a lane from `old` to
+/// `new` clears the bits that drop and sets the bits that rise, as one
+/// atomic `+pos − neg` adjustment ([`crate::WideFaa::fetch_adjust`]) —
+/// exactly the §3.2 snapshot update shape, and sound for the same
+/// reason (each lane has a single writer, so the probe that computed
+/// `old` cannot be invalidated by another writer of the same lane).
+///
+/// # Examples
+///
+/// ```
+/// use sl2_bignum::{BigNat, BinaryLayout};
+///
+/// let layout = BinaryLayout::new(3);
+/// let image = layout.encode(1, 6);
+/// assert_eq!(layout.decode(1, &image), 6);
+/// // 6 = 0b110: lane bits 1 and 2 of process 1 → global bits 4 and 7.
+/// assert_eq!(image.one_bits().collect::<Vec<_>>(), vec![4, 7]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BinaryLayout {
+    inner: Layout,
+}
+
+impl BinaryLayout {
+    /// Creates a binary-lane layout for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        BinaryLayout {
+            inner: Layout::new(n),
+        }
+    }
+
+    /// Wraps an existing interleaving: same lane geometry, binary
+    /// values.
+    pub fn over(layout: Layout) -> Self {
+        BinaryLayout { inner: layout }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.inner.processes()
+    }
+
+    /// The underlying lane interleaving (shared with the unary codec).
+    pub fn interleaving(&self) -> Layout {
+        self.inner
+    }
+
+    /// Lane bits needed to hold `v` in binary.
+    pub const fn bits_for(v: u64) -> u32 {
+        u64::BITS - v.leading_zeros()
+    }
+
+    /// The lane image of process `i` holding value `v`: local binary
+    /// bit `k` of `v` becomes global bit `k*n + i`.
+    pub fn encode(&self, i: usize, v: u64) -> BigNat {
+        let mut out = BigNat::zero();
+        let mut rest = v;
+        while rest != 0 {
+            let k = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            out.set_bit(self.inner.bit(i, k), true);
+        }
+        out
+    }
+
+    /// Decodes process `i`'s binary lane from a borrowed register
+    /// image. Allocation-free at every register width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane value needs more than 64 bits — impossible
+    /// for registers written through this codec, whose lane values are
+    /// `u64` at the API boundary.
+    pub fn decode(&self, i: usize, register: &BigNat) -> u64 {
+        self.inner
+            .decode_u64(i, register)
+            .expect("binary lane exceeds 64 bits")
+    }
+
+    /// The fetch&add adjustments that move process `i`'s lane from
+    /// `old` to `new`: `(posAdj, negAdj)` rewriting exactly the
+    /// differing binary digits. Built directly from the XOR of the two
+    /// `u64`s — no intermediate `BigNat`s, no allocation while the
+    /// adjustments stay inline.
+    pub fn adjustments(&self, i: usize, old: u64, new: u64) -> (BigNat, BigNat) {
+        let mut pos = BigNat::zero();
+        let mut neg = BigNat::zero();
+        let mut diff = old ^ new;
+        while diff != 0 {
+            let k = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            let bit = self.inner.bit(i, k);
+            if (new >> k) & 1 == 1 {
+                pos.set_bit(bit, true);
+            } else {
+                neg.set_bit(bit, true);
+            }
+        }
+        (pos, neg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +479,77 @@ mod tests {
         assert_eq!(layout.decode_unary(0, &reg), 5);
         assert_eq!(layout.decode_unary(1, &reg), 0);
         assert_eq!(layout.decode_unary(2, &reg), 9);
+    }
+
+    #[test]
+    fn binary_encode_decode_roundtrip_every_process() {
+        let layout = BinaryLayout::new(5);
+        for v in [0u64, 1, 6, 1000, u64::MAX] {
+            for i in 0..5 {
+                let image = layout.encode(i, v);
+                assert_eq!(layout.decode(i, &image), v, "lane {i} value {v}");
+                for j in 0..5 {
+                    if j != i {
+                        assert_eq!(layout.decode(j, &image), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_adjustments_rewrite_exactly_the_difference() {
+        let layout = BinaryLayout::new(4);
+        // Lane 2 moves 12 → 6 while lane 0 holds noise; only lane 2's
+        // differing digits change.
+        let (pos, neg) = layout.adjustments(2, 12, 6);
+        let reg = &layout.encode(2, 12) + &layout.encode(0, 7);
+        let reg2 = reg.apply_adjustment(&pos, &neg);
+        assert_eq!(layout.decode(2, &reg2), 6);
+        assert_eq!(layout.decode(0, &reg2), 7);
+        // And they agree with the BigNat-valued unary-layout codec.
+        let (p2, n2) =
+            layout
+                .interleaving()
+                .adjustments(2, &BigNat::from(12u64), &BigNat::from(6u64));
+        assert_eq!((pos, neg), (p2, n2));
+    }
+
+    #[test]
+    fn binary_adjustments_for_equal_values_are_zero() {
+        let layout = BinaryLayout::new(2);
+        let (pos, neg) = layout.adjustments(1, 42, 42);
+        assert!(pos.is_zero() && neg.is_zero());
+    }
+
+    #[test]
+    fn binary_lanes_are_log_width() {
+        // The whole point: n lanes at value v cost n·⌈log₂(v+1)⌉ bits,
+        // not n·v. 4 lanes at 100 000 fit a 128-bit register.
+        let n = 4;
+        let layout = BinaryLayout::new(n);
+        let mut reg = BigNat::zero();
+        for i in 0..n {
+            reg = &reg + &layout.encode(i, 100_000);
+        }
+        assert!(reg.is_inline(), "binary register must stay inline");
+        assert_eq!(
+            reg.bit_len(),
+            (BinaryLayout::bits_for(100_000) as usize - 1) * n + n
+        );
+        // The unary codec would need 4 × 100 000 bits for the same view.
+        assert_eq!(BinaryLayout::bits_for(100_000), 17);
+    }
+
+    #[test]
+    fn binary_layout_shares_the_lane_geometry() {
+        let layout = BinaryLayout::new(3);
+        assert_eq!(layout.processes(), 3);
+        assert_eq!(BinaryLayout::over(Layout::new(3)), layout);
+        // Same interleave as the unary layout: global bit of lane bit k.
+        assert_eq!(layout.interleaving().bit(1, 2), 7);
+        assert_eq!(BinaryLayout::bits_for(0), 0);
+        assert_eq!(BinaryLayout::bits_for(1), 1);
+        assert_eq!(BinaryLayout::bits_for(u64::MAX), 64);
     }
 }

@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cell;
 mod interleave;
 mod nat;
 mod wide;
 
-pub use interleave::Layout;
+pub use cell::Atomic128;
+pub use interleave::{BinaryLayout, LaneEncoding, Layout};
 pub use nat::{BigNat, LIMB_BITS};
 pub use wide::WideFaa;

@@ -3,44 +3,65 @@
 //! The paper's Section 3 constructions assume a hardware `fetch&add` on a
 //! register of unbounded width (the Discussion acknowledges the values
 //! stored are "extremely large"). No hardware provides that, so this is a
-//! **documented substitution** (see DESIGN.md §2): the register is a
-//! spinlock-protected [`BigNat`] and each operation is a single critical
-//! section. What the algorithms require of the base object is only that
-//! every operation takes effect atomically at one instant between its
-//! invocation and response — which a lock-protected read-modify-write
-//! provides. The critical sections are short (an inline `u128` add in the
-//! common case, limb arithmetic otherwise) and the lock is never held
-//! across user code other than the short decode closures of the `_with`
-//! entry points, so the progress properties observed by callers match a
-//! (slow) hardware fetch&add rather than a lock-based algorithm in the
-//! paper's sense.
+//! **documented substitution** (see DESIGN.md §2 and §9): a 128-bit
+//! atomic cell carries the value while it is small — which is every
+//! tier-1 scenario — and an unbounded [`BigNat`] behind a spinlock takes
+//! over once the value outgrows the cell. What the algorithms require of
+//! the base object is only that every operation takes effect atomically
+//! at one instant between its invocation and response; both regimes
+//! provide that (DESIGN.md §9 gives the linearization-point argument).
+//!
+//! # The two regimes and the migration tag
+//!
+//! * **Inline (lock-free).** On x86_64 with `cmpxchg16b` (runtime
+//!   detected), values below 2^127 live directly in an [`Atomic128`]
+//!   and every operation is a DWCAS retry loop: read the cell, compute
+//!   the new value, `cmpxchg16b` it in. The successful CAS is the
+//!   single linearization point; no lock is ever touched, so a stalled
+//!   thread cannot block others (lock-freedom: some CAS wins every
+//!   round). Reads are one `cmpxchg16b` seeded with a relaxed guess.
+//! * **Heap (locked).** Bit 127 of the cell is the **migration tag**.
+//!   When an add would carry into it (or a heap-sized operand arrives),
+//!   the operation takes the spinlock, CASes the tag into the cell, and
+//!   publishes the displaced value into the heap slot *while still
+//!   holding the lock* — any thread that observes the tag serializes
+//!   behind that same lock, so the heap value is visible before anyone
+//!   reads it. The tag is one-way: once set, every later operation
+//!   routes to the locked slow path, exactly the old spinlock design.
+//!
+//! Non-x86_64 targets, CPUs without `cmpxchg16b`, and builds with the
+//! `force_spinlock` feature construct every register pre-tagged, so the
+//! whole object degrades to the previous spinlock-protected `BigNat` —
+//! same results, bit for bit, which the differential stress suite
+//! checks by running seeded workloads against both in one binary (see
+//! [`WideFaa::with_value_spinlocked`]).
 //!
 //! # Hot-path design
 //!
-//! The previous implementation cloned the stored value twice per
-//! `fetch_add` (once for the returned snapshot, once for the new value)
-//! and parked on a full mutex. Three changes make the common case — a
-//! register of ≤ 128 bits, i.e. every tier-1 scenario — allocation-free
-//! (experiment E12's `faa_at_width` small-width series):
-//!
-//! * the value uses [`BigNat`]'s inline representation, so cloning and
-//!   adding are stack-only;
-//! * the critical section mutates in place (`+=` / `adjust_in_place`)
-//!   instead of clone-modify-store;
-//! * the lock is a raw spinlock (one `compare_exchange` + one release
-//!   store when uncontended) sized to the nanosecond critical sections,
-//!   with a spin-then-yield slow path under contention.
-//!
-//! The `_with` entry points ([`WideFaa::read_with`],
-//! [`WideFaa::fetch_add_with`], [`WideFaa::fetch_adjust_with`]) hand the
-//! §3 algorithms a *borrowed* view of the register inside the critical
-//! section, so a probing `fetch&add(R, 0)` decodes lanes without
-//! materializing a snapshot of the whole register.
+//! The inline regime is allocation-free end to end: the cell is a
+//! `u128`, decode probes run on a borrowed inline `BigNat` built on the
+//! stack, and the `_with` entry points ([`WideFaa::read_with`],
+//! [`WideFaa::fetch_add_with`], [`WideFaa::fetch_adjust_with`]) hand
+//! the §3 algorithms a *borrowed* view of the snapshot, so a probing
+//! `fetch&add(R, 0)` decodes lanes without materializing anything
+//! (experiment E12's `faa_at_width` series, E30's contended sweep).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::{BigNat, Layout};
+use crate::cell::RawSpin;
+use crate::{Atomic128, BigNat, Layout};
+
+/// Bit 127 of the cell: set exactly when the value has migrated to the
+/// heap slot. Inline values are therefore capped at 2^127 − 1, which
+/// still covers every small-value fast path the §3 algorithms care
+/// about (the old spinlock design capped *allocation-freedom* at 2^128
+/// with the same order of magnitude).
+const MIGRATED: u128 = 1 << 127;
+
+#[inline]
+const fn is_tagged(v: u128) -> bool {
+    v & MIGRATED != 0
+}
 
 /// An atomic wide fetch&add register.
 ///
@@ -54,56 +75,211 @@ use crate::{BigNat, Layout};
 /// assert!(old.is_zero());
 /// assert_eq!(r.load(), BigNat::pow2(100));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WideFaa {
+    /// Inline value while untagged; permanently `MIGRATED`-tagged once
+    /// the value moves to `heap` (or from birth on fallback builds).
+    cell: Atomic128,
+    /// Guards `heap`. Only ever taken by tagged/migrating operations.
     lock: RawSpin,
-    value: UnsafeCell<BigNat>,
+    /// The unbounded value; meaningful only while the cell is tagged.
+    heap: UnsafeCell<BigNat>,
 }
 
-// SAFETY: all access to `value` goes through the spinlock, which
-// establishes the necessary happens-before edges (acquire on lock,
-// release on unlock).
+// SAFETY: `heap` is only touched under `lock`, and only after the cell
+// is tagged; the tag is published by a CAS and read by atomic loads, so
+// the lock acquire/release edges order all heap access. The inline
+// regime touches only the atomic cell.
 unsafe impl Send for WideFaa {}
 unsafe impl Sync for WideFaa {}
+
+impl Default for WideFaa {
+    fn default() -> Self {
+        WideFaa::new()
+    }
+}
 
 impl WideFaa {
     /// Creates a register initialized to zero.
     pub fn new() -> Self {
-        WideFaa::default()
+        WideFaa::with_value(BigNat::zero())
     }
 
-    /// Creates a register with the given initial value.
+    /// Creates a register with the given initial value. Starts in the
+    /// lock-free inline regime when the backend supports it and `v`
+    /// fits below 2^127; otherwise starts migrated.
     pub fn with_value(v: BigNat) -> Self {
+        if Atomic128::is_lock_free() {
+            if let Some(x) = v.to_u128() {
+                if !is_tagged(x) {
+                    return WideFaa {
+                        cell: Atomic128::new(x),
+                        lock: RawSpin::new(),
+                        heap: UnsafeCell::new(BigNat::zero()),
+                    };
+                }
+            }
+        }
         WideFaa {
+            cell: Atomic128::new(MIGRATED),
             lock: RawSpin::new(),
-            value: UnsafeCell::new(v),
+            heap: UnsafeCell::new(v),
         }
     }
 
-    /// Runs `f` with exclusive access to the stored value.
-    #[inline]
-    fn with_locked<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
+    /// Creates a register that routes **every** operation through the
+    /// spinlocked slow path, even where the lock-free backend exists —
+    /// the pre-PR-6 behavior. This is the ablation arm: the E30 bench
+    /// sweep and the differential stress tests run identical workloads
+    /// against a lock-free register and a spinlocked twin in the same
+    /// binary and require bit-identical results.
+    pub fn with_value_spinlocked(v: BigNat) -> Self {
+        WideFaa {
+            cell: Atomic128::new(MIGRATED),
+            lock: RawSpin::new(),
+            heap: UnsafeCell::new(v),
+        }
+    }
+
+    /// True while operations on this register take the lock-free DWCAS
+    /// path: the backend exists and the value has not migrated. Once
+    /// false it stays false (migration is one-way).
+    pub fn is_inline_lock_free(&self) -> bool {
+        Atomic128::is_lock_free() && !is_tagged(self.cell.load())
+    }
+
+    /// Whether this build + CPU has the lock-free 128-bit backend at
+    /// all (false on non-x86_64, under `force_spinlock`, or without
+    /// `cmpxchg16b`).
+    pub fn backend_lock_free() -> bool {
+        Atomic128::is_lock_free()
+    }
+
+    /// Runs `f` with exclusive access to the heap value. Callers must
+    /// have observed the migration tag (or constructed the register
+    /// pre-tagged): the tag is permanent, and the migrating writer
+    /// publishes the heap value before releasing this same lock, so the
+    /// borrow below always sees the current value.
+    #[cold]
+    fn slow_locked<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
         let _guard = self.lock.acquire();
+        debug_assert!(is_tagged(self.cell.load()), "slow path on inline value");
         // SAFETY: the spinlock guarantees exclusive access for the
         // guard's lifetime; the reference does not escape `f`.
-        f(unsafe { &mut *self.value.get() })
+        f(unsafe { &mut *self.heap.get() })
+    }
+
+    /// Migrates the inline value to the heap slot (if some other thread
+    /// has not already done so) and runs `f` on it under the lock.
+    ///
+    /// Inline operations keep succeeding on the cell until the tag CAS
+    /// lands — the retry loop re-reads the displaced value each time —
+    /// so migration never loses concurrent updates; and because the
+    /// heap store happens while the lock is held, every tagged reader
+    /// (which must take this lock) sees it.
+    #[cold]
+    fn migrate_and<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
+        let _guard = self.lock.acquire();
+        let mut cur = self.cell.load();
+        while !is_tagged(cur) {
+            match self.cell.compare_exchange(cur, MIGRATED) {
+                Ok(prev) => {
+                    // SAFETY: lock held; no reader dereferences `heap`
+                    // without first seeing the tag and taking the lock.
+                    unsafe { *self.heap.get() = BigNat::from(prev) };
+                    break;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+        // SAFETY: as in `slow_locked`.
+        f(unsafe { &mut *self.heap.get() })
+    }
+
+    /// Atomically adds `delta` and returns `f` applied to the
+    /// **previous** value, borrowed at the linearization instant. This
+    /// is the zero-copy form of `fetch&add`: the §3 algorithms only
+    /// ever *decode* the returned snapshot, so handing them a borrow
+    /// makes the probe allocation-free at every register width.
+    ///
+    /// On the inline path `f` runs after the winning DWCAS, on a
+    /// stack-built copy of the pre-add value — no lock is held. On the
+    /// migrated path `f` runs inside the critical section; keep it to
+    /// the short decode work the §3 algorithms need.
+    #[inline]
+    pub fn fetch_add_with<R>(&self, delta: &BigNat, f: impl FnOnce(&BigNat) -> R) -> R {
+        if Atomic128::is_lock_free() {
+            match delta.to_u128() {
+                Some(d) => {
+                    // Seed with a relaxed guess: a torn guess costs one
+                    // failed CAS (which returns the untorn value) and
+                    // can never be *acted* on — the tag and overflow
+                    // branches below re-read atomically before
+                    // committing to a slow path.
+                    let mut cur = self.cell.guess();
+                    let mut confirmed = false;
+                    loop {
+                        // A tagged value is definitive even from a torn
+                        // guess: the tag lives in the hi half, which
+                        // `guess` loads atomically, and migration is
+                        // one-way — no confirming DWCAS needed before
+                        // falling through to the lock.
+                        if is_tagged(cur) {
+                            break;
+                        }
+                        match cur.checked_add(d).filter(|n| !is_tagged(*n)) {
+                            Some(new) => match self.cell.compare_exchange(cur, new) {
+                                Ok(prev) => return f(&BigNat::from(prev)),
+                                Err(actual) => {
+                                    cur = actual;
+                                    confirmed = true;
+                                }
+                            },
+                            None => {
+                                if !confirmed {
+                                    cur = self.cell.load();
+                                    confirmed = true;
+                                    continue;
+                                }
+                                // Genuine carry into the tag bit.
+                                return self.migrate_and(|v| {
+                                    let out = f(v);
+                                    *v += delta;
+                                    out
+                                });
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Heap-sized delta: the result cannot stay inline.
+                    return self.migrate_and(|v| {
+                        let out = f(v);
+                        *v += delta;
+                        out
+                    });
+                }
+            }
+        }
+        self.slow_locked(|v| {
+            let out = f(v);
+            *v += delta;
+            out
+        })
     }
 
     /// Atomically adds `delta`, returning the **previous** value.
     ///
     /// Allocation-free while both the register and `delta` fit the
-    /// inline 128-bit representation; on the heap path the old value is
+    /// inline representation (the returned snapshot is an inline
+    /// `BigNat` built on the stack); on the heap path the old value is
     /// cloned once (it must be returned) and the add happens in place.
     /// Callers that only need a *projection* of the previous value
     /// should use [`WideFaa::fetch_add_with`] instead, which never
     /// clones.
     #[inline]
     pub fn fetch_add(&self, delta: &BigNat) -> BigNat {
-        self.with_locked(|v| {
-            let old = v.clone();
-            *v += delta;
-            old
-        })
+        self.fetch_add_with(delta, |v| v.clone())
     }
 
     /// Atomically adds `delta`, discarding the previous value — the
@@ -111,29 +287,91 @@ impl WideFaa {
     /// any width.
     #[inline]
     pub fn add(&self, delta: &BigNat) {
-        self.with_locked(|v| *v += delta);
+        self.fetch_add_with(delta, |_| ());
     }
 
-    /// Atomically adds `delta` and returns `f` applied to the
-    /// **previous** value, borrowed inside the critical section. This
-    /// is the zero-copy form of `fetch&add`: the §3 algorithms only
-    /// ever *decode* the returned snapshot, so handing them a borrow
-    /// makes the probe allocation-free at every register width.
+    /// Atomically applies `+pos − neg` in one step and returns `f`
+    /// applied to the **previous** value, borrowed at the linearization
+    /// instant (the zero-copy form of [`WideFaa::fetch_adjust`]). This
+    /// is the signed `fetch&add(R, posAdj − negAdj)` of §3.2.
     ///
-    /// `f` runs while the register lock is held; keep it to the short
-    /// decode work the §3 algorithms need.
+    /// # Panics
+    ///
+    /// Panics if the result would be negative (the §3 algorithms never
+    /// let this happen: a process only clears bits it previously set).
+    /// The register is left unchanged (`f` has already run by then, as
+    /// in the eager `fetch_adjust`).
     #[inline]
-    pub fn fetch_add_with<R>(&self, delta: &BigNat, f: impl FnOnce(&BigNat) -> R) -> R {
-        self.with_locked(|v| {
+    pub fn fetch_adjust_with<R>(
+        &self,
+        pos: &BigNat,
+        neg: &BigNat,
+        f: impl FnOnce(&BigNat) -> R,
+    ) -> R {
+        if Atomic128::is_lock_free() {
+            if let (Some(p), Some(n)) = (pos.to_u128(), neg.to_u128()) {
+                let mut cur = self.cell.guess();
+                let mut confirmed = false;
+                loop {
+                    // Tagged guesses are definitive (atomic hi-half
+                    // load + one-way migration), as in `fetch_add_with`.
+                    if is_tagged(cur) {
+                        break;
+                    }
+                    let next = if p >= n {
+                        cur.checked_add(p - n).filter(|x| !is_tagged(*x))
+                    } else {
+                        cur.checked_sub(n - p)
+                    };
+                    match next {
+                        Some(new) => match self.cell.compare_exchange(cur, new) {
+                            Ok(prev) => return f(&BigNat::from(prev)),
+                            Err(actual) => {
+                                cur = actual;
+                                confirmed = true;
+                            }
+                        },
+                        None => {
+                            if !confirmed {
+                                cur = self.cell.load();
+                                confirmed = true;
+                                continue;
+                            }
+                            if p >= n {
+                                // Carry into the tag bit: go unbounded.
+                                return self.migrate_and(|v| {
+                                    let out = f(v);
+                                    v.adjust_in_place(pos, neg);
+                                    out
+                                });
+                            }
+                            // Underflow: same contract as the locked
+                            // path — `f` observes the value, then the
+                            // register is left unchanged (no CAS has
+                            // been attempted with this `cur`).
+                            let out = f(&BigNat::from(cur));
+                            drop(out);
+                            panic!("fetch&add adjustment drove the register negative");
+                        }
+                    }
+                }
+            } else {
+                return self.migrate_and(|v| {
+                    let out = f(v);
+                    v.adjust_in_place(pos, neg);
+                    out
+                });
+            }
+        }
+        self.slow_locked(|v| {
             let out = f(v);
-            *v += delta;
+            v.adjust_in_place(pos, neg);
             out
         })
     }
 
     /// Atomically applies `+pos − neg` in one step, returning the
-    /// previous value. This is the signed `fetch&add(R, posAdj − negAdj)`
-    /// of §3.2.
+    /// previous value.
     ///
     /// # Panics
     ///
@@ -142,11 +380,7 @@ impl WideFaa {
     /// The register is left unchanged.
     #[inline]
     pub fn fetch_adjust(&self, pos: &BigNat, neg: &BigNat) -> BigNat {
-        self.with_locked(|v| {
-            let old = v.clone();
-            v.adjust_in_place(pos, neg);
-            old
-        })
+        self.fetch_adjust_with(pos, neg, |v| v.clone())
     }
 
     /// Atomically applies `+pos − neg`, discarding the previous value —
@@ -158,30 +392,38 @@ impl WideFaa {
     /// unchanged.
     #[inline]
     pub fn adjust(&self, pos: &BigNat, neg: &BigNat) {
-        self.with_locked(|v| v.adjust_in_place(pos, neg));
+        self.fetch_adjust_with(pos, neg, |_| ());
     }
 
-    /// Atomically applies `+pos − neg` and returns `f` applied to the
-    /// **previous** value, borrowed inside the critical section (the
-    /// zero-copy form of [`WideFaa::fetch_adjust`]).
+    /// Runs `f` on a borrow of the current value — a `fetch&add(R, 0)`
+    /// probe that never materializes a snapshot. This is the read entry
+    /// point the §3 production algorithms use for `readMax`/`scan`/
+    /// recovery probes.
     ///
-    /// # Panics
-    ///
-    /// Panics if the result would be negative; the register is left
-    /// unchanged (`f` has already run by then, as in the eager
-    /// `fetch_adjust`).
+    /// While the register is inline this is **lock-free**: one
+    /// `cmpxchg16b` captures an untorn snapshot and `f` runs on a
+    /// stack-built borrow with no lock held (ISSUE 6's small fix — the
+    /// old design took the spinlock even for reads). On the migrated
+    /// path `f` runs under the lock; keep it to short decode work.
     #[inline]
-    pub fn fetch_adjust_with<R>(
-        &self,
-        pos: &BigNat,
-        neg: &BigNat,
-        f: impl FnOnce(&BigNat) -> R,
-    ) -> R {
-        self.with_locked(|v| {
-            let out = f(v);
-            v.adjust_in_place(pos, neg);
-            out
-        })
+    pub fn read_with<R>(&self, f: impl FnOnce(&BigNat) -> R) -> R {
+        if Atomic128::is_lock_free() {
+            // A tagged guess routes straight to the lock (the hi half
+            // is loaded atomically and migration is one-way — see
+            // `fetch_add_with`); otherwise the guess seeds one DWCAS
+            // that captures the untorn snapshot, re-checking the tag
+            // that may have landed since.
+            let guess = self.cell.guess();
+            if !is_tagged(guess) {
+                let cur = match self.cell.compare_exchange(guess, guess) {
+                    Ok(v) | Err(v) => v,
+                };
+                if !is_tagged(cur) {
+                    return f(&BigNat::from(cur));
+                }
+            }
+        }
+        self.slow_locked(|v| f(v))
     }
 
     /// Reads the current value. Equivalent to `fetch_add(0)`, which is
@@ -189,24 +431,12 @@ impl WideFaa {
     /// [`WideFaa::read_with`] when only a decoded projection is needed.
     #[inline]
     pub fn load(&self) -> BigNat {
-        self.with_locked(|v| v.clone())
+        self.read_with(|v| v.clone())
     }
 
-    /// Runs `f` on a borrow of the current value inside the critical
-    /// section — a `fetch&add(R, 0)` probe that never materializes a
-    /// snapshot. This is the read entry point the §3 production
-    /// algorithms use for `readMax`/`scan`/recovery probes.
-    ///
-    /// `f` runs while the register lock is held; keep it to short
-    /// decode work.
-    #[inline]
-    pub fn read_with<R>(&self, f: impl FnOnce(&BigNat) -> R) -> R {
-        self.with_locked(|v| f(v))
-    }
-
-    /// Decodes process `i`'s unary lane under the lock — the §3.1
-    /// recovery probe (`fetch&add(R, 0)` then count own-lane bits) as a
-    /// single allocation-free entry point.
+    /// Decodes process `i`'s unary lane — the §3.1 recovery probe
+    /// (`fetch&add(R, 0)` then count own-lane bits) as a single
+    /// allocation-free entry point, lock-free while inline.
     #[inline]
     pub fn probe_unary(&self, layout: &Layout, i: usize) -> u64 {
         self.read_with(|v| layout.decode_unary(i, v))
@@ -214,70 +444,9 @@ impl WideFaa {
 
     /// Current width of the stored value in bits — the quantity tracked
     /// by experiment E12 ("extremely large values", Discussion section).
+    /// Lock-free while inline.
     pub fn bit_len(&self) -> usize {
-        self.with_locked(|v| v.bit_len())
-    }
-}
-
-/// A minimal test-and-test-and-set spinlock. The protected critical
-/// sections are a handful of nanoseconds (an inline `u128` add), so a
-/// full parking mutex costs more than the work it guards; spinning with
-/// a bounded hint-loop then yielding keeps the uncontended path to one
-/// `compare_exchange` + one release store.
-#[derive(Debug, Default)]
-struct RawSpin {
-    locked: AtomicBool,
-}
-
-struct SpinGuard<'a>(&'a RawSpin);
-
-impl RawSpin {
-    const fn new() -> Self {
-        RawSpin {
-            locked: AtomicBool::new(false),
-        }
-    }
-
-    #[inline]
-    fn acquire(&self) -> SpinGuard<'_> {
-        if self
-            .locked
-            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            self.acquire_slow();
-        }
-        SpinGuard(self)
-    }
-
-    #[cold]
-    fn acquire_slow(&self) {
-        let mut spins = 0u32;
-        loop {
-            // Test-and-test-and-set: spin on a plain load so waiters
-            // don't bounce the cache line with failed RMWs.
-            if !self.locked.load(Ordering::Relaxed)
-                && self
-                    .locked
-                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-                    .is_ok()
-            {
-                return;
-            }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-}
-
-impl Drop for SpinGuard<'_> {
-    #[inline]
-    fn drop(&mut self) {
-        self.0.locked.store(false, Ordering::Release);
+        self.read_with(|v| v.bit_len())
     }
 }
 
@@ -347,10 +516,100 @@ mod tests {
             r.adjust(&BigNat::zero(), &BigNat::from(0b100u64));
         }));
         assert!(err.is_err());
-        // The lock must have been released and the value preserved.
+        // Any lock must have been released and the value preserved.
         assert_eq!(r.load(), BigNat::from(0b10u64));
         r.add(&BigNat::one());
         assert_eq!(r.load(), BigNat::from(0b11u64));
+    }
+
+    #[test]
+    fn failed_adjust_on_spinlocked_twin_leaves_register_intact() {
+        let r = WideFaa::with_value_spinlocked(BigNat::from(0b10u64));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.adjust(&BigNat::zero(), &BigNat::from(0b100u64));
+        }));
+        assert!(err.is_err());
+        assert_eq!(r.load(), BigNat::from(0b10u64));
+        r.add(&BigNat::one());
+        assert_eq!(r.load(), BigNat::from(0b11u64));
+    }
+
+    #[test]
+    fn small_registers_are_lock_free_where_the_backend_exists() {
+        let r = WideFaa::with_value(BigNat::pow2(100));
+        assert_eq!(r.is_inline_lock_free(), WideFaa::backend_lock_free());
+        // Reads and small adds must not migrate.
+        let _ = r.load();
+        let _ = r.bit_len();
+        r.add(&BigNat::one());
+        assert_eq!(r.is_inline_lock_free(), WideFaa::backend_lock_free());
+        // The spinlocked twin is never lock-free.
+        let s = WideFaa::with_value_spinlocked(BigNat::zero());
+        assert!(!s.is_inline_lock_free());
+    }
+
+    #[test]
+    fn values_at_or_past_the_tag_bit_start_migrated_and_work() {
+        for bits in [127usize, 128, 200] {
+            let r = WideFaa::with_value(BigNat::pow2(bits));
+            assert!(!r.is_inline_lock_free());
+            assert_eq!(r.bit_len(), bits + 1);
+            assert_eq!(r.fetch_add(&BigNat::one()), BigNat::pow2(bits));
+            let mut want = BigNat::pow2(bits);
+            want += &BigNat::one();
+            assert_eq!(r.load(), want);
+        }
+    }
+
+    #[test]
+    fn overflow_past_the_tag_bit_migrates_once_and_stays_correct() {
+        // 2^126 + 2^126 carries into bit 127 (the tag): the add must
+        // migrate, produce the exact sum, and keep working afterwards.
+        let r = WideFaa::with_value(BigNat::pow2(126));
+        let was_lock_free = r.is_inline_lock_free();
+        let old = r.fetch_add(&BigNat::pow2(126));
+        assert_eq!(old, BigNat::pow2(126));
+        assert_eq!(r.load(), BigNat::pow2(127));
+        if was_lock_free {
+            assert!(!r.is_inline_lock_free(), "migration is one-way");
+        }
+        r.add(&BigNat::one());
+        let mut want = BigNat::pow2(127);
+        want += &BigNat::one();
+        assert_eq!(r.load(), want);
+        // And the adjust path keeps its semantics on the migrated side.
+        let prev = r.fetch_adjust(&BigNat::zero(), &BigNat::one());
+        assert_eq!(prev, want);
+        assert_eq!(r.load(), BigNat::pow2(127));
+    }
+
+    #[test]
+    fn heap_sized_operands_migrate_inline_registers() {
+        let r = WideFaa::with_value(BigNat::from(5u64));
+        let old = r.fetch_add(&BigNat::pow2(300));
+        assert_eq!(old, BigNat::from(5u64));
+        assert_eq!(r.bit_len(), 301);
+        let mut want = BigNat::pow2(300);
+        want += &BigNat::from(5u64);
+        assert_eq!(r.load(), want);
+    }
+
+    #[test]
+    fn spinlocked_twin_matches_lock_free_register_on_a_script() {
+        // A deterministic single-threaded script must land both
+        // registers on identical values step for step.
+        let a = WideFaa::new();
+        let b = WideFaa::with_value_spinlocked(BigNat::zero());
+        let layout = Layout::new(4);
+        for step in 0..200u64 {
+            let p = (step % 4) as usize;
+            let old = layout.decode_unary(p, &a.load());
+            let inc = layout.unary_increment(p, old, old + 1);
+            a.add(&inc);
+            b.add(&inc);
+            assert_eq!(a.load(), b.load(), "diverged at step {step}");
+            assert_eq!(a.probe_unary(&layout, p), b.probe_unary(&layout, p));
+        }
     }
 
     #[test]

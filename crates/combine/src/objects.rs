@@ -433,6 +433,23 @@ mod tests {
     }
 
     #[test]
+    fn binary_encoded_inner_register_combines_past_the_unary_ceiling() {
+        // PR 6: the front-end is encoding-agnostic — a binary-lane
+        // sharded register behind the combiner folds values far past
+        // the old 64·S inline ceiling, and the shards stay inline.
+        let m = CombiningMaxRegister::new(ShardedMaxRegister::new_binary(2, 4));
+        for (p, v) in [(0usize, 5u64), (1, 300_000), (0, 123_456)] {
+            m.write_max(p, v);
+        }
+        assert_eq!(m.read_max(), 300_000);
+        assert_eq!(m.read_cached(), 300_000);
+        assert!(
+            m.front().inner().shards_inline(),
+            "binary lanes keep 300 000 inline at S = 4"
+        );
+    }
+
+    #[test]
     fn contended_writes_keep_the_exact_fold_and_a_lagging_cache() {
         let n = 4;
         let m = Arc::new(CombiningMaxRegister::new(ShardedMaxRegister::new(n, 4)));

@@ -57,8 +57,9 @@ impl MaxRegister for SlMaxRegister {
     fn write_max(&self, process: usize, v: u64) {
         // Step 1: recover prevLocalMax from the own lane (only this
         // process writes it) via a fetch&add(R, 0) probe. The borrowed
-        // probe decodes under the register lock — no snapshot of the
-        // whole register is materialized.
+        // probe decodes from the register's atomic snapshot (one DWCAS
+        // read while the value is inline, a locked view once it has
+        // spilled) — no copy of the whole register is materialized.
         let prev = self.reg.probe_unary(&self.layout, process);
         if v <= prev {
             return; // the probing fetch&add was the linearization point

@@ -53,9 +53,10 @@ impl BaseObject for FetchAdd {
 /// Atomic fetch&add on a `u128` — a fixed-width register for callers
 /// that know `n × values` fits in 128 bits (e.g. a 2-process max
 /// register up to 64, or a 4-component snapshot of 32-bit values).
-/// Rust has no portable `AtomicU128`, so the cell is a short mutex
-/// critical section — the same single-linearization-point argument as
-/// [`sl2_bignum::WideFaa`].
+/// Built on [`sl2_bignum::Atomic128`]: a lock-free `cmpxchg16b` retry
+/// loop on x86_64 (runtime-detected), a short spinlock critical section
+/// elsewhere — either way each operation has a single linearization
+/// instant (DESIGN.md §9), which is all the §3 algorithms require.
 ///
 /// Since `WideFaa` gained its inline two-limb representation it covers
 /// this whole regime allocation-free *and* grows past it on demand, so
@@ -64,24 +65,21 @@ impl BaseObject for FetchAdd {
 /// stays within the bound).
 #[derive(Debug, Default)]
 pub struct FetchAdd128 {
-    cell: parking_lot::Mutex<u128>,
+    cell: sl2_bignum::Atomic128,
 }
 
 impl FetchAdd128 {
     /// Creates a register with the given initial value.
     pub fn new(init: u128) -> Self {
         FetchAdd128 {
-            cell: parking_lot::Mutex::new(init),
+            cell: sl2_bignum::Atomic128::new(init),
         }
     }
 
     /// Atomically adds `delta` (wrapping), returning the previous
     /// value.
     pub fn fetch_add(&self, delta: u128) -> u128 {
-        let mut guard = self.cell.lock();
-        let old = *guard;
-        *guard = old.wrapping_add(delta);
-        old
+        self.cell.fetch_add(delta)
     }
 
     /// Atomically applies `+pos − neg` in one step (the §3.2 signed
@@ -89,20 +87,19 @@ impl FetchAdd128 {
     ///
     /// # Panics
     ///
-    /// Panics if the result would be negative.
+    /// Panics if the result would be negative or overflow 128 bits —
+    /// the never-spills guard. The register is left unchanged.
     pub fn fetch_adjust(&self, pos: u128, neg: u128) -> u128 {
-        let mut guard = self.cell.lock();
-        let old = *guard;
-        *guard = old
-            .checked_add(pos)
-            .and_then(|v| v.checked_sub(neg))
-            .expect("adjustment drove the register out of range");
-        old
+        self.cell.fetch_update(|old| {
+            old.checked_add(pos)
+                .and_then(|v| v.checked_sub(neg))
+                .expect("adjustment drove the register out of range")
+        })
     }
 
     /// Reads the current value (= `fetch_add(0)`).
     pub fn read(&self) -> u128 {
-        *self.cell.lock()
+        self.cell.load()
     }
 }
 
@@ -270,6 +267,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn faa128_adjust_rejects_underflow() {
         FetchAdd128::new(0).fetch_adjust(0, 1);
+    }
+
+    #[test]
+    fn faa128_failed_adjust_leaves_register_usable() {
+        // The never-spills guard: a rejected adjustment must not tear
+        // the cell or wedge the fallback lock.
+        let c = FetchAdd128::new(10);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.fetch_adjust(0, 11);
+        }));
+        assert!(err.is_err());
+        assert_eq!(c.read(), 10);
+        assert_eq!(c.fetch_adjust(5, 1), 10);
+        assert_eq!(c.read(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn faa128_adjust_rejects_overflow_past_128_bits() {
+        FetchAdd128::new(u128::MAX).fetch_adjust(1, 0);
     }
 
     #[test]

@@ -61,10 +61,13 @@ impl<T> DerefMut for CachePadded<T> {
 /// Upper bound on shard counts accepted by [`Sharding`].
 ///
 /// The sharded read paths keep their collect buffers on the stack
-/// (`[u64; MAX_SHARDS]`) so folds stay allocation-free; 64 shards is
-/// far past the point of diminishing contention returns on any machine
-/// this repo targets.
-pub const MAX_SHARDS: usize = 64;
+/// (`[u64; MAX_SHARDS]`) so folds stay allocation-free; 256 shards
+/// costs 4 KiB of stack per collect — still trivial — and leaves
+/// headroom past any core count this repo targets. (The bound was 64
+/// before PR 6; the binary lane encoding made wide shard fans cheap
+/// enough to be worth allowing, since shard width no longer grows
+/// linearly in the stored values.)
+pub const MAX_SHARDS: usize = 256;
 
 /// Shard-index arithmetic shared by `sl2_sharded`'s production forms
 /// and step machines.

@@ -28,7 +28,7 @@
 //!
 //! [`LaggingCounterSpec`]: sl2_spec::relaxed::LaggingCounterSpec
 
-use sl2_bignum::{BigNat, Layout};
+use sl2_bignum::{BigNat, BinaryLayout, LaneEncoding, Layout};
 use sl2_exec::machine::{Algorithm, OpMachine, Step};
 use sl2_exec::mem::{Cell, Loc, SimMemory};
 use sl2_primitives::Sharding;
@@ -115,17 +115,39 @@ pub struct ShardedMaxRegAlg {
     layout: Layout,
     sharding: Sharding,
     mode: WholeReadMode,
+    encoding: LaneEncoding,
 }
 
 impl ShardedMaxRegAlg {
     /// Allocates `shards` wide registers for `n` processes, with the
-    /// production stable-collect read.
+    /// production stable-collect read and unary lanes.
     pub fn new(mem: &mut SimMemory, n: usize, shards: usize) -> Self {
         Self::with_mode(mem, n, shards, WholeReadMode::Stable)
     }
 
-    /// As [`ShardedMaxRegAlg::new`] with an explicit read mode.
+    /// As [`ShardedMaxRegAlg::new`] with an explicit read mode (unary
+    /// lanes).
     pub fn with_mode(mem: &mut SimMemory, n: usize, shards: usize, mode: WholeReadMode) -> Self {
+        Self::with_encoding(mem, n, shards, mode, LaneEncoding::Unary)
+    }
+
+    /// The [`crate::ShardedMaxRegister::new_binary`] twin: log-width
+    /// binary lanes, production stable-collect read. The corpus
+    /// re-certifies the PR-3/PR-5 scenario families against this twin
+    /// so the re-encoded registers inherit adjudicated verdicts rather
+    /// than assumed ones.
+    pub fn binary(mem: &mut SimMemory, n: usize, shards: usize) -> Self {
+        Self::with_encoding(mem, n, shards, WholeReadMode::Stable, LaneEncoding::Binary)
+    }
+
+    /// Fully explicit constructor: read mode and lane encoding.
+    pub fn with_encoding(
+        mem: &mut SimMemory,
+        n: usize,
+        shards: usize,
+        mode: WholeReadMode,
+        encoding: LaneEncoding,
+    ) -> Self {
         ShardedMaxRegAlg {
             shards: (0..shards)
                 .map(|_| mem.alloc(Cell::Wide(BigNat::zero())))
@@ -133,7 +155,17 @@ impl ShardedMaxRegAlg {
             layout: Layout::new(n),
             sharding: Sharding::new(shards),
             mode,
+            encoding,
         }
+    }
+}
+
+/// Decodes one lane of a shard image under `encoding` (shared by the
+/// write probe and the collect fold so the two cannot disagree).
+fn decode_lane(encoding: LaneEncoding, layout: &Layout, i: usize, image: &BigNat) -> u64 {
+    match encoding {
+        LaneEncoding::Unary => layout.decode_unary(i, image),
+        LaneEncoding::Binary => BinaryLayout::over(*layout).decode(i, image),
     }
 }
 
@@ -152,13 +184,16 @@ impl Algorithm for ShardedMaxRegAlg {
                 layout: self.layout,
                 process,
                 // The quotient encoding of the production form: shard
-                // `v mod S` stores `⌊v/S⌋ + 1` in unary.
+                // `v mod S` stores `⌊v/S⌋ + 1` (in unary or binary lane
+                // digits, per the encoding).
                 count: v / self.sharding.shards() as u64 + 1,
+                encoding: self.encoding,
             },
             MaxOp::Read => ShardedMaxRegMachine::Collect {
                 shards: self.shards.clone(),
                 layout: self.layout,
                 mode: self.mode,
+                encoding: self.encoding,
                 idx: 0,
                 current: Vec::new(),
                 previous: None,
@@ -180,13 +215,26 @@ pub enum ShardedMaxRegMachine {
         process: usize,
         /// Quotient count of the value being written (`⌊v/S⌋ + 1`).
         count: u64,
+        /// How lane values are coded into lane bits.
+        encoding: LaneEncoding,
     },
-    /// `writeMax` step 2: one fetch&add setting the missing lane bits.
+    /// `writeMax` step 2 (unary lanes): one fetch&add setting the
+    /// missing lane bits.
     WriteAdd {
         /// Home shard of the value.
         reg: Loc,
         /// The unary increment image.
         inc: BigNat,
+    },
+    /// `writeMax` step 2 (binary lanes): one signed fetch&add rewriting
+    /// the differing lane digits — the §3.2 update shape.
+    WriteAdjust {
+        /// Home shard of the value.
+        reg: Loc,
+        /// Lane bits to set.
+        pos: BigNat,
+        /// Lane bits to clear.
+        neg: BigNat,
     },
     /// `readMax`: collecting the per-shard folds.
     Collect {
@@ -196,6 +244,8 @@ pub enum ShardedMaxRegMachine {
         layout: Layout,
         /// Stability discipline.
         mode: WholeReadMode,
+        /// How lane values are coded into lane bits.
+        encoding: LaneEncoding,
         /// Next shard to probe.
         idx: usize,
         /// Folds collected so far in this pass.
@@ -215,31 +265,50 @@ impl OpMachine for ShardedMaxRegMachine {
                 layout,
                 process,
                 count,
+                encoding,
             } => {
                 let image = mem.wide_adjust(*reg, &BigNat::zero(), &BigNat::zero());
-                let prev = layout.decode_unary(*process, &image);
+                let prev = decode_lane(*encoding, layout, *process, &image);
                 if *count <= prev {
                     return Step::Ready(MaxResp::Ok);
                 }
-                let inc = layout.unary_increment(*process, prev, *count);
-                *self = ShardedMaxRegMachine::WriteAdd { reg: *reg, inc };
+                *self = match encoding {
+                    LaneEncoding::Unary => {
+                        let inc = layout.unary_increment(*process, prev, *count);
+                        ShardedMaxRegMachine::WriteAdd { reg: *reg, inc }
+                    }
+                    LaneEncoding::Binary => {
+                        let (pos, neg) =
+                            BinaryLayout::over(*layout).adjustments(*process, prev, *count);
+                        ShardedMaxRegMachine::WriteAdjust {
+                            reg: *reg,
+                            pos,
+                            neg,
+                        }
+                    }
+                };
                 Step::Pending
             }
             ShardedMaxRegMachine::WriteAdd { reg, inc } => {
                 mem.wide_adjust(*reg, inc, &BigNat::zero());
                 Step::Ready(MaxResp::Ok)
             }
+            ShardedMaxRegMachine::WriteAdjust { reg, pos, neg } => {
+                mem.wide_adjust(*reg, pos, neg);
+                Step::Ready(MaxResp::Ok)
+            }
             ShardedMaxRegMachine::Collect {
                 shards,
                 layout,
                 mode,
+                encoding,
                 idx,
                 current,
                 previous,
             } => {
                 let image = mem.wide_adjust(shards[*idx], &BigNat::zero(), &BigNat::zero());
                 let fold = (0..layout.processes())
-                    .map(|i| layout.decode_unary(i, &image))
+                    .map(|i| decode_lane(*encoding, layout, i, &image))
                     .max()
                     .unwrap_or(0);
                 current.push(fold);
@@ -858,6 +927,85 @@ mod tests {
                 "fan-in S={shards}"
             );
         }
+    }
+
+    // -- binary lane encoding twins (PR 6) ------------------------------
+
+    #[test]
+    fn binary_max_register_solo_semantics_match_unary() {
+        // Same ops through both encodings: identical responses, and the
+        // binary writer keeps the two-step probe/adjust shape.
+        let mut mem = SimMemory::new();
+        let unary = ShardedMaxRegAlg::new(&mut mem, 2, 2);
+        let binary = ShardedMaxRegAlg::binary(&mut mem, 2, 2);
+        for (p, v) in [(0usize, 4u64), (1, 7), (0, 1000)] {
+            let (ru, su) = run_solo(&mut unary.machine(p, &MaxOp::Write(v)), &mut mem);
+            let (rb, sb) = run_solo(&mut binary.machine(p, &MaxOp::Write(v)), &mut mem);
+            assert_eq!(ru, rb);
+            assert_eq!(su, sb, "write({v}) step shape");
+        }
+        let (ru, _) = run_solo(&mut unary.machine(1, &MaxOp::Read), &mut mem);
+        let (rb, _) = run_solo(&mut binary.machine(1, &MaxOp::Read), &mut mem);
+        assert_eq!(ru, MaxResp::Value(1000));
+        assert_eq!(ru, rb);
+        // A stale binary write probes its home shard once and stops.
+        let (_, steps) = run_solo(&mut binary.machine(1, &MaxOp::Write(5)), &mut mem);
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn binary_frontier_scenarios_bracket_the_boundary_like_unary() {
+        // The PR-3/PR-5 verdict table is encoding-independent: per-lane
+        // decoded values stay monotone under the probe-then-adjust
+        // write, so the frontier argument (and its refutation) carries
+        // over verbatim. Frontier-safe certified at S ∈ {1, 2, 4};
+        // fan-in certified only at the S = 1 control.
+        for shards in [1usize, 2, 4] {
+            let mut mem = SimMemory::new();
+            let alg = ShardedMaxRegAlg::binary(&mut mem, 2, shards);
+            let report = check_strong(&alg, mem, &frontier_safe_max_scenario(shards), 16_000_000);
+            assert!(
+                report.strongly_linearizable,
+                "binary frontier-safe S={shards}: {:?}",
+                report.witness
+            );
+
+            let mut mem = SimMemory::new();
+            let alg = ShardedMaxRegAlg::binary(&mut mem, 3, shards);
+            let report = check_strong(&alg, mem, &fan_in_max_scenario(shards), 64_000_000);
+            assert_eq!(
+                report.strongly_linearizable,
+                shards == 1,
+                "binary fan-in S={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_fan_in_refutation_witness_replays() {
+        // Refutations must stay actionable under the re-encoding: the
+        // witness is a complete path and must replay step-for-step.
+        let mut mem = SimMemory::new();
+        let alg = ShardedMaxRegAlg::binary(&mut mem, 3, 4);
+        let scenario = fan_in_max_scenario(4);
+        let report = check_strong(&alg, mem.clone(), &scenario, 64_000_000);
+        assert!(!report.strongly_linearizable);
+        let witness = report.witness.expect("refutation carries a witness");
+        sl2_exec::validate_witness(&alg, mem, &scenario, &witness)
+            .expect("binary fan-in witness must replay");
+    }
+
+    #[test]
+    fn binary_writes_stay_linearizable_on_all_fan_in_histories() {
+        // Plain linearizability holds on every history even where
+        // strong linearizability fails — the refutation is about
+        // commitment, not about a wrong value ever being read.
+        let mut mem = SimMemory::new();
+        let alg = ShardedMaxRegAlg::binary(&mut mem, 3, 2);
+        let scenario = fan_in_max_scenario(2);
+        for_each_history(&alg, mem, &scenario, 4_000_000, &mut |h| {
+            assert!(is_linearizable(&MaxRegisterSpec, h), "history: {h:?}");
+        });
     }
 
     // -- randomized differential cover ---------------------------------

@@ -19,9 +19,25 @@
 //! max register over its class — but every probe and fetch&add now
 //! touches a register `1/S`-th the width of the global construction's.
 //! Sharding therefore buys *width localization* on top of contention
-//! relief: with values below `64·S`, every shard stays on `BigNat`'s
-//! inline path while the equivalent global register has long since
-//! spilled to limb vectors (experiment E19 measures exactly this).
+//! relief: with values below `64·S`, every unary shard stays on
+//! `BigNat`'s inline path while the equivalent global register has long
+//! since spilled to limb vectors (experiment E19 measures exactly
+//! this).
+//!
+//! # Lane encodings (PR 6)
+//!
+//! *How* a shard stores its quotient counts is a codec choice
+//! ([`LaneEncoding`]): the paper's unary prefix code, or the log-width
+//! binary code of [`BinaryLayout`] ([`ShardedMaxRegister::new_binary`]),
+//! which shrinks a lane holding `c` from `c` bits to `⌈log₂(c+1)⌉` and
+//! thereby lifts the `64·S` inline-value ceiling entirely out of the
+//! practical range (experiment E31). Binary writes rewrite the
+//! differing digits with one signed `fetch&adjust` — the §3.2 update
+//! shape — instead of setting a run of unary bits; the probe, the
+//! single linearizing fetch&add, and the single-writer-per-lane
+//! argument are identical, and the checker twins in
+//! `sl2_sharded::machines` adjudicate both codecs on the same scenario
+//! families.
 //!
 //! `read_max` folds the shard maxima and must therefore visit `S` base
 //! objects: it collects the per-shard folds until two consecutive
@@ -32,7 +48,7 @@
 //! collect frontier. DESIGN.md §6 states the boundary precisely;
 //! `sl2_sharded::machines` + `check_strong` adjudicate it.
 
-use sl2_bignum::Layout;
+use sl2_bignum::{BinaryLayout, LaneEncoding, Layout};
 use sl2_core::algos::MaxRegister;
 use sl2_primitives::{CachePadded, Sharding, WideFaa};
 
@@ -55,17 +71,40 @@ pub struct ShardedMaxRegister {
     shards: Box<[CachePadded<WideFaa>]>,
     layout: Layout,
     sharding: Sharding,
+    encoding: LaneEncoding,
 }
 
 impl ShardedMaxRegister {
     /// Creates a max register shared by `n` processes over `shards`
-    /// shards.
+    /// shards, storing quotient counts in the paper's unary code.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`, `shards == 0`, or `shards` exceeds
     /// [`sl2_primitives::MAX_SHARDS`].
     pub fn new(n: usize, shards: usize) -> Self {
+        ShardedMaxRegister::with_encoding(n, shards, LaneEncoding::Unary)
+    }
+
+    /// Creates a max register whose shards store quotient counts in
+    /// *binary* ([`BinaryLayout`]): O(log v) lane bits instead of O(v),
+    /// which lifts the old `64·S` inline-value ceiling to `2^(127/n)·S`
+    /// — effectively unbounded for realistic process counts. The write
+    /// discipline changes from set-only unary increments to §3.2-style
+    /// signed adjustments; the probe-then-single-fetch&add shape, and
+    /// with it the fixed write linearization point, is unchanged (the
+    /// checker twins adjudicate this; DESIGN.md §9).
+    pub fn new_binary(n: usize, shards: usize) -> Self {
+        ShardedMaxRegister::with_encoding(n, shards, LaneEncoding::Binary)
+    }
+
+    /// Creates a max register with an explicit lane encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `shards == 0`, or `shards` exceeds
+    /// [`sl2_primitives::MAX_SHARDS`].
+    pub fn with_encoding(n: usize, shards: usize, encoding: LaneEncoding) -> Self {
         let sharding = Sharding::new(shards);
         ShardedMaxRegister {
             shards: (0..shards)
@@ -73,6 +112,7 @@ impl ShardedMaxRegister {
                 .collect(),
             layout: Layout::new(n),
             sharding,
+            encoding,
         }
     }
 
@@ -86,10 +126,32 @@ impl ShardedMaxRegister {
         self.layout.processes()
     }
 
+    /// The lane encoding the shards store quotient counts in.
+    pub fn encoding(&self) -> LaneEncoding {
+        self.encoding
+    }
+
     /// Total width of the backing registers in bits (experiment E12's
     /// growth measure, summed over shards).
     pub fn register_bits(&self) -> usize {
         self.shards.iter().map(|s| s.bit_len()).sum()
+    }
+
+    /// True while every shard register still holds its value in
+    /// `BigNat`'s inline representation — the width-localization claim
+    /// the E19/E31 experiments and the allocation-guard tests pin.
+    pub fn shards_inline(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.read_with(|image| image.is_inline()))
+    }
+
+    /// Decodes lane `i` of a shard image under the register's encoding.
+    fn decode_lane(&self, i: usize, image: &sl2_bignum::BigNat) -> u64 {
+        match self.encoding {
+            LaneEncoding::Unary => self.layout.decode_unary(i, image),
+            LaneEncoding::Binary => BinaryLayout::over(self.layout).decode(i, image),
+        }
     }
 
     /// The fold of one shard: the largest per-lane quotient count
@@ -97,7 +159,7 @@ impl ShardedMaxRegister {
     fn shard_fold(&self, s: usize) -> u64 {
         self.shards[s].read_with(|image| {
             (0..self.layout.processes())
-                .map(|i| self.layout.decode_unary(i, image))
+                .map(|i| self.decode_lane(i, image))
                 .max()
                 .unwrap_or(0)
         })
@@ -119,15 +181,31 @@ impl MaxRegister for ShardedMaxRegister {
         let shard = &self.shards[self.sharding.of_value(v)];
         // Quotient encoding of v in its residue class.
         let count = v / shards + 1;
-        // §3.1 against the home shard. Lane `process` of this shard is
-        // only ever written by `process` (for any value in the shard's
-        // residue class), so the probe-then-add is regression-free.
-        let prev = shard.probe_unary(&self.layout, process);
-        if count <= prev {
-            return; // linearized at the probing fetch&add
+        // §3.1/§3.2 against the home shard. Lane `process` of this
+        // shard is only ever written by `process` (for any value in the
+        // shard's residue class), so the probe-then-single-fetch&add is
+        // regression-free under either lane encoding.
+        match self.encoding {
+            LaneEncoding::Unary => {
+                let prev = shard.probe_unary(&self.layout, process);
+                if count <= prev {
+                    return; // linearized at the probing fetch&add
+                }
+                let inc = self.layout.unary_increment(process, prev, count);
+                shard.add(&inc);
+            }
+            LaneEncoding::Binary => {
+                let binary = BinaryLayout::over(self.layout);
+                let prev = shard.read_with(|image| binary.decode(process, image));
+                if count <= prev {
+                    return; // linearized at the probing fetch&add
+                }
+                // One signed adjustment rewrites the differing binary
+                // digits (§3.2's update shape).
+                let (pos, neg) = binary.adjustments(process, prev, count);
+                shard.adjust(&pos, &neg);
+            }
         }
-        let inc = self.layout.unary_increment(process, prev, count);
-        shard.add(&inc);
     }
 
     fn read_max(&self) -> u64 {
@@ -300,5 +378,104 @@ mod tests {
         let bits_10 = m.register_bits();
         m.write_max(0, 100);
         assert!(m.register_bits() > bits_10, "unary encoding grows");
+    }
+
+    #[test]
+    fn binary_encoding_matches_unary_on_a_script() {
+        let unary = ShardedMaxRegister::new(3, 4);
+        let binary = ShardedMaxRegister::new_binary(3, 4);
+        assert_eq!(unary.encoding(), sl2_bignum::LaneEncoding::Unary);
+        assert_eq!(binary.encoding(), sl2_bignum::LaneEncoding::Binary);
+        for (p, v) in [
+            (0usize, 7u64),
+            (1, 3),
+            (2, 7),
+            (0, 12),
+            (1, 5),
+            (2, 0),
+            (0, 12),
+            (1, 100),
+            (2, 99),
+        ] {
+            unary.write_max(p, v);
+            binary.write_max(p, v);
+            assert_eq!(unary.read_max(), binary.read_max(), "after ({p}, {v})");
+            assert_eq!(binary.read_max(), binary.read_max_relaxed());
+        }
+        for s in 0..4 {
+            assert_eq!(unary.shard_fold(s), binary.shard_fold(s), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn binary_encoding_lifts_the_inline_value_ceiling() {
+        // The old ceiling: unary shards spill past values ≈ 64·S. With
+        // S = 4 that is 256; the binary register takes values three
+        // orders of magnitude past it with every shard still inline —
+        // the ROADMAP item-5 claim this PR exists to land.
+        let ceiling = 64 * 4;
+        let m = ShardedMaxRegister::new_binary(2, 4);
+        for v in [1u64, 100, 1_000, 50_000, 300_000] {
+            m.write_max((v % 2) as usize, v);
+            assert_eq!(m.read_max(), v);
+        }
+        assert!(m.read_max() > ceiling as u64);
+        assert!(
+            m.shards_inline(),
+            "binary shards must stay inline far past 64·S"
+        );
+        // Identical workload in unary spills.
+        let u = ShardedMaxRegister::new(2, 4);
+        u.write_max(0, 300_000);
+        assert!(!u.shards_inline(), "unary spills past the ceiling");
+    }
+
+    #[test]
+    fn binary_one_shard_degenerates_to_the_global_register_semantics() {
+        let sharded = ShardedMaxRegister::new_binary(2, 1);
+        let global = sl2_core::algos::max_register::SlMaxRegister::new(2);
+        for (p, v) in [(0, 4u64), (1, 9), (0, 2), (1, 9), (0, 11)] {
+            sharded.write_max(p, v);
+            global.write_max(p, v);
+            assert_eq!(sharded.read_max(), global.read_max());
+        }
+    }
+
+    #[test]
+    fn binary_concurrent_writers_monotone_readers() {
+        let n = 4;
+        let m = Arc::new(ShardedMaxRegister::new_binary(n, 4));
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for v in 1..=200u64 {
+                        m.write_max(p, v * (p as u64 + 1) * 97);
+                    }
+                });
+            }
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..400 {
+                    let v = m2.read_max();
+                    assert!(v >= last, "max register regressed: {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(m.read_max(), 200 * 4 * 97);
+        assert!(m.shards_inline(), "77 600 in 4 binary shards is inline");
+    }
+
+    #[test]
+    fn binary_zero_is_writable_and_distinct_from_never_written() {
+        let m = ShardedMaxRegister::new_binary(2, 4);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(0, 0); // count 1 in shard 0: a real write of 0
+        assert_eq!(m.shard_fold(0), 1);
+        assert_eq!(m.read_max(), 0);
+        m.write_max(1, 3);
+        assert_eq!(m.read_max(), 3);
     }
 }

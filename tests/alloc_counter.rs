@@ -132,6 +132,35 @@ fn wide_faa_inline_ops_are_allocation_free() {
 }
 
 #[test]
+fn lock_free_wide_faa_snapshot_reads_are_allocation_free() {
+    // The PR-6 pin: while the value is inline, every read-shaped entry
+    // point — load, bit_len, probe_unary, read_with — is one DWCAS
+    // snapshot of the cell and never touches the heap (the returned
+    // BigNat is the inline representation). On x86_64 without
+    // `force_spinlock` this is the lock-free path; under the feature
+    // the same ops stay allocation-free through the spinlocked heap
+    // slot (the heap BigNat itself is inline-sized), so the pin holds
+    // in both CI configurations.
+    let r = WideFaa::with_value(BigNat::pow2(120));
+    if !cfg!(feature = "force_spinlock") {
+        assert!(
+            r.is_inline_lock_free(),
+            "2^120 must sit on the lock-free inline path"
+        );
+    }
+    let layout = sl2_bignum::Layout::new(4);
+    let (n, _) = allocs_during(|| {
+        for _ in 0..1000 {
+            let _v = r.load();
+            let _bits = r.bit_len();
+            let _lane = r.probe_unary(&layout, 0);
+            let _ones = r.read_with(|v| v.count_ones());
+        }
+    });
+    assert_eq!(n, 0, "inline snapshot reads must stay off the heap");
+}
+
+#[test]
 fn wide_fetch_inc_small_counts_are_allocation_free() {
     let c = WideFetchInc::new(2);
     // Warm-up.
@@ -178,6 +207,45 @@ fn small_value_sharded_max_register_ops_are_allocation_free() {
     });
     assert_eq!(n, 0, "sharded read_max allocated on the small-value path");
     assert_eq!(last, 15, "8 rounds of growth from 8");
+}
+
+#[test]
+fn binary_sharded_register_past_the_unary_ceiling_is_allocation_free() {
+    // The PR-6 acceptance pin: with binary lanes a 4-shard register
+    // holds values orders of magnitude past the old 64·S ≈ 256 unary
+    // inline ceiling — 300 000 needs 19 lane bits, not 75 000 — and
+    // both the probe-then-adjust write and the stable-collect read
+    // stay on the zero-allocation inline path.
+    let m = ShardedMaxRegister::new_binary(4, 4);
+    for p in 0..4 {
+        m.write_max(p, 290_000 + p as u64);
+    }
+    let _ = m.read_max();
+    assert!(
+        m.shards_inline(),
+        "binary lanes must keep 290 000 inline at S = 4"
+    );
+
+    let (n, _) = allocs_during(|| {
+        for round in 0..8u64 {
+            for p in 0..4 {
+                m.write_max(p, 300_000 + round); // growing: probe + adjust
+                m.write_max(p, 17); // stale: probe only
+            }
+        }
+    });
+    assert_eq!(n, 0, "binary write_max allocated past the unary ceiling");
+
+    let (n, last) = allocs_during(|| {
+        let mut last = 0;
+        for _ in 0..100 {
+            last = m.read_max();
+        }
+        last
+    });
+    assert_eq!(n, 0, "binary read_max allocated past the unary ceiling");
+    assert_eq!(last, 300_007);
+    assert!(m.shards_inline(), "the workload must not have spilled");
 }
 
 #[test]

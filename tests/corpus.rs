@@ -7,9 +7,10 @@
 //! under the fixed referee. This suite assembles the shipped verdicts
 //! — the Theorem-1/9 certificate families (E2, E7, E18), the
 //! AGM/Treiber/CAS boundary (E11), the sharded frontier adjudication
-//! at S ∈ {1, 2, 4} (E20–E21), and the PR-5 combining adjudication
+//! at S ∈ {1, 2, 4} (E20–E21), the PR-5 combining adjudication
 //! (E27: stable-read scenarios certified, cached-read scenarios
-//! refuted with replayable witnesses) — into `ScenarioCorpus` batches,
+//! refuted with replayable witnesses), and the PR-6 binary-encoding
+//! twins (E31) — into `ScenarioCorpus` batches,
 //! runs them under one shared node budget, and asserts three drivers
 //! agree record for record: parallel memo-on (the CI configuration),
 //! serial memo-on, serial memo-off.
@@ -123,6 +124,21 @@ fn sharded_corpus(shards: usize) -> ScenarioCorpus<MaxRegisterSpec> {
     );
     corpus.push(
         format!("sharded_s{shards}/fan_in"),
+        fan_in_max_scenario(shards),
+    );
+    corpus
+}
+
+/// The same §6 anchors through the binary lane encoding (E31): the
+/// verdict table must be encoding-independent.
+fn sharded_binary_corpus(shards: usize) -> ScenarioCorpus<MaxRegisterSpec> {
+    let mut corpus = ScenarioCorpus::new();
+    corpus.push(
+        format!("sharded_binary_s{shards}/frontier_safe"),
+        frontier_safe_max_scenario(shards),
+    );
+    corpus.push(
+        format!("sharded_binary_s{shards}/fan_in"),
         fan_in_max_scenario(shards),
     );
     corpus
@@ -246,6 +262,16 @@ fn run_all(memoize: bool, driver: Driver, report: &mut CorpusReport) {
             report,
         );
     }
+    // The PR-6 binary lane encoding (E31): same anchors, same verdicts.
+    for shards in [1usize, 2, 4] {
+        drive(
+            &sharded_binary_corpus(shards),
+            |mem| ShardedMaxRegAlg::binary(mem, 3, shards),
+            &opts,
+            driver,
+            report,
+        );
+    }
     drive(
         &counter_corpus("counter_naive"),
         |mem| ShardedCounterAlg::naive(mem, 3, 2),
@@ -320,6 +346,15 @@ fn pinned_verdicts() -> Vec<(&'static str, bool)> {
         ("sharded_s2/fan_in", false),
         ("sharded_s4/frontier_safe", true), // the PR-4 acceptance anchor
         ("sharded_s4/fan_in", false),
+        // E31: the PR-6 binary lane encoding reproduces the table bit
+        // for bit — the frontier argument never looked at how lane
+        // values were coded into lane bits.
+        ("sharded_binary_s1/frontier_safe", true),
+        ("sharded_binary_s1/fan_in", true), // the S = 1 control
+        ("sharded_binary_s2/frontier_safe", true),
+        ("sharded_binary_s2/fan_in", false),
+        ("sharded_binary_s4/frontier_safe", true),
+        ("sharded_binary_s4/fan_in", false),
         // E21: the counter ladder — the independent-reader fan-in
         // breaks both read modes (the stable collect retries but the
         // frontier race survives it, as for the max register); the
