@@ -304,7 +304,16 @@ impl RawSpin {
         {
             self.acquire_slow();
         }
-        SpinGuard(self)
+        // Chaos: fires with the lock held and the guard already live,
+        // so an injected panic unwinds through `SpinGuard::drop` and
+        // releases — the unwind-safety contract of every RawSpin
+        // critical section (WideFaa heap regime and the Atomic128
+        // `force_spinlock` fallback alike). A crash-stop here models
+        // a client dead inside the critical section: the lock stays
+        // held forever, by design (DESIGN.md §10).
+        let guard = SpinGuard(self);
+        sl2_chaos::point("spin.acquired");
+        guard
     }
 
     #[cold]

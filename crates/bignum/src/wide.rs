@@ -163,6 +163,11 @@ impl WideFaa {
     #[cold]
     fn slow_locked<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
         let _guard = self.lock.acquire();
+        // Chaos: a panic here unwinds through `_guard`, whose Drop
+        // releases the lock — the unwind-safety the regression tests
+        // pin. A crash-stop here deadlocks this register (heap regime
+        // serializes on the lock; ROADMAP item 5, DESIGN.md §10).
+        sl2_chaos::point("wfaa.spin.critical");
         debug_assert!(is_tagged(self.cell.load()), "slow path on inline value");
         // SAFETY: the spinlock guarantees exclusive access for the
         // guard's lifetime; the reference does not escape `f`.
@@ -180,6 +185,7 @@ impl WideFaa {
     #[cold]
     fn migrate_and<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
         let _guard = self.lock.acquire();
+        sl2_chaos::point("wfaa.migrate");
         let mut cur = self.cell.load();
         while !is_tagged(cur) {
             match self.cell.compare_exchange(cur, MIGRATED) {
@@ -219,6 +225,7 @@ impl WideFaa {
                     let mut cur = self.cell.guess();
                     let mut confirmed = false;
                     loop {
+                        sl2_chaos::point("wfaa.pre_cas");
                         // A tagged value is definitive even from a torn
                         // guess: the tag lives in the hi half, which
                         // `guess` loads atomically, and migration is
@@ -313,6 +320,7 @@ impl WideFaa {
                 let mut cur = self.cell.guess();
                 let mut confirmed = false;
                 loop {
+                    sl2_chaos::point("wfaa.pre_cas");
                     // Tagged guesses are definitive (atomic hi-half
                     // load + one-way migration), as in `fetch_add_with`.
                     if is_tagged(cur) {
@@ -414,6 +422,7 @@ impl WideFaa {
             // that captures the untorn snapshot, re-checking the tag
             // that may have landed since.
             let guess = self.cell.guess();
+            sl2_chaos::point("wfaa.read.pre_cas");
             if !is_tagged(guess) {
                 let cur = match self.cell.compare_exchange(guess, guess) {
                     Ok(v) | Err(v) => v,
@@ -609,6 +618,46 @@ mod tests {
             b.add(&inc);
             assert_eq!(a.load(), b.load(), "diverged at step {step}");
             assert_eq!(a.probe_unary(&layout, p), b.probe_unary(&layout, p));
+        }
+    }
+
+    #[test]
+    fn panic_inside_the_locked_closure_releases_the_spinlock() {
+        // The caller's closure runs *inside* the spinlock critical
+        // section on the migrated path (and on every path of the
+        // spinlocked twin): an unwinding panic must release the lock
+        // through SpinGuard's Drop, or every other thread spins
+        // forever. Regression for the ISSUE-7 hardening audit.
+        for reg in [
+            WideFaa::with_value(BigNat::pow2(130)),
+            WideFaa::with_value_spinlocked(BigNat::pow2(130)),
+        ] {
+            let r = Arc::new(reg);
+            std::thread::scope(|s| {
+                let victim = Arc::clone(&r);
+                s.spawn(move || {
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        victim.fetch_add_with(&BigNat::one(), |_| -> () {
+                            panic!("injected: panic inside the critical section")
+                        })
+                    }));
+                    assert!(out.is_err(), "the injected panic must propagate");
+                });
+                for _ in 0..4 {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            r.fetch_add_with(&BigNat::one(), |_| ());
+                        }
+                    });
+                }
+            });
+            // The panicking add aborted before its store (`f` runs
+            // first in the critical section); all 400 survivor
+            // increments landed.
+            let mut want = BigNat::pow2(130);
+            want += &BigNat::from(400u64);
+            assert_eq!(r.load(), want);
         }
     }
 

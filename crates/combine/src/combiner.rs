@@ -54,10 +54,89 @@
 //! [`PublicationArray::take`]: crate::PublicationArray::take
 
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sl2_primitives::{BaseObject, CachePadded, ConsensusNumber, FetchAdd, Swap};
 
-use crate::slots::{CombinerLock, PublicationArray};
+use crate::slots::{CombinerLock, Lease, PublicationArray};
+
+/// Consecutive identical `(lease, epoch)` observations a lost-election
+/// process must make before it may reclaim the combiner lock. Two is
+/// enough under crash-stop (a dead holder's lease is frozen forever,
+/// and every live tenure carries a *fresh* unique lease, so two spaced
+/// sightings of one lease with no publication in between never happen
+/// while the holder makes progress); it is deliberately small so
+/// recovery is prompt — a merely *stalled* holder suspected wrongly is
+/// survived by the release validation and the monotone publication
+/// repair (DESIGN.md §10).
+pub(crate) const RECLAIM_STRIKES: u64 = 2;
+
+/// Per-process abandonment evidence: the last `(lease, epoch)` pair
+/// this process observed while losing an election, and how many
+/// consecutive times it has seen exactly that pair. Plain registers
+/// (consensus number 1) — each cell is written only by its owning
+/// process.
+#[derive(Debug, Default)]
+pub(crate) struct Suspicion {
+    lease: AtomicU64,
+    epoch: AtomicU64,
+    pub(crate) strikes: AtomicU64,
+}
+
+/// One lost-election observation of the holder's `(lease, epoch)`:
+/// updates `cell`'s strike counter and attempts the reclaim once the
+/// pair has stayed frozen for [`RECLAIM_STRIKES`] consecutive
+/// observations. Unique leases make the evidence sound under
+/// crash-stop: a live tenure either releases (lease changes or
+/// clears) or publishes (epoch advances), and a new tenure always
+/// mints a fresh lease — only a dead holder freezes the pair.
+pub(crate) fn observe_or_reclaim(
+    lock: &CombinerLock,
+    epoch: &FetchAdd,
+    cell: &Suspicion,
+) -> Option<Lease> {
+    let lease = lock.holder();
+    if lease == 0 {
+        cell.strikes.store(0, Ordering::Relaxed);
+        return None;
+    }
+    let epoch = epoch.read();
+    if cell.lease.load(Ordering::Relaxed) == lease && cell.epoch.load(Ordering::Relaxed) == epoch {
+        let strikes = cell.strikes.load(Ordering::Relaxed) + 1;
+        cell.strikes.store(strikes, Ordering::Relaxed);
+        if strikes >= RECLAIM_STRIKES {
+            cell.strikes.store(0, Ordering::Relaxed);
+            return lock.reclaim(lease);
+        }
+    } else {
+        cell.lease.store(lease, Ordering::Relaxed);
+        cell.epoch.store(epoch, Ordering::Relaxed);
+        cell.strikes.store(0, Ordering::Relaxed);
+    }
+    None
+}
+
+/// A held combiner tenure that releases on drop, so a panic inside
+/// the sweep (or anywhere else in the critical section) unwinds
+/// through the release instead of abandoning the lock. A crash-stop
+/// never unwinds, so abandonment — the case the lease/reclaim
+/// machinery exists for — is exactly the non-drop path.
+pub(crate) struct Tenure<'a> {
+    pub(crate) lock: &'a CombinerLock,
+    pub(crate) lease: Option<Lease>,
+}
+
+impl Drop for Tenure<'_> {
+    fn drop(&mut self) {
+        if let Some(lease) = self.lease.take() {
+            // A `false` return means the tenure was reclaimed by a
+            // survivor that suspected this combiner dead; the
+            // publication that already happened is monotone-safe, so
+            // forfeiting silently is correct (see `publish_fold`).
+            let _ = self.lock.release(lease);
+        }
+    }
+}
 
 /// An inner object the combining front-end can drive.
 ///
@@ -138,6 +217,16 @@ pub enum ApplyPath {
     /// sharded path); its announcement was withdrawn (or claimed by
     /// the combiner, harmlessly, per idempotence).
     Direct,
+    /// The caller lost the election, applied directly — and then
+    /// found the holder's lease frozen across `RECLAIM_STRIKES`
+    /// observations, reclaimed the abandoned lock, and resumed
+    /// combining: it swept `applied` leftover announcements and
+    /// republished a fresh fold. This is the recovery path a
+    /// crash-stopped combiner forces (DESIGN.md §10).
+    Reclaimed {
+        /// Abandoned announcements applied during the recovery sweep.
+        applied: usize,
+    },
 }
 
 /// Flat-combining front-end over a [`Combinable`] inner object.
@@ -161,10 +250,15 @@ pub struct Combiner<O> {
     lock: CombinerLock,
     /// Published whole-object fold. A swap register written only by
     /// the election winner, so publications are totally ordered by the
-    /// lock and the register needs no read-modify-write semantics.
+    /// lock and the register needs no read-modify-write semantics —
+    /// except across a wrongful reclaim, where two publishers can
+    /// overlap and the monotone repair in `publish_fold` keeps the
+    /// register from regressing.
     cache: CachePadded<Swap>,
     /// Publication count (combiner batches completed so far).
     epoch: CachePadded<FetchAdd>,
+    /// Per-process abandonment evidence (see [`Suspicion`]).
+    suspicion: Box<[CachePadded<Suspicion>]>,
 }
 
 impl<O: Combinable> Combiner<O> {
@@ -177,6 +271,9 @@ impl<O: Combinable> Combiner<O> {
             lock: CombinerLock::new(),
             cache: CachePadded::new(Swap::new(0)),
             epoch: CachePadded::new(FetchAdd::new(0)),
+            suspicion: (0..n)
+                .map(|_| CachePadded::new(Suspicion::default()))
+                .collect(),
         }
     }
 
@@ -198,17 +295,32 @@ impl<O: Combinable> Combiner<O> {
 
     /// Applies `op` on behalf of `process` through the front-end:
     /// announce, run the election, then combine or go direct (see the
-    /// module docs). Wait-free either way.
+    /// module docs). Wait-free either way. A loser additionally
+    /// watches the holder's lease for abandonment and — after
+    /// `RECLAIM_STRIKES` frozen observations — reclaims the lock
+    /// and resumes combining ([`ApplyPath::Reclaimed`]).
     pub fn apply(&self, process: usize, op: O::Op) -> ApplyPath {
         self.slots.publish(process, O::encode(op));
-        if !self.lock.try_acquire() {
+        sl2_chaos::point("combine.announced");
+        let Some(lease) = self.lock.try_acquire() else {
             // Lost the election: the plain wait-free path, then retire
             // the announcement (a combiner that already claimed it
             // re-applies harmlessly — `apply` is idempotent).
             self.inner.apply(process, op);
             self.slots.withdraw(process);
+            if let Some(lease) = self.suspect_then_reclaim(process) {
+                // The holder was dead (its lease froze): recover.
+                // Publish from a fresh one-pass fold rather than a
+                // cache merge — the dead combiner may have applied
+                // claimed operations without reaching its
+                // publication, and the fold re-covers them.
+                let applied = self.combine(process, lease, Some(self.inner.fold_relaxed()));
+                return ApplyPath::Reclaimed { applied };
+            }
             return ApplyPath::Direct;
-        }
+        };
+        self.clear_suspicion(process);
+        sl2_chaos::point("combine.won");
         // Won: read the published fold, sweep (each claim applied
         // through this process's own lanes — see the Combinable docs)
         // while merging every applied operation into the fold, then
@@ -220,22 +332,70 @@ impl<O: Combinable> Combiner<O> {
         // covers changes nothing. The shard probes a one-pass fold
         // would cost are exactly the contended lines the read-heavy
         // regime is trying to avoid (E26).
+        let applied = self.combine(process, lease, None);
+        ApplyPath::Combined { applied }
+    }
+
+    /// One combiner tenure: sweep every slot, apply the claims through
+    /// `applier`'s lanes, publish, release. `base` is the fold to
+    /// start from — `None` merges onto the published cache (the normal
+    /// tenure, which skips publication when the sweep came up empty);
+    /// `Some(fold)` publishes unconditionally from that fold (the
+    /// recovery tenure). The lease is held by a `Tenure` guard, so
+    /// a panic anywhere in here releases on unwind; only a crash-stop
+    /// abandons the lock.
+    fn combine(&self, applier: usize, lease: Lease, base: Option<u64>) -> usize {
+        let tenure = Tenure {
+            lock: &self.lock,
+            lease: Some(lease),
+        };
+        let publish_always = base.is_some();
+        let mut fold = base.unwrap_or_else(|| self.cache.read());
         let mut applied = 0;
-        let mut fold = self.cache.read();
         for i in 0..self.slots.len() {
+            sl2_chaos::point("combine.mid_sweep");
             if let Some(word) = self.slots.take(i) {
                 let op = O::decode(word);
-                self.inner.apply(process, op);
+                self.inner.apply(applier, op);
                 fold = O::fold_batch(fold, op);
                 applied += 1;
             }
         }
-        if applied > 0 {
-            self.cache.swap(fold);
-            self.epoch.fetch_add(1);
+        if publish_always || applied > 0 {
+            sl2_chaos::point("combine.pre_publish");
+            self.publish_fold(fold);
         }
-        self.lock.release();
-        ApplyPath::Combined { applied }
+        sl2_chaos::point("combine.pre_release");
+        drop(tenure);
+        applied
+    }
+
+    /// Publishes `fold` with the monotone repair: folds only grow, so
+    /// if the swap displaces a *larger* value, a concurrent publisher
+    /// (possible only across a wrongful reclaim of a stalled-but-live
+    /// combiner) got there with fresher data — put it back. The cache
+    /// never regresses either way, which is the soundness law the
+    /// cached-read specs rest on.
+    fn publish_fold(&self, fold: u64) {
+        let prev = self.cache.swap(fold);
+        if prev > fold {
+            self.cache.swap(prev);
+        }
+        self.epoch.fetch_add(1);
+    }
+
+    /// One lost-election observation of the holder (see
+    /// [`observe_or_reclaim`]): returns a fresh lease iff `process`'s
+    /// accumulated evidence proved the holder dead and the reclaim
+    /// landed.
+    fn suspect_then_reclaim(&self, process: usize) -> Option<Lease> {
+        observe_or_reclaim(&self.lock, &self.epoch, &self.suspicion[process])
+    }
+
+    /// Resets `process`'s abandonment evidence (after winning an
+    /// election: whatever it was watching is moot).
+    fn clear_suspicion(&self, process: usize) {
+        self.suspicion[process].strikes.store(0, Ordering::Relaxed);
     }
 
     /// The 1-load fast path: the last published whole-object fold.
@@ -261,13 +421,30 @@ impl<O: Combinable> Combiner<O> {
     /// apply their own operations — the protocol has no waiters), so a
     /// refresher only folds and publishes.
     pub fn refresh(&self) -> bool {
-        if !self.lock.try_acquire() {
+        let Some(lease) = self.lock.try_acquire() else {
             return false;
-        }
-        self.cache.swap(self.inner.fold_relaxed());
-        self.epoch.fetch_add(1);
-        self.lock.release();
+        };
+        let tenure = Tenure {
+            lock: &self.lock,
+            lease: Some(lease),
+        };
+        self.publish_fold(self.inner.fold_relaxed());
+        drop(tenure);
         true
+    }
+
+    /// The election lock — exposed for fault-injection tests and
+    /// diagnostics (e.g. abandoning a tenure on purpose to exercise
+    /// the reclaim path). Production callers never need this.
+    pub fn lock(&self) -> &CombinerLock {
+        &self.lock
+    }
+
+    /// The announcement slots — exposed for fault-injection tests and
+    /// diagnostics (e.g. planting an abandoned announcement).
+    /// Production callers never need this.
+    pub fn slots(&self) -> &PublicationArray {
+        &self.slots
     }
 
     /// The highest consensus number among the front-end's own base

@@ -71,9 +71,10 @@ pub mod slots;
 
 pub use combiner::{ApplyPath, Combinable, Combiner};
 pub use machines::{
+    abandoned_counter_fan_in_scenario, abandoned_counter_lagging_scenario,
     cached_fan_in_lagging_scenario, cached_fan_in_max_scenario, combining_frontier_safe_scenario,
     CombiningCounterAlg, CombiningCounterMachine, CombiningMaxRegAlg, CombiningMaxRegMachine,
-    ReadMode,
+    ReadMode, DEAD_LEASE, LEASE_BASE,
 };
 pub use objects::{CombiningCounter, CombiningMaxRegister, CombiningSnapshot};
-pub use slots::{CombinerLock, PubSlot, PublicationArray, SeqCache};
+pub use slots::{CombinerLock, Lease, PubSlot, PublicationArray, SeqCache};

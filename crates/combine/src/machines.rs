@@ -38,9 +38,9 @@ use sl2_bignum::{BigNat, Layout};
 use sl2_exec::machine::{Algorithm, OpMachine, Step};
 use sl2_exec::mem::{Cell, Loc, SimMemory};
 use sl2_primitives::Sharding;
-use sl2_spec::counters::{CounterOp, CounterResp};
+use sl2_spec::counters::{CounterOp, CounterResp, CounterSpec};
 use sl2_spec::max_register::{MaxOp, MaxRegisterSpec, MaxResp};
-use sl2_spec::relaxed::LaggingMaxSpec;
+use sl2_spec::relaxed::{LaggingCounterSpec, LaggingMaxSpec};
 use sl2_spec::Spec;
 
 /// Which route a whole-object read takes through the front-end.
@@ -166,6 +166,29 @@ pub fn combining_frontier_safe_scenario(
         vec![MaxOp::Write(s), MaxOp::Read],
         vec![MaxOp::Write(2 * s)],
     ])
+}
+
+/// The crash-recovery adjudication scenario (exact-spec half): two
+/// increments race one cached reader against a counter front-end whose
+/// election lock was abandoned by a crashed combiner
+/// ([`CombiningCounterAlg::abandon_lock`]). Refuted with or without
+/// recovery — recovery restores publication, not exactness.
+pub fn abandoned_counter_fan_in_scenario() -> sl2_exec::sched::Scenario<CounterSpec> {
+    sl2_exec::scenarios::fan_in::<CounterSpec>(
+        vec![CounterOp::Inc, CounterOp::Inc],
+        vec![CounterOp::Read],
+    )
+}
+
+/// The same abandoned-lock fan-in typed against the k-lagging window
+/// spec: the certification half — recovery
+/// ([`CombiningCounterAlg::with_recovery`]) must land survivors on the
+/// lagging contract, strongly.
+pub fn abandoned_counter_lagging_scenario() -> sl2_exec::sched::Scenario<LaggingCounterSpec> {
+    sl2_exec::scenarios::fan_in::<LaggingCounterSpec>(
+        vec![CounterOp::Inc, CounterOp::Inc],
+        vec![CounterOp::Read],
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -522,16 +545,29 @@ impl OpMachine for CombiningMaxRegMachine {
 // Combining counter (publication-combining: see crate::CombiningCounter)
 // ---------------------------------------------------------------------
 
+/// The frozen lock word a crash-stopped combiner leaves behind. It
+/// equals the plain election's own lock word (1), so to the
+/// non-recovery machine a dead combiner is indistinguishable from a
+/// live one — exactly the production failure mode the lease protocol
+/// exists to break ([`crate::CombinerLock::reclaim`]).
+pub const DEAD_LEASE: u64 = 1;
+
+/// First live lease id of the recovery election: process `p` swaps in
+/// `LEASE_BASE + p`, distinct from free (0) and [`DEAD_LEASE`].
+pub const LEASE_BASE: u64 = 2;
+
 /// Factory for the publication-combining counter
 /// ([`crate::CombiningCounter`]'s checkable twin), generic over the
 /// specification it is judged against — the exact
 /// [`sl2_spec::counters::CounterSpec`] for the refutations,
 /// [`sl2_spec::relaxed::LaggingCounterSpec`] for what the cached read
-/// honestly meets.
+/// honestly meets. [`Self::abandon_lock`] + [`Self::with_recovery`]
+/// stage the crash-aftermath variants for the recovery adjudication.
 #[derive(Debug, Clone)]
 pub struct CombiningCounterAlg<S> {
     cells: FrontCells,
     mode: ReadMode,
+    recovery: bool,
     spec: S,
 }
 
@@ -553,8 +589,31 @@ where
         CombiningCounterAlg {
             cells: FrontCells::alloc(mem, n, shards),
             mode,
+            recovery: false,
             spec,
         }
+    }
+
+    /// Starts the front-end in the crash aftermath: the election lock
+    /// already holds [`DEAD_LEASE`], as if a combiner crash-stopped
+    /// between winning and releasing. The crash itself is the
+    /// adversary's prefix, not a step in the tree — `check_strong`
+    /// cannot explore an operation that never returns, so the dead
+    /// tenure is initial state and every in-tree operation still
+    /// terminates (the wait-freedom claim survives the fault).
+    pub fn abandon_lock(self, mem: &mut SimMemory) -> Self {
+        mem.swap(self.cells.lock, DEAD_LEASE);
+        self
+    }
+
+    /// Arms the lease-reclaim election (the
+    /// [`crate::CombinerLock::reclaim`] model): `TryLock` swaps the
+    /// process's unique lease instead of the anonymous 1, treats a
+    /// [`DEAD_LEASE`] answer as a takeover, and restores a live
+    /// holder's lease before completing lost.
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = true;
+        self
     }
 }
 
@@ -612,6 +671,7 @@ where
             CounterOp::Inc => CombiningCounterMachine::IncProbe {
                 cells: self.cells.clone(),
                 process,
+                recovery: self.recovery,
             },
             CounterOp::Read => match self.mode {
                 ReadMode::Cached => CombiningCounterMachine::CachedLoad {
@@ -638,21 +698,43 @@ pub enum CombiningCounterMachine {
         cells: FrontCells,
         /// Incrementing process.
         process: usize,
+        /// Whether the election runs the lease-reclaim protocol.
+        recovery: bool,
     },
     /// `inc` step 2: one fetch&add setting the next own-lane bit.
     IncAdd {
         /// The front-end's base objects.
         cells: FrontCells,
+        /// Incrementing process (names the recovery lease).
+        process: usize,
+        /// Whether the election runs the lease-reclaim protocol.
+        recovery: bool,
         /// Home shard of the process.
         shard: Loc,
         /// The unary increment image.
         delta: BigNat,
     },
     /// `inc` step 3: the election — lost completes the operation,
-    /// won proceeds to publish.
+    /// won proceeds to publish. Under recovery the process swaps its
+    /// unique lease ([`LEASE_BASE`]` + process`); a [`DEAD_LEASE`]
+    /// answer is a takeover of the crashed tenure.
     TryLock {
         /// The front-end's base objects.
         cells: FrontCells,
+        /// Incrementing process (names the recovery lease).
+        process: usize,
+        /// Whether the election runs the lease-reclaim protocol.
+        recovery: bool,
+    },
+    /// Recovery election lost against a *live* lease: put the holder's
+    /// lease back (the model's restore-on-clobber — production's
+    /// read-first acquire shrinks but cannot close this window), then
+    /// complete unpublished.
+    RestoreLock {
+        /// The front-end's base objects.
+        cells: FrontCells,
+        /// The clobbered holder's lease, to restore.
+        prev: u64,
     },
     /// Election won: one-pass fold over the stripes, shard `s` next.
     Fold {
@@ -698,13 +780,19 @@ impl OpMachine for CombiningCounterMachine {
 
     fn step(&mut self, mem: &mut SimMemory) -> Step<CounterResp> {
         match self {
-            CombiningCounterMachine::IncProbe { cells, process } => {
+            CombiningCounterMachine::IncProbe {
+                cells,
+                process,
+                recovery,
+            } => {
                 let shard = cells.shards[cells.sharding.of_process(*process)];
                 let image = mem.wide_adjust(shard, &BigNat::zero(), &BigNat::zero());
                 let mine = cells.layout.decode_unary(*process, &image);
                 let delta = BigNat::pow2(cells.layout.bit(*process, mine as usize));
                 *self = CombiningCounterMachine::IncAdd {
                     cells: cells.clone(),
+                    process: *process,
+                    recovery: *recovery,
                     shard,
                     delta,
                 };
@@ -712,28 +800,65 @@ impl OpMachine for CombiningCounterMachine {
             }
             CombiningCounterMachine::IncAdd {
                 cells,
+                process,
+                recovery,
                 shard,
                 delta,
             } => {
                 mem.wide_adjust(*shard, delta, &BigNat::zero());
                 *self = CombiningCounterMachine::TryLock {
                     cells: cells.clone(),
+                    process: *process,
+                    recovery: *recovery,
                 };
                 Step::Pending
             }
-            CombiningCounterMachine::TryLock { cells } => {
-                if mem.swap(cells.lock, 1) == 0 {
-                    *self = CombiningCounterMachine::Fold {
-                        cells: cells.clone(),
-                        s: 0,
-                        acc: 0,
-                    };
-                    Step::Pending
+            CombiningCounterMachine::TryLock {
+                cells,
+                process,
+                recovery,
+            } => {
+                if !*recovery {
+                    if mem.swap(cells.lock, 1) == 0 {
+                        *self = CombiningCounterMachine::Fold {
+                            cells: cells.clone(),
+                            s: 0,
+                            acc: 0,
+                        };
+                        Step::Pending
+                    } else {
+                        // Lost: the increment has already landed —
+                        // complete unpublished (the staleness the
+                        // cached read pays).
+                        Step::Ready(CounterResp::Ok)
+                    }
                 } else {
-                    // Lost: the increment has already landed — complete
-                    // unpublished (the staleness the cached read pays).
-                    Step::Ready(CounterResp::Ok)
+                    let lease = LEASE_BASE + *process as u64;
+                    match mem.swap(cells.lock, lease) {
+                        // Free, or the frozen tenure of a crashed
+                        // combiner: this process's lease is now in the
+                        // cell, the tenure is its own.
+                        0 | DEAD_LEASE => {
+                            *self = CombiningCounterMachine::Fold {
+                                cells: cells.clone(),
+                                s: 0,
+                                acc: 0,
+                            };
+                            Step::Pending
+                        }
+                        prev => {
+                            *self = CombiningCounterMachine::RestoreLock {
+                                cells: cells.clone(),
+                                prev,
+                            };
+                            Step::Pending
+                        }
+                    }
                 }
+            }
+            CombiningCounterMachine::RestoreLock { cells, prev } => {
+                mem.swap(cells.lock, *prev);
+                Step::Ready(CounterResp::Ok)
             }
             CombiningCounterMachine::Fold { cells, s, acc } => {
                 let image = mem.wide_adjust(cells.shards[*s], &BigNat::zero(), &BigNat::zero());
@@ -996,5 +1121,109 @@ mod tests {
             );
         });
         assert!(histories > 50, "the scenario has real interleaving depth");
+    }
+
+    // -- crash aftermath: abandoned lock, lease recovery ---------------
+
+    #[test]
+    fn dead_lease_starves_publication_without_recovery_solo() {
+        // The plain election cannot tell a dead combiner from a live
+        // one: every inc loses, the cache is never published again.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 2, 1).abandon_lock(&mut mem);
+        let (r, steps) = run_solo(&mut alg.machine(0, &CounterOp::Inc), &mut mem);
+        assert_eq!(r, CounterResp::Ok);
+        assert_eq!(steps, 3, "probe + add + lost election");
+        let (r, _) = run_solo(&mut alg.machine(1, &CounterOp::Read), &mut mem);
+        assert_eq!(r, CounterResp::Value(0), "cache frozen by the dead tenure");
+        assert_eq!(mem.read(alg.cells.lock), DEAD_LEASE, "lock frozen forever");
+    }
+
+    #[test]
+    fn recovery_takes_over_the_dead_lease_solo() {
+        // The lease election reclaims the frozen tenure: the same inc
+        // that starved above wins via takeover, folds, republishes,
+        // and releases — the lock is free again afterwards.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 2, 1)
+            .abandon_lock(&mut mem)
+            .with_recovery();
+        let (r, steps) = run_solo(&mut alg.machine(0, &CounterOp::Inc), &mut mem);
+        assert_eq!(r, CounterResp::Ok);
+        assert_eq!(steps, 6, "probe + add + takeover + fold + publish + unlock");
+        let (r, _) = run_solo(&mut alg.machine(1, &CounterOp::Read), &mut mem);
+        assert_eq!(r, CounterResp::Value(1), "publication resumed");
+        assert_eq!(mem.read(alg.cells.lock), 0, "reclaimed tenure released");
+    }
+
+    #[test]
+    fn abandoned_lock_without_recovery_is_lagging_but_never_publishes() {
+        // Bounded degradation, adjudicated: with the lock dead and no
+        // reclaim, every cached read returns the pre-crash fold (0) —
+        // still strongly linearizable against the k-lagging window
+        // (all staleness is in-window for k = in-flight incs), refuted
+        // against the exact spec.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::relaxed(&mut mem, 3, 1, 2).abandon_lock(&mut mem);
+        let scenario = abandoned_counter_lagging_scenario();
+        let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+        for_each_history(&alg, mem, &scenario, 4_000_000, &mut |h| {
+            for rec in h.complete_ops() {
+                if rec.op == CounterOp::Read {
+                    let (resp, _) = rec.returned.expect("complete");
+                    assert_eq!(resp, CounterResp::Value(0), "no publication may happen");
+                }
+            }
+        });
+
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 3, 1).abandon_lock(&mut mem);
+        let scenario = abandoned_counter_fan_in_scenario();
+        let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+        assert!(!report.strongly_linearizable);
+        let witness = report.witness.expect("refutation carries a witness");
+        validate_witness(&alg, mem, &scenario, &witness).expect("witness must replay");
+    }
+
+    #[test]
+    fn recovery_resumes_combining_and_certifies_the_lagging_window() {
+        // The tentpole adjudication: with lease reclaim armed, some
+        // interleavings republish the full fold (a read sees 2), and
+        // the whole tree — takeovers, clobber-restores, post-recovery
+        // reads — is certified strongly linearizable against the
+        // lagging window. Recovery restores publication, not
+        // exactness: the exact spec still refutes.
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::relaxed(&mut mem, 3, 1, 2)
+            .abandon_lock(&mut mem)
+            .with_recovery();
+        let scenario = abandoned_counter_lagging_scenario();
+        let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+        assert!(report.strongly_linearizable, "{:?}", report.witness);
+        let mut best = 0u64;
+        for_each_history(&alg, mem, &scenario, 4_000_000, &mut |h| {
+            for rec in h.complete_ops() {
+                if let (CounterOp::Read, Some((CounterResp::Value(v), _))) =
+                    (&rec.op, &rec.returned)
+                {
+                    best = best.max(*v);
+                }
+            }
+        });
+        assert_eq!(best, 2, "some interleaving republishes the full fold");
+
+        let mut mem = SimMemory::new();
+        let alg = CombiningCounterAlg::cached(&mut mem, 3, 1)
+            .abandon_lock(&mut mem)
+            .with_recovery();
+        let scenario = abandoned_counter_fan_in_scenario();
+        let report = check_strong(&alg, mem.clone(), &scenario, 8_000_000);
+        assert!(
+            !report.strongly_linearizable,
+            "recovery does not buy exactness"
+        );
+        let witness = report.witness.expect("refutation carries a witness");
+        validate_witness(&alg, mem, &scenario, &witness).expect("witness must replay");
     }
 }

@@ -14,7 +14,7 @@
 use sl2_primitives::{CachePadded, FetchAdd, Swap};
 use sl2_sharded::{ShardedFetchInc, ShardedMaxRegister, ShardedSnapshot};
 
-use crate::combiner::{ApplyPath, Combinable, Combiner};
+use crate::combiner::{observe_or_reclaim, ApplyPath, Combinable, Combiner, Suspicion, Tenure};
 use crate::slots::{CombinerLock, SeqCache};
 
 // ---------------------------------------------------------------------
@@ -173,16 +173,25 @@ pub struct CombiningCounter {
     lock: CombinerLock,
     cache: CachePadded<Swap>,
     epoch: CachePadded<FetchAdd>,
+    /// Per-process abandonment evidence for the publication lock —
+    /// the same lease/strike reclaim protocol as [`Combiner`]
+    /// (DESIGN.md §10): a crash-stopped publisher must not disable
+    /// the cached read path forever.
+    suspicion: Box<[CachePadded<Suspicion>]>,
 }
 
 impl CombiningCounter {
     /// Wraps a sharded counter.
     pub fn new(inner: ShardedFetchInc) -> Self {
+        let n = inner.processes();
         CombiningCounter {
             inner,
             lock: CombinerLock::new(),
             cache: CachePadded::new(Swap::new(0)),
             epoch: CachePadded::new(FetchAdd::new(0)),
+            suspicion: (0..n)
+                .map(|_| CachePadded::new(Suspicion::default()))
+                .collect(),
         }
     }
 
@@ -191,12 +200,19 @@ impl CombiningCounter {
         &self.inner
     }
 
+    /// The publication lock — exposed for fault-injection tests and
+    /// diagnostics (e.g. abandoning a tenure on purpose to exercise
+    /// the reclaim path). Production callers never need this.
+    pub fn lock(&self) -> &CombinerLock {
+        &self.lock
+    }
+
     /// Increments by one on behalf of `process` (always the wait-free
     /// striped path), then tries the election to republish the fold.
     /// Returns whether this increment published.
     pub fn inc_traced(&self, process: usize) -> bool {
         self.inner.inc(process);
-        self.refresh()
+        self.refresh_from(Some(process))
     }
 
     /// Increments by one on behalf of `process`.
@@ -226,13 +242,49 @@ impl CombiningCounter {
     /// Opportunistically republishes the relaxed fold (one election
     /// attempt). The fold is one pass over monotone stripes: never
     /// ahead of the landed count, monotone across publications.
+    /// Anonymous callers (no process identity) never reclaim; the
+    /// per-process path behind [`CombiningCounter::inc_traced`] does.
     pub fn refresh(&self) -> bool {
-        if !self.lock.try_acquire() {
-            return false;
+        self.refresh_from(None)
+    }
+
+    /// One publication attempt, with abandonment recovery when the
+    /// caller has a process identity to accumulate suspicion under.
+    /// The lease rides a `Tenure` guard (release-on-unwind), the
+    /// publication carries the monotone repair (folds only grow, so a
+    /// displaced larger value — possible only across a wrongful
+    /// reclaim of a stalled publisher — is put back).
+    fn refresh_from(&self, process: Option<usize>) -> bool {
+        let lease = match self.lock.try_acquire() {
+            Some(lease) => {
+                if let Some(p) = process {
+                    self.suspicion[p]
+                        .strikes
+                        .store(0, std::sync::atomic::Ordering::Relaxed);
+                }
+                lease
+            }
+            None => {
+                let Some(p) = process else { return false };
+                match observe_or_reclaim(&self.lock, &self.epoch, &self.suspicion[p]) {
+                    Some(lease) => lease,
+                    None => return false,
+                }
+            }
+        };
+        let tenure = Tenure {
+            lock: &self.lock,
+            lease: Some(lease),
+        };
+        sl2_chaos::point("counter.pre_publish");
+        let fold = self.inner.read_relaxed();
+        let prev = self.cache.swap(fold);
+        if prev > fold {
+            self.cache.swap(prev);
         }
-        self.cache.swap(self.inner.read_relaxed());
         self.epoch.fetch_add(1);
-        self.lock.release();
+        sl2_chaos::point("counter.pre_release");
+        drop(tenure);
         true
     }
 }
@@ -295,14 +347,28 @@ impl CombiningSnapshot {
     /// Performs one stable scan and publishes it, if the election is
     /// won (one try; a held lock means a publication is in flight).
     /// Returns whether a publication happened.
+    ///
+    /// The lease rides a `Tenure` guard, so a panic mid-scan
+    /// releases on unwind. There is deliberately **no** reclaim here:
+    /// the [`SeqCache`] odd/even protocol is only sound under writer
+    /// exclusivity, and a wrongful reclaim of a stalled publisher
+    /// could overlap two publications into a torn-but-version-stable
+    /// view. A crash-stopped snapshot publisher therefore degrades
+    /// every later cached scan to the miss path (the exact stable
+    /// scan) — safe, and the documented §10 trade.
     pub fn refresh(&self) -> bool {
         use sl2_core::algos::Snapshot;
-        if !self.lock.try_acquire() {
+        let Some(lease) = self.lock.try_acquire() else {
             return false;
-        }
+        };
+        let tenure = Tenure {
+            lock: &self.lock,
+            lease: Some(lease),
+        };
         let view = self.inner.scan();
+        sl2_chaos::point("snapshot.pre_publish");
         self.cache.publish(&view);
-        self.lock.release();
+        drop(tenure);
         true
     }
 

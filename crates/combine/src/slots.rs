@@ -145,11 +145,61 @@ impl PublicationArray {
     }
 }
 
+/// A granted combiner election: proof that the holder won
+/// [`CombinerLock::try_acquire`] (or [`CombinerLock::reclaim`]), to be
+/// surrendered via [`CombinerLock::release`].
+///
+/// The wrapped id is the *lease word* the lock cell holds for the
+/// duration of the tenure — globally unique (a fetch&add generation
+/// counter mints it), never zero. Uniqueness is what makes abandonment
+/// detectable: a crashed combiner's lease stays frozen in the cell
+/// forever, while any live tenure eventually ends or advances the
+/// epoch, so "same lease, same epoch, observed twice" is evidence of
+/// a dead holder (see [`CombinerLock::reclaim`]).
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "an unreleased lease abandons the combiner lock"]
+pub struct Lease {
+    id: u64,
+}
+
+impl Lease {
+    /// The lease word this tenure holds in the lock cell.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
 /// The combiner election: a swap-based try-lock (consensus number 2 —
-/// `swap` decides the two-process race the election is).
+/// `swap` decides the two-process race the election is) whose holder
+/// is identified by a unique, non-zero *lease* word, so a lock
+/// abandoned by a crash-stopped combiner can be detected and
+/// reclaimed by the survivors.
 ///
 /// Strictly a *try*-lock: there is no blocking acquire, because the
 /// combining protocol has no waiters — losers take the direct path.
+///
+/// # Protocol (swap + fetch&add only — no compare&swap)
+///
+/// * **Acquire** reads the cell first and fails fast while it is
+///   non-zero, then swaps a freshly minted lease in. A non-zero swap
+///   result means another acquirer won the same race; the loser hands
+///   the winner's lease straight back (restore-on-clobber) and
+///   reports failure.
+/// * **Release** swaps zero in and checks it got its own lease back.
+///   Getting someone else's lease back means the tenure was reclaimed
+///   while this combiner was (wrongly) suspected dead; the foreign
+///   lease is restored and `release` reports the anomaly.
+/// * **Reclaim** takes over a lease the caller has independently
+///   observed frozen (same lease *and* no epoch progress across
+///   repeated observations): one swap, validated against the
+///   suspected lease, restored if the cell moved meanwhile.
+///
+/// Under crash-stop faults the suspicion evidence is conclusive once
+/// the suspect is really dead, so reclaim never steals from a live
+/// combiner. A merely *stalled* combiner can be suspected wrongly —
+/// the release validation plus the monotone publication repair in
+/// [`crate::Combiner`] keep that safe (DESIGN.md §10 spells out the
+/// model boundary).
 ///
 /// # Examples
 ///
@@ -157,14 +207,29 @@ impl PublicationArray {
 /// use sl2_combine::CombinerLock;
 ///
 /// let lock = CombinerLock::new();
-/// assert!(lock.try_acquire());
-/// assert!(!lock.try_acquire(), "election decides exactly one winner");
-/// lock.release();
-/// assert!(lock.try_acquire());
+/// let lease = lock.try_acquire().expect("free lock");
+/// assert!(lock.try_acquire().is_none(), "election decides exactly one winner");
+/// assert!(lock.release(lease), "clean handback");
+/// let relock = lock.try_acquire().expect("free again");
+/// # assert!(lock.release(relock));
+/// ```
+///
+/// Reclaiming an abandoned tenure:
+///
+/// ```
+/// use sl2_combine::CombinerLock;
+///
+/// let lock = CombinerLock::new();
+/// let dead = lock.try_acquire().expect("free lock");
+/// let frozen = dead.id();
+/// drop(dead); // crash-stop: release is explicit, so dropping abandons the lease
+/// let rescued = lock.reclaim(frozen).expect("frozen lease is reclaimable");
+/// assert!(lock.release(rescued));
 /// ```
 #[derive(Debug, Default)]
 pub struct CombinerLock {
     cell: CachePadded<Swap>,
+    gen: CachePadded<FetchAdd>,
 }
 
 impl CombinerLock {
@@ -173,19 +238,82 @@ impl CombinerLock {
         CombinerLock::default()
     }
 
-    /// One swap: returns whether the caller won the election.
-    pub fn try_acquire(&self) -> bool {
-        self.cell.swap(1) == 0
+    /// Mints a globally unique, non-zero lease word.
+    fn fresh_id(&self) -> u64 {
+        // fetch&add returns the previous value; +1 keeps ids non-zero.
+        self.gen.fetch_add(1) + 1
     }
 
-    /// Releases the lock (one swap). Only the winner may call this.
-    pub fn release(&self) {
-        self.cell.swap(0);
+    /// Tries to win the election: `Some(lease)` iff the caller now
+    /// holds the lock. Read-first so losing costs one shared load on
+    /// the common held-lock path; the swap race among simultaneous
+    /// acquirers is resolved by restore-on-clobber.
+    pub fn try_acquire(&self) -> Option<Lease> {
+        if self.cell.read() != 0 {
+            return None;
+        }
+        let id = self.fresh_id();
+        match self.cell.swap(id) {
+            0 => Some(Lease { id }),
+            prev => {
+                // Lost a same-instant race: hand the winner's lease
+                // back and fail.
+                self.cell.swap(prev);
+                None
+            }
+        }
+    }
+
+    /// Releases the lock. Returns `true` on a clean handback (the
+    /// cell still held this lease); `false` means the tenure had been
+    /// reclaimed by a survivor that suspected this combiner dead — the
+    /// reclaimer's lease is restored and the caller must treat its
+    /// tenure as forfeited (its publication already happened and is
+    /// monotone-safe; see [`crate::Combiner`]).
+    pub fn release(&self, lease: Lease) -> bool {
+        match self.cell.swap(0) {
+            id if id == lease.id => true,
+            0 => false, // reclaimed *and* released again meanwhile
+            foreign => {
+                self.cell.swap(foreign);
+                false
+            }
+        }
+    }
+
+    /// Takes over a tenure whose lease the caller has observed frozen
+    /// (same `suspected` lease word with no epoch progress across
+    /// repeated, spaced observations — the caller supplies the
+    /// evidence, e.g. [`crate::Combiner`]'s per-process strike
+    /// counters). Returns the new lease iff the takeover landed on
+    /// exactly the suspected tenure (or on a lock that had just been
+    /// freed); any other interleaving restores the cell and fails.
+    pub fn reclaim(&self, suspected: u64) -> Option<Lease> {
+        if suspected == 0 || self.cell.read() != suspected {
+            return None;
+        }
+        let id = self.fresh_id();
+        match self.cell.swap(id) {
+            prev if prev == suspected => Some(Lease { id }),
+            // Freed between the read and the swap: we hold a
+            // legitimately acquired free lock.
+            0 => Some(Lease { id }),
+            live => {
+                self.cell.swap(live);
+                None
+            }
+        }
+    }
+
+    /// The lease word currently in the cell (0 = free). One read —
+    /// this is the observation suspicion evidence is built from.
+    pub fn holder(&self) -> u64 {
+        self.cell.read()
     }
 
     /// Whether some combiner currently holds the lock (one read).
     pub fn is_held(&self) -> bool {
-        self.cell.read() != 0
+        self.holder() != 0
     }
 }
 
@@ -317,7 +445,7 @@ mod tests {
     #[test]
     fn lock_elects_one_winner_under_contention() {
         let lock = Arc::new(CombinerLock::new());
-        let mut wins = 0;
+        let mut wins = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
@@ -326,15 +454,84 @@ mod tests {
                 })
                 .collect();
             for h in handles {
-                if h.join().expect("no panics") {
-                    wins += 1;
+                if let Some(lease) = h.join().expect("no panics") {
+                    wins.push(lease);
                 }
             }
         });
-        assert_eq!(wins, 1);
+        assert_eq!(wins.len(), 1, "election decides exactly one winner");
         assert!(lock.is_held());
-        lock.release();
+        assert_eq!(lock.holder(), wins[0].id());
+        assert!(lock.release(wins.pop().expect("the winner")));
         assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn abandoned_lease_is_reclaimable_and_forfeits_the_late_release() {
+        let lock = CombinerLock::new();
+        let dead = lock.try_acquire().expect("free lock");
+        let frozen = dead.id();
+
+        // A reclaim of the wrong lease (or of a free lock) fails and
+        // leaves the cell untouched.
+        assert!(lock.reclaim(frozen + 17).is_none());
+        assert_eq!(lock.holder(), frozen);
+        assert!(lock.reclaim(0).is_none());
+
+        // Takeover of the frozen lease succeeds; the cell now holds
+        // the rescuer's (distinct) lease.
+        let rescued = lock.reclaim(frozen).expect("frozen lease");
+        assert_ne!(rescued.id(), frozen);
+        assert_eq!(lock.holder(), rescued.id());
+
+        // The suspect was merely stalled after all: its late release
+        // must report forfeiture and leave the rescuer's tenure held.
+        assert!(!lock.release(dead), "forfeited tenure");
+        assert_eq!(lock.holder(), rescued.id());
+
+        assert!(lock.release(rescued));
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn reclaim_of_a_released_lease_acquires_the_free_lock() {
+        let lock = CombinerLock::new();
+        let a = lock.try_acquire().expect("free lock");
+        let stale = a.id();
+        assert!(lock.release(a));
+        // The observation is stale (the holder released between the
+        // caller's read and the reclaim): the cell no longer matches,
+        // so reclaim fails fast without disturbing anything.
+        assert!(lock.reclaim(stale).is_none());
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn contended_reclaim_of_a_dead_lease_elects_exactly_one_rescuer() {
+        for _ in 0..200 {
+            let lock = Arc::new(CombinerLock::new());
+            let dead = lock.try_acquire().expect("free lock");
+            let frozen = dead.id();
+            drop(dead);
+            let mut rescues = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let lock = Arc::clone(&lock);
+                        s.spawn(move || lock.reclaim(frozen))
+                    })
+                    .collect();
+                for h in handles {
+                    if let Some(lease) = h.join().expect("no panics") {
+                        rescues.push(lease);
+                    }
+                }
+            });
+            assert_eq!(rescues.len(), 1, "exactly one rescuer");
+            let lease = rescues.pop().expect("the rescuer");
+            assert_eq!(lock.holder(), lease.id());
+            assert!(lock.release(lease));
+        }
     }
 
     #[test]
@@ -354,26 +551,43 @@ mod tests {
     #[test]
     fn seq_cache_never_returns_a_torn_view() {
         // Writers keep both words equal; an optimistic read that
-        // succeeds must never observe a mixed pair.
+        // succeeds must never observe a mixed pair. The reader keeps
+        // trying until the writer is done — once it is, the version is
+        // even and stable, so the final attempt must hit (a fixed
+        // attempt budget was flaky on one CPU, where the reader could
+        // exhaust it before the writer was ever scheduled).
         let cache = Arc::new(SeqCache::new(2));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
         std::thread::scope(|s| {
             let w = Arc::clone(&cache);
+            let d = Arc::clone(&done);
             s.spawn(move || {
                 for v in 1..=2000u64 {
                     w.publish(&[v, v]);
                 }
+                d.store(true, std::sync::atomic::Ordering::SeqCst);
             });
             let r = Arc::clone(&cache);
+            let d = Arc::clone(&done);
             s.spawn(move || {
                 let mut out = [0u64; 2];
-                let mut hits = 0;
-                for _ in 0..4000 {
+                let mut hits = 0u64;
+                loop {
+                    let finished = d.load(std::sync::atomic::Ordering::SeqCst);
                     if r.read_into(&mut out) {
                         assert_eq!(out[0], out[1], "torn view {out:?}");
                         hits += 1;
                     }
+                    if finished && hits > 0 {
+                        break;
+                    }
+                    if finished {
+                        // Quiescent: the next attempt cannot miss.
+                        assert!(r.read_into(&mut out), "quiescent read missed");
+                        assert_eq!(out, [2000, 2000]);
+                        break;
+                    }
                 }
-                assert!(hits > 0, "optimistic reads never once succeeded");
             });
         });
     }

@@ -76,6 +76,24 @@ impl<S: Spec> History<S> {
         &self.events
     }
 
+    /// The same history under a different specification with identical
+    /// operation and response types — e.g. the exact counter vs its
+    /// k-lagging window. One recorded run judged against both is the
+    /// recorder's differential adjudication (`tests/recorder.rs`).
+    pub fn retyped<S2>(&self) -> History<S2>
+    where
+        S2: Spec<Op = S::Op, Resp = S::Resp>,
+    {
+        let mut out = History::new();
+        for ev in &self.events {
+            match ev {
+                Event::Invoke { id, process, op } => out.invoke(*id, *process, op.clone()),
+                Event::Return { id, resp } => out.ret(*id, resp.clone()),
+            }
+        }
+        out
+    }
+
     /// Removes the most recent event (used by backtracking explorers).
     pub fn pop(&mut self) -> Option<Event<S>> {
         self.events.pop()

@@ -23,6 +23,10 @@
 //! * [`corpus`] — the batch driver: scenario-family enumeration with
 //!   isomorphism dedup, shared node budgets, and machine-readable
 //!   [`corpus::CorpusReport`]s (the E23 re-certification artifact).
+//! * [`record`] — the threaded-history recorder: invoke/response logs
+//!   from real threaded runs of the *production* objects (including
+//!   chaos-faulted runs), merged on a global stamp and adjudicated by
+//!   [`lin`] — crashed operations stay pending forever.
 //!
 //! # Example: checking an atomic cell is strongly linearizable
 //!
@@ -43,6 +47,7 @@ pub mod history;
 pub mod lin;
 pub mod machine;
 pub mod mem;
+pub mod record;
 pub mod scenarios;
 pub mod sched;
 pub mod strong;
@@ -52,6 +57,7 @@ pub use history::{History, OpId};
 pub use lin::{is_linearizable, linearize};
 pub use machine::{Algorithm, OpMachine, Step};
 pub use mem::{ArrayLoc, Cell, Loc, SimMemory, Word};
+pub use record::{RecordReport, RecordRun, Recorder};
 pub use scenarios::{fan_in, symmetric, tower};
 pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
 pub use strong::{

@@ -102,6 +102,11 @@ impl ShardedFetchInc {
         let shard = self.sharding.of_process(process);
         let reg = &self.shards[shard];
         let mine = reg.probe_unary(&self.layout, process);
+        // Chaos: the probe-then-adjust window. A crash-stop between
+        // the own-lane probe and the landing fetch&add leaves the op
+        // pending forever — legal for survivors' linearizability (the
+        // increment never landed), exercised by the recorder suite.
+        sl2_chaos::point("sharded.inc.pre_add");
         let delta = BigNat::pow2(self.layout.bit(process, mine as usize));
         let seq = reg.fetch_add_with(&delta, |old| old.count_ones() as u64 + 1);
         ShardTicket { shard, seq }

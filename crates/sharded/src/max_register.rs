@@ -191,6 +191,10 @@ impl MaxRegister for ShardedMaxRegister {
                 if count <= prev {
                     return; // linearized at the probing fetch&add
                 }
+                // Chaos: crash-stop mid probe-then-adjust — the write
+                // is pending forever and must stay invisible to
+                // survivors' exact reads (lane untouched).
+                sl2_chaos::point("sharded.write.pre_add");
                 let inc = self.layout.unary_increment(process, prev, count);
                 shard.add(&inc);
             }
@@ -200,6 +204,7 @@ impl MaxRegister for ShardedMaxRegister {
                 if count <= prev {
                     return; // linearized at the probing fetch&add
                 }
+                sl2_chaos::point("sharded.write.pre_add");
                 // One signed adjustment rewrites the differing binary
                 // digits (§3.2's update shape).
                 let (pos, neg) = binary.adjustments(process, prev, count);

@@ -147,10 +147,11 @@ pub mod prelude {
     };
     pub use sl2_bignum::{BigNat, Layout, WideFaa};
     pub use sl2_combine::{
+        abandoned_counter_fan_in_scenario, abandoned_counter_lagging_scenario,
         cached_fan_in_lagging_scenario, cached_fan_in_max_scenario,
         combining_frontier_safe_scenario, ApplyPath, Combinable, Combiner, CombinerLock,
         CombiningCounter, CombiningCounterAlg, CombiningMaxRegAlg, CombiningMaxRegister,
-        CombiningSnapshot, PubSlot, PublicationArray, ReadMode, SeqCache,
+        CombiningSnapshot, Lease, PubSlot, PublicationArray, ReadMode, SeqCache,
     };
     pub use sl2_core::algos::fetch_inc::SlFetchInc;
     pub use sl2_core::algos::max_register::SlMaxRegister;
@@ -178,8 +179,8 @@ pub mod prelude {
         check_strong, check_strong_outcome, check_strong_with, fan_in, for_each_history,
         is_linearizable, linearize, symmetric, tower, validate_witness, Algorithm, BurstSched,
         CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, CrashPlan, MemoMode, OpMachine,
-        Outcome, RandomSched, RoundRobin, Scenario, ScenarioCorpus, SimMemory, Step, StrongOptions,
-        StrongOutcome, Witness,
+        Outcome, RandomSched, RecordReport, Recorder, RoundRobin, Scenario, ScenarioCorpus,
+        SimMemory, Step, StrongOptions, StrongOutcome, Witness,
     };
     pub use sl2_primitives::{
         BaseObject, CachePadded, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Sharding,

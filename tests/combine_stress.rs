@@ -198,6 +198,87 @@ fn combined_and_plain_sharded_max_registers_agree_on_mirrored_ops() {
 }
 
 #[test]
+fn abandoned_combiner_lock_degrades_boundedly_then_is_reclaimed() {
+    // A combiner that crash-stops mid-tenure freezes its lease in the
+    // lock and leaves its announcement behind. Survivors must (a) keep
+    // completing on the direct path — bounded degradation, the cached
+    // read merely lags; (b) reclaim the lock after RECLAIM_STRIKES
+    // frozen sightings; (c) sweep the abandoned announcement exactly
+    // once into a fresh fold; (d) resume ordinary combining.
+    let m = CombiningMaxRegister::new(ShardedMaxRegister::new(4, 2));
+    // The "crashed combiner": process 3 announces 77, wins the
+    // election, and stops forever (a dropped `Lease` is the frozen
+    // tenure a crash-stop leaves — release is explicit, Lease has no
+    // Drop, exactly as no unwind runs through a parked thread).
+    m.front().slots().publish(3, 77);
+    let dead = m.front().lock().try_acquire().expect("fresh lock is free");
+    let frozen = dead.id();
+    drop(dead);
+    assert_eq!(m.front().lock().holder(), frozen);
+
+    // Two frozen sightings: direct-path completions, cache stalls.
+    assert_eq!(m.write_max_traced(0, 10), ApplyPath::Direct);
+    assert_eq!(m.write_max_traced(0, 20), ApplyPath::Direct);
+    assert_eq!(m.read_cached(), 0, "no publisher: the cache lags, bounded");
+    assert_eq!(
+        m.read_max(),
+        20,
+        "direct path unaffected by the dead tenure"
+    );
+
+    // Third sighting: reclaim, recovery sweep, republication.
+    match m.write_max_traced(0, 30) {
+        ApplyPath::Reclaimed { applied } => {
+            assert_eq!(applied, 1, "the abandoned announcement swept exactly once");
+        }
+        other => panic!("expected a reclaim on the third frozen sighting, got {other:?}"),
+    }
+    assert_eq!(m.front().lock().holder(), 0, "recovered tenure released");
+    assert_eq!(
+        m.read_max(),
+        77,
+        "the dead combiner's announcement was applied"
+    );
+    assert_eq!(m.read_cached(), 77, "recovery republished the full fold");
+
+    // Ordinary combining resumes.
+    assert!(matches!(
+        m.write_max_traced(1, 99),
+        ApplyPath::Combined { .. }
+    ));
+    assert_eq!(m.read_cached(), 99);
+}
+
+#[test]
+fn abandoned_counter_publisher_is_reclaimed_and_conserves() {
+    // Same crash aftermath for the publication-combining counter:
+    // increments stay wait-free throughout, anonymous refreshes never
+    // reclaim (no identity to accumulate suspicion under), and the
+    // per-process reclaim republishes without losing or doubling a
+    // unit.
+    let c = CombiningCounter::new(ShardedFetchInc::new(4, 2));
+    let dead = c.lock().try_acquire().expect("fresh lock is free");
+    let frozen = dead.id();
+    drop(dead);
+    assert_eq!(c.lock().holder(), frozen);
+
+    for _ in 0..8 {
+        assert!(!c.refresh(), "anonymous refresh must not reclaim");
+    }
+    assert_eq!(c.lock().holder(), frozen, "suspicion needs an identity");
+
+    assert!(!c.inc_traced(0), "first frozen sighting: observe");
+    assert!(!c.inc_traced(0), "second frozen sighting: strike");
+    assert!(c.inc_traced(0), "third sighting reclaims and publishes");
+    assert_eq!(c.lock().holder(), 0, "recovered tenure released");
+    assert_eq!(c.read_exact(), 3, "no unit lost or doubled across recovery");
+    assert_eq!(c.read_cached(), 3, "recovery caught the cache up");
+
+    assert!(c.inc_traced(1), "publication combining resumes");
+    assert_eq!(c.read_cached(), 4);
+}
+
+#[test]
 fn combined_snapshot_cached_views_stay_untorn_under_churn() {
     // Writers keep their group pair equal; every cached hit is a
     // published stable scan, so the pair invariant must survive into

@@ -22,6 +22,27 @@ const EXPECTED_EXAMPLES: &[&str] = &[
     "work_queue",
 ];
 
+/// The root integration-test suites, as wired into CI. Cargo
+/// auto-discovers these, so a stray file still *compiles* — what rots
+/// is the CI wiring around the special ones: `chaos_stress` is empty
+/// without `--features chaos`, and `corpus` / `recorder` only emit
+/// their JSON artifacts when CI exports the matching env var.
+const EXPECTED_TESTS: &[&str] = &[
+    "agreement_e2e",
+    "alloc_counter",
+    "chaos_stress",
+    "checker_props",
+    "combine_stress",
+    "corpus",
+    "figure1",
+    "non_sl_witnesses",
+    "recorder",
+    "sharded_stress",
+    "sweeps",
+    "target_coverage",
+    "towers",
+];
+
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
 }
@@ -48,6 +69,32 @@ fn all_seven_examples_exist_on_disk() {
         found, expected,
         "examples/ drifted from the documented set; update EXPECTED_EXAMPLES, \
          the README, and CI together"
+    );
+}
+
+#[test]
+fn integration_test_suites_match_the_documented_set() {
+    let found = rust_file_stems(&repo_root().join("tests"));
+    let expected: BTreeSet<String> = EXPECTED_TESTS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        found, expected,
+        "tests/ drifted from the documented set; update EXPECTED_TESTS and the \
+         CI workflow together"
+    );
+}
+
+#[test]
+fn chaos_suite_stays_feature_gated() {
+    // The chaos adversaries must never arm in a default build: the
+    // whole suite hangs off `#![cfg(feature = "chaos")]`, and CI has a
+    // dedicated leg passing the feature. If the gate disappears, the
+    // default test run would depend on chaos points that are compiled
+    // to no-op stubs — every injection silently does nothing.
+    let src = std::fs::read_to_string(repo_root().join("tests/chaos_stress.rs"))
+        .expect("chaos_stress.rs readable");
+    assert!(
+        src.contains("#![cfg(feature = \"chaos\")]"),
+        "tests/chaos_stress.rs lost its chaos feature gate"
     );
 }
 
