@@ -19,7 +19,10 @@
 //!   with exact, relaxed, and cached reads under a 1:9 mix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl2_bench::{parallel_duration, ratio_mix, ValueStream, ZipfStream};
+use sl2_bench::{
+    parallel_duration, parallel_latency, ratio_mix, record_percentiles_json, Histogram,
+    ValueStream, ZipfStream,
+};
 use sl2_combine::{CombiningCounter, CombiningMaxRegister};
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::MaxRegister;
@@ -263,5 +266,79 @@ fn bench_counter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_read_latency, bench_mixed, bench_counter);
+/// Prints and records one percentile series row.
+fn report_percentiles(id: &str, h: &Histogram) {
+    eprintln!(
+        "{id:<60} p50 {:>8} ns   p99 {:>8} ns   p999 {:>8} ns   max {:>8} ns",
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max()
+    );
+    record_percentiles_json(id, h);
+}
+
+/// One deterministic write operand for thread `t`'s `k`-th operation
+/// (stateless, so the per-op latency closure can stay `Fn`).
+fn mix_value(t: usize, k: u64) -> u64 {
+    ValueStream::new(t as u64 * OPS + k + 1).next_value() % VALUE_BOUND
+}
+
+/// Experiment E38 — the tail-latency complement of `combining_mixed`:
+/// the makespan series above averages away exactly the p99/p999
+/// outliers that combiner elections, lease takeovers, and stable-fold
+/// retries cause, so this series times **every operation** of the 1:9
+/// mix individually ([`parallel_latency`]) and emits
+/// p50/p99/p999/max rows (`"kind":"latency"`) into `SL2_BENCH_JSON`
+/// next to the shim's medians. Not a criterion timing group: the
+/// histogram is the measurement.
+fn bench_mixed_percentiles(_c: &mut Criterion) {
+    eprintln!("\nE38 per-op latency percentiles (1:9 write:read mix):");
+    for threads in [8usize, 16] {
+        let global = SlMaxRegister::new(threads);
+        let h = parallel_latency(threads, OPS, |t, k| {
+            if k % 10 == 0 {
+                global.write_max(t, mix_value(t, k));
+            } else {
+                black_box(global.read_max());
+            }
+        });
+        report_percentiles(&format!("combining_percentiles/global_w1r9/{threads}"), &h);
+
+        let sharded = ShardedMaxRegister::new(threads, SHARDS);
+        let h = parallel_latency(threads, OPS, |t, k| {
+            if k % 10 == 0 {
+                sharded.write_max(t, mix_value(t, k));
+            } else {
+                black_box(sharded.read_max());
+            }
+        });
+        report_percentiles(
+            &format!("combining_percentiles/sharded_s16_w1r9/{threads}"),
+            &h,
+        );
+
+        let combined = CombiningMaxRegister::new(ShardedMaxRegister::new(threads, SHARDS));
+        let h = parallel_latency(threads, OPS, |t, k| {
+            if k % 10 == 0 {
+                combined.write_max(t, mix_value(t, k));
+            } else {
+                black_box(combined.read_cached());
+            }
+        });
+        report_percentiles(
+            &format!("combining_percentiles/combined_w1r9/{threads}"),
+            &h,
+        );
+    }
+    eprintln!();
+}
+
+criterion_group!(
+    benches,
+    bench_read_latency,
+    bench_mixed,
+    bench_counter,
+    bench_mixed_percentiles
+);
 criterion_main!(benches);

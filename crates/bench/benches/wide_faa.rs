@@ -25,11 +25,11 @@
 //!   shrink to O(log n) bits in future work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl2_bench::parallel_duration;
+use sl2_bench::{parallel_duration, parallel_latency, record_percentiles_json};
+use sl2_bignum::FetchAdd128;
 use sl2_bignum::{BigNat, Layout, WideFaa};
 use sl2_core::algos::max_register::SlMaxRegister;
 use sl2_core::algos::MaxRegister;
-use sl2_primitives::FetchAdd128;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -228,6 +228,42 @@ fn bench_stall_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// E38's contended-add percentile series: per-op latency of the w=64
+/// DWCAS add under 8 and 16 threads, lock-free vs spinlocked. The
+/// `lockfree_vs_spin` makespans above report only the mean regime;
+/// the retry loop's cost lives in the tail (a losing DWCAS pays a
+/// whole re-decode), which only p99/p999 can show. Rows land in
+/// `SL2_BENCH_JSON` with `"kind":"latency"`.
+fn bench_faa_percentiles(_c: &mut Criterion) {
+    const OPS: u64 = 2_000;
+    eprintln!("\nE38 per-op latency percentiles (w=64 contended add):");
+    for threads in [8usize, 16] {
+        for spin in [false, true] {
+            let tag = if spin { "spin" } else { "lockfree" };
+            let init = BigNat::pow2(63);
+            let reg = if spin {
+                WideFaa::with_value_spinlocked(init)
+            } else {
+                WideFaa::with_value(init)
+            };
+            let delta = BigNat::one();
+            let h = parallel_latency(threads, OPS, |_, _| {
+                reg.add(&delta);
+            });
+            let id = format!("faa_percentiles/{tag}_w64/{threads}");
+            eprintln!(
+                "{id:<60} p50 {:>8} ns   p99 {:>8} ns   p999 {:>8} ns   max {:>8} ns",
+                h.p50(),
+                h.p99(),
+                h.p999(),
+                h.max()
+            );
+            record_percentiles_json(&id, &h);
+        }
+    }
+    eprintln!();
+}
+
 /// Not a timing benchmark: prints the E12 growth table
 /// (writes → register bits) for the Theorem 1 max register, plus the
 /// representation each size lands in.
@@ -255,6 +291,7 @@ criterion_group!(
     bench_borrowed_probe,
     bench_lockfree_vs_spin,
     bench_stall_recovery,
+    bench_faa_percentiles,
     report_register_growth
 );
 criterion_main!(benches);

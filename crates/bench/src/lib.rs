@@ -11,6 +11,8 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+pub use sl2_obs::Histogram;
+
 /// Runs `f(thread_id)` on `threads` OS threads after a common barrier
 /// and returns the wall-clock duration of the slowest thread — i.e.
 /// the makespan of the contended workload.
@@ -141,6 +143,88 @@ where
         .collect()
 }
 
+/// Per-operation latency distribution of a contended workload: after a
+/// common barrier every one of `threads` workers runs `ops` calls of
+/// `op(thread_id, k)`, timing **each call individually** into its own
+/// [`Histogram`] (nanoseconds); the per-thread histograms are merged
+/// into one. This is the tail-latency complement of
+/// [`parallel_duration`]'s makespan: the makespan hides the p99/p999
+/// outliers a lease takeover or DWCAS retry storm causes, which is
+/// exactly what the percentile series (E38) is after.
+///
+/// Each sample pays one `Instant::now()` pair (~tens of ns), so
+/// medians here run *above* criterion's batched medians — compare
+/// percentile series against each other, not against `median_ns`.
+pub fn parallel_latency<F>(threads: usize, ops: u64, f: F) -> Histogram
+where
+    F: Fn(usize, u64) + Sync,
+{
+    let barrier = Barrier::new(threads);
+    let mut merged = Histogram::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let f = &f;
+                s.spawn(move || {
+                    let mut h = Histogram::new();
+                    barrier.wait();
+                    for k in 0..ops {
+                        let start = Instant::now();
+                        f(t, k);
+                        h.record(duration_ns(start.elapsed()));
+                    }
+                    h
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("latency workers do not panic"));
+        }
+    });
+    merged
+}
+
+/// Saturates a duration to whole nanoseconds in `u64` (584 years of
+/// headroom — any real sample fits).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Appends one JSON line of percentile data for `id` to the file named
+/// by `SL2_BENCH_JSON` (the same sink the criterion shim's medians go
+/// to), shaped
+/// `{"id":…,"kind":"latency","samples":…,"p50_ns":…,"p99_ns":…,"p999_ns":…,"max_ns":…}`.
+/// The `kind` key keeps percentile rows distinguishable from the
+/// shim's median rows in one mixed stream. No-op when the variable is
+/// unset or empty; empty histograms report all-zero percentiles.
+pub fn record_percentiles_json(id: &str, h: &Histogram) {
+    let Ok(path) = std::env::var("SL2_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{}\",\"kind\":\"latency\",\"samples\":{},\
+             \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+            id.escape_default(),
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.p999(),
+            h.max()
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +289,41 @@ mod tests {
         let points = sweep_threads(&[1, 2, 4], |_, _| {});
         let counts: Vec<usize> = points.iter().map(|(t, _)| *t).collect();
         assert_eq!(counts, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn parallel_latency_samples_every_op() {
+        let hits = AtomicU64::new(0);
+        let h = parallel_latency(3, 50, |_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 150);
+        assert_eq!(h.count(), 150, "one sample per op across all threads");
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+    }
+
+    #[test]
+    fn percentile_json_lines_carry_the_latency_kind() {
+        let path = std::env::temp_dir().join(format!("sl2_lat_json_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("SL2_BENCH_JSON", &path);
+        let mut h = Histogram::new();
+        for v in [10, 20, 4000] {
+            h.record(v);
+        }
+        record_percentiles_json("harness/percentiles", &h);
+        std::env::remove_var("SL2_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("{\"id\":\"harness/percentiles\""))
+            .collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kind\":\"latency\""));
+        assert!(lines[0].contains("\"samples\":3"));
+        assert!(lines[0].contains("\"max_ns\":4000"));
+        assert!(lines[0].ends_with('}'));
     }
 }

@@ -313,6 +313,7 @@ impl RawSpin {
         // held forever, by design (DESIGN.md §10).
         let guard = SpinGuard(self);
         sl2_chaos::point("spin.acquired");
+        sl2_obs::count("faa.spin_acquire");
         guard
     }
 

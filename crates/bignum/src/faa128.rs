@@ -1,0 +1,141 @@
+//! The fixed-width 128-bit fetch&add register and the consensus-number
+//! annotations tying this crate's registers into the
+//! [`sl2_primitives`] hierarchy.
+//!
+//! This module lives here (rather than in `sl2_primitives::rmw`, where
+//! the 64-bit registers are) so that the crate graph stays a DAG with
+//! `sl2_primitives` at the bottom: the wide registers depend on the
+//! consensus-number vocabulary, not the other way around.
+
+use sl2_primitives::{BaseObject, ConsensusNumber};
+
+use crate::cell::Atomic128;
+use crate::wide::WideFaa;
+
+/// Atomic fetch&add on a `u128` — a fixed-width register for callers
+/// that know `n × values` fits in 128 bits (e.g. a 2-process max
+/// register up to 64, or a 4-component snapshot of 32-bit values).
+/// Built on [`Atomic128`]: a lock-free `cmpxchg16b` retry loop on
+/// x86_64 (runtime-detected), a short spinlock critical section
+/// elsewhere — either way each operation has a single linearization
+/// instant (DESIGN.md §9), which is all the §3 algorithms require.
+///
+/// Since [`WideFaa`] gained its inline two-limb representation it
+/// covers this whole regime allocation-free *and* grows past it on
+/// demand, so prefer `WideFaa` unless a hard 128-bit bound is itself
+/// the point (this type never spills, so it doubles as a guard that a
+/// workload stays within the bound).
+#[derive(Debug, Default)]
+pub struct FetchAdd128 {
+    cell: Atomic128,
+}
+
+impl FetchAdd128 {
+    /// Creates a register with the given initial value.
+    pub fn new(init: u128) -> Self {
+        FetchAdd128 {
+            cell: Atomic128::new(init),
+        }
+    }
+
+    /// Atomically adds `delta` (wrapping), returning the previous
+    /// value.
+    pub fn fetch_add(&self, delta: u128) -> u128 {
+        self.cell.fetch_add(delta)
+    }
+
+    /// Atomically applies `+pos − neg` in one step (the §3.2 signed
+    /// adjustment), returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative or overflow 128 bits —
+    /// the never-spills guard. The register is left unchanged.
+    pub fn fetch_adjust(&self, pos: u128, neg: u128) -> u128 {
+        self.cell.fetch_update(|old| {
+            old.checked_add(pos)
+                .and_then(|v| v.checked_sub(neg))
+                .expect("adjustment drove the register out of range")
+        })
+    }
+
+    /// Reads the current value (= `fetch_add(0)`).
+    pub fn read(&self) -> u128 {
+        self.cell.load()
+    }
+}
+
+impl BaseObject for FetchAdd128 {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+// The wide register is fetch&add on an unbounded value: same position
+// in the hierarchy as the fixed-width fetch&adds (the paper's point is
+// precisely that this level-2 object suffices for the §3 towers).
+impl BaseObject for WideFaa {
+    const CONSENSUS_NUMBER: ConsensusNumber = ConsensusNumber::Two;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faa128_basics() {
+        let c = FetchAdd128::new(0);
+        assert_eq!(c.fetch_add(1 << 100), 0);
+        assert_eq!(c.read(), 1 << 100);
+        assert_eq!(c.fetch_adjust(1, 1 << 100), 1 << 100);
+        assert_eq!(c.read(), 1);
+    }
+
+    #[test]
+    fn faa128_concurrent_sums_exactly() {
+        let c = FetchAdd128::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(1u128 << (t * 16));
+                    }
+                });
+            }
+        });
+        for t in 0..8u32 {
+            assert_eq!((c.read() >> (t * 16)) & 0xffff, 1000, "lane {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn faa128_adjust_rejects_underflow() {
+        FetchAdd128::new(0).fetch_adjust(0, 1);
+    }
+
+    #[test]
+    fn faa128_failed_adjust_leaves_register_usable() {
+        // The never-spills guard: a rejected adjustment must not tear
+        // the cell or wedge the fallback lock.
+        let c = FetchAdd128::new(10);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.fetch_adjust(0, 11);
+        }));
+        assert!(err.is_err());
+        assert_eq!(c.read(), 10);
+        assert_eq!(c.fetch_adjust(5, 1), 10);
+        assert_eq!(c.read(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn faa128_adjust_rejects_overflow_past_128_bits() {
+        FetchAdd128::new(u128::MAX).fetch_adjust(1, 0);
+    }
+
+    #[test]
+    fn wide_registers_sit_at_level_two() {
+        assert_eq!(FetchAdd128::new(0).consensus_number(), ConsensusNumber::Two);
+        assert_eq!(WideFaa::new().consensus_number(), ConsensusNumber::Two);
+    }
+}

@@ -37,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 mod cell;
+mod faa128;
 mod interleave;
 mod nat;
 mod wide;
 
 pub use cell::Atomic128;
+pub use faa128::FetchAdd128;
 pub use interleave::{BinaryLayout, LaneEncoding, Layout};
 pub use nat::{BigNat, LIMB_BITS};
 pub use wide::WideFaa;

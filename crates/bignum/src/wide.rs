@@ -186,6 +186,7 @@ impl WideFaa {
     fn migrate_and<R>(&self, f: impl FnOnce(&mut BigNat) -> R) -> R {
         let _guard = self.lock.acquire();
         sl2_chaos::point("wfaa.migrate");
+        sl2_obs::count("faa.migrate");
         let mut cur = self.cell.load();
         while !is_tagged(cur) {
             match self.cell.compare_exchange(cur, MIGRATED) {
@@ -238,12 +239,14 @@ impl WideFaa {
                             Some(new) => match self.cell.compare_exchange(cur, new) {
                                 Ok(prev) => return f(&BigNat::from(prev)),
                                 Err(actual) => {
+                                    sl2_obs::count("faa.dwcas_retry");
                                     cur = actual;
                                     confirmed = true;
                                 }
                             },
                             None => {
                                 if !confirmed {
+                                    sl2_obs::count("faa.guess_miss");
                                     cur = self.cell.load();
                                     confirmed = true;
                                     continue;
@@ -335,12 +338,14 @@ impl WideFaa {
                         Some(new) => match self.cell.compare_exchange(cur, new) {
                             Ok(prev) => return f(&BigNat::from(prev)),
                             Err(actual) => {
+                                sl2_obs::count("faa.dwcas_retry");
                                 cur = actual;
                                 confirmed = true;
                             }
                         },
                         None => {
                             if !confirmed {
+                                sl2_obs::count("faa.guess_miss");
                                 cur = self.cell.load();
                                 confirmed = true;
                                 continue;

@@ -63,10 +63,15 @@ pub use active::{
 
 #[cfg(feature = "chaos")]
 mod active {
-    use std::cell::{Cell, RefCell};
+    use std::cell::RefCell;
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
+
+    // Label hashing and thread enrollment live in the dependency-free
+    // crate at the bottom of the workspace graph, shared with the
+    // sl2_obs probes (one identity, two consumers).
+    use sl2_primitives::labeled::{self, label_hash, mix};
 
     /// What a matched rule does to the calling thread.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,7 +196,6 @@ mod active {
     }
 
     thread_local! {
-        static THREAD_ID: Cell<Option<usize>> = const { Cell::new(None) };
         static HITS: RefCell<HashMap<String, u64>> = RefCell::new(HashMap::new());
     }
 
@@ -227,9 +231,10 @@ mod active {
     }
 
     /// Enrolls the calling thread under id `t` for the current plan
-    /// and resets its per-label hit counters.
+    /// (via the shared [`labeled`] registry, so obs shards see the
+    /// same id) and resets its per-label hit counters.
     pub fn set_thread(t: usize) {
-        THREAD_ID.with(|c| c.set(Some(t)));
+        labeled::enroll(t);
         HITS.with(|h| h.borrow_mut().clear());
     }
 
@@ -281,25 +286,6 @@ mod active {
         }
     }
 
-    /// SplitMix64: the deterministic noise source. Good avalanche,
-    /// no state — noise at a point is a pure function of its inputs.
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn label_hash(label: &str) -> u64 {
-        // FNV-1a; stable across runs and platforms.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h
-    }
-
     /// The armed injection point. No-op unless a plan is installed
     /// *and* the calling thread is enrolled via [`set_thread`].
     #[inline]
@@ -308,7 +294,7 @@ mod active {
         if !g.active.load(Ordering::Acquire) {
             return;
         }
-        let Some(t) = THREAD_ID.with(|c| c.get()) else {
+        let Some(t) = labeled::enrolled() else {
             return;
         };
         let plan = {

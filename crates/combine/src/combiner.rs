@@ -104,9 +104,14 @@ pub(crate) fn observe_or_reclaim(
     if cell.lease.load(Ordering::Relaxed) == lease && cell.epoch.load(Ordering::Relaxed) == epoch {
         let strikes = cell.strikes.load(Ordering::Relaxed) + 1;
         cell.strikes.store(strikes, Ordering::Relaxed);
+        sl2_obs::count("combine.lease_strike");
         if strikes >= RECLAIM_STRIKES {
             cell.strikes.store(0, Ordering::Relaxed);
-            return lock.reclaim(lease);
+            let reclaimed = lock.reclaim(lease);
+            if reclaimed.is_some() {
+                sl2_obs::count("combine.lease_reclaim");
+            }
+            return reclaimed;
         }
     } else {
         cell.lease.store(lease, Ordering::Relaxed);
@@ -306,6 +311,7 @@ impl<O: Combinable> Combiner<O> {
             // Lost the election: the plain wait-free path, then retire
             // the announcement (a combiner that already claimed it
             // re-applies harmlessly — `apply` is idempotent).
+            sl2_obs::count("combine.election_lost");
             self.inner.apply(process, op);
             self.slots.withdraw(process);
             if let Some(lease) = self.suspect_then_reclaim(process) {
@@ -317,10 +323,12 @@ impl<O: Combinable> Combiner<O> {
                 let applied = self.combine(process, lease, Some(self.inner.fold_relaxed()));
                 return ApplyPath::Reclaimed { applied };
             }
+            sl2_obs::count("combine.direct_path");
             return ApplyPath::Direct;
         };
         self.clear_suspicion(process);
         sl2_chaos::point("combine.won");
+        sl2_obs::count("combine.election_won");
         // Won: read the published fold, sweep (each claim applied
         // through this process's own lanes — see the Combinable docs)
         // while merging every applied operation into the fold, then
@@ -349,6 +357,8 @@ impl<O: Combinable> Combiner<O> {
             lock: &self.lock,
             lease: Some(lease),
         };
+        // Times the whole tenure (sweep + publish + release).
+        let _tenure_timer = sl2_obs::time("combine.fold_batch");
         let publish_always = base.is_some();
         let mut fold = base.unwrap_or_else(|| self.cache.read());
         let mut applied = 0;
@@ -361,6 +371,7 @@ impl<O: Combinable> Combiner<O> {
                 applied += 1;
             }
         }
+        sl2_obs::record("combine.batch_size", applied as u64);
         if publish_always || applied > 0 {
             sl2_chaos::point("combine.pre_publish");
             self.publish_fold(fold);
@@ -404,11 +415,13 @@ impl<O: Combinable> Combiner<O> {
     /// completed on the direct path since the last publication
     /// (DESIGN.md §8 has the strong-linearizability adjudication).
     pub fn read_cached(&self) -> u64 {
+        sl2_obs::count("combine.read_cached");
         self.cache.read()
     }
 
     /// The exact read: the inner object's stable fold (lock-free).
     pub fn read_stable(&self) -> u64 {
+        sl2_obs::count("combine.read_stable");
         self.inner.fold_exact()
     }
 

@@ -13,8 +13,9 @@
 //! Theorem 9 scan's Θ(k) test&sets — at the price of needing a
 //! fetch&add base object rather than plain test&set.
 
+use sl2_bignum::WideFaa;
 use sl2_bignum::{BigNat, Layout};
-use sl2_primitives::{ChunkedArray, WideFaa};
+use sl2_primitives::ChunkedArray;
 
 use super::readable_ts::SlReadableTas;
 

@@ -14,7 +14,8 @@
 //! linearization point.
 
 use sl2_bignum::Layout;
-use sl2_primitives::{CompareAndSwap, WideFaa};
+use sl2_bignum::WideFaa;
+use sl2_primitives::CompareAndSwap;
 
 use super::MaxRegister;
 

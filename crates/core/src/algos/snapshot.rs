@@ -3,8 +3,9 @@
 //! double-collect baseline used by the snapshot benchmarks (E3).
 
 use parking_lot::Mutex;
+use sl2_bignum::WideFaa;
 use sl2_bignum::{BigNat, Layout};
-use sl2_primitives::{Register, WideFaa};
+use sl2_primitives::Register;
 
 use super::Snapshot;
 

@@ -29,7 +29,7 @@ use crate::machine::Algorithm;
 use crate::mem::SimMemory;
 use crate::scenarios::{fan_in, symmetric, tower};
 use crate::sched::Scenario;
-use crate::strong::{check_strong_outcome, MemoMode, Outcome, StrongOptions};
+use crate::strong::{check_strong_outcome, MemoMode, Outcome, SearchStats, StrongOptions};
 
 /// Tuning knobs for a corpus run.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +90,18 @@ pub struct CorpusRecord {
     pub nodes: usize,
     /// Steps in the refutation witness (0 unless refuted).
     pub witness_steps: usize,
+    /// Search-shape counters from the check (memo hits/misses, max
+    /// explicit-stack depth) — zeroed for rows that never entered the
+    /// engine (e.g. budget exhausted before the run).
+    pub stats: SearchStats,
+}
+
+impl CorpusRecord {
+    /// Fraction of feasible entries the check answered from its memo
+    /// table (see [`SearchStats::memo_hit_rate`]).
+    pub fn memo_hit_rate(&self) -> f64 {
+        self.stats.memo_hit_rate()
+    }
 }
 
 /// Machine-readable result of one or more corpus runs sharing a node
@@ -144,13 +156,18 @@ impl CorpusReport {
             out.push_str(&format!(
                 "{{\"corpus\":\"scenario\",\"name\":\"{}\",\"processes\":{},\
                  \"total_ops\":{},\"verdict\":\"{}\",\"nodes\":{},\
-                 \"witness_steps\":{}}}\n",
+                 \"witness_steps\":{},\"memo_hits\":{},\"memo_misses\":{},\
+                 \"memo_hit_rate\":{:.4},\"max_depth\":{}}}\n",
                 json_escape(&r.name),
                 r.processes,
                 r.total_ops,
                 r.verdict.as_str(),
                 r.nodes,
                 r.witness_steps,
+                r.stats.memo_hits,
+                r.stats.memo_misses,
+                r.memo_hit_rate(),
+                r.stats.max_depth,
             ));
         }
         out.push_str(&format!(
@@ -334,8 +351,8 @@ impl<S: Spec> ScenarioCorpus<S> {
     {
         for (name, scenario) in &self.entries {
             let limit = options.per_scenario_limit.min(report.remaining());
-            let (verdict, nodes, witness_steps) = if limit == 0 {
-                (CorpusVerdict::Bounded, 0, 0)
+            let (verdict, nodes, witness_steps, stats) = if limit == 0 {
+                (CorpusVerdict::Bounded, 0, 0, SearchStats::default())
             } else {
                 let mut mem = SimMemory::new();
                 let alg = make(&mut mem);
@@ -349,9 +366,11 @@ impl<S: Spec> ScenarioCorpus<S> {
                     },
                 );
                 match out.outcome {
-                    Outcome::Certified => (CorpusVerdict::Certified, out.nodes, 0),
-                    Outcome::Refuted(w) => (CorpusVerdict::Refuted, out.nodes, w.path.len()),
-                    Outcome::Bounded => (CorpusVerdict::Bounded, out.nodes, 0),
+                    Outcome::Certified => (CorpusVerdict::Certified, out.nodes, 0, out.stats),
+                    Outcome::Refuted(w) => {
+                        (CorpusVerdict::Refuted, out.nodes, w.path.len(), out.stats)
+                    }
+                    Outcome::Bounded => (CorpusVerdict::Bounded, out.nodes, 0, out.stats),
                 }
             };
             report.nodes_spent += nodes;
@@ -362,6 +381,7 @@ impl<S: Spec> ScenarioCorpus<S> {
                 verdict,
                 nodes,
                 witness_steps,
+                stats,
             });
         }
         report.deduped += self.deduped;
@@ -438,8 +458,8 @@ impl<S: Spec> ScenarioCorpus<S> {
                         limit = options.per_scenario_limit.min(r);
                         Some(r - limit)
                     });
-                    let (verdict, nodes, witness_steps) = if limit == 0 {
-                        (CorpusVerdict::Bounded, 0, 0)
+                    let (verdict, nodes, witness_steps, stats) = if limit == 0 {
+                        (CorpusVerdict::Bounded, 0, 0, SearchStats::default())
                     } else {
                         let mut mem = SimMemory::new();
                         let alg = make(&mut mem);
@@ -453,11 +473,13 @@ impl<S: Spec> ScenarioCorpus<S> {
                             },
                         );
                         match out.outcome {
-                            Outcome::Certified => (CorpusVerdict::Certified, out.nodes, 0),
-                            Outcome::Refuted(w) => {
-                                (CorpusVerdict::Refuted, out.nodes, w.path.len())
+                            Outcome::Certified => {
+                                (CorpusVerdict::Certified, out.nodes, 0, out.stats)
                             }
-                            Outcome::Bounded => (CorpusVerdict::Bounded, out.nodes, 0),
+                            Outcome::Refuted(w) => {
+                                (CorpusVerdict::Refuted, out.nodes, w.path.len(), out.stats)
+                            }
+                            Outcome::Bounded => (CorpusVerdict::Bounded, out.nodes, 0, out.stats),
                         }
                     };
                     remaining.fetch_add(limit.saturating_sub(nodes), Ordering::SeqCst);
@@ -468,6 +490,7 @@ impl<S: Spec> ScenarioCorpus<S> {
                         verdict,
                         nodes,
                         witness_steps,
+                        stats,
                     });
                 });
             }

@@ -62,5 +62,5 @@ pub use scenarios::{fan_in, symmetric, tower};
 pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
 pub use strong::{
     check_strong, check_strong_outcome, check_strong_with, for_each_history, validate_witness,
-    MemoMode, Outcome, StrongOptions, StrongOutcome, StrongReport, Witness,
+    MemoMode, Outcome, SearchStats, StrongOptions, StrongOutcome, StrongReport, Witness,
 };

@@ -102,6 +102,36 @@ pub enum Outcome {
     Bounded,
 }
 
+/// Search-shape accounting for one checker run: how the AND/OR search
+/// actually spent its budget. Reported unconditionally (no feature
+/// gate — the counters ride state the engine already touches) through
+/// [`StrongOutcome`] into the corpus records, where they make the
+/// memoization claims of DESIGN.md §5 measurable in vivo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Feasible entries answered from the memo table.
+    pub memo_hits: usize,
+    /// Feasible entries that had to be explored (with memoization off,
+    /// every feasible entry is a miss).
+    pub memo_misses: usize,
+    /// Deepest explicit-stack depth reached (= longest chain of
+    /// in-flight frames, bounding the search's memory high-water).
+    pub max_depth: usize,
+}
+
+impl SearchStats {
+    /// Fraction of feasible entries answered from the memo table
+    /// (0.0 when nothing was entered).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of [`check_strong_outcome`]: the verdict plus search-size
 /// accounting.
 #[derive(Debug, Clone)]
@@ -110,6 +140,8 @@ pub struct StrongOutcome {
     pub outcome: Outcome,
     /// Distinct search states explored.
     pub nodes: usize,
+    /// Search-shape counters (memo hits/misses, max stack depth).
+    pub stats: SearchStats,
 }
 
 impl StrongOutcome {
@@ -419,6 +451,7 @@ pub fn check_strong_outcome<A: Algorithm>(
         return StrongOutcome {
             outcome: Outcome::Bounded,
             nodes: 0,
+            stats: SearchStats::default(),
         };
     }
     let exec = Rc::new(ExecState::<A>::initial(scenario, mem));
@@ -431,17 +464,23 @@ pub fn check_strong_outcome<A: Algorithm>(
         Err(BudgetExhausted) => StrongOutcome {
             outcome: Outcome::Bounded,
             nodes: engine.nodes,
+            stats: engine.stats,
         },
         Ok(true) => StrongOutcome {
             outcome: Outcome::Certified,
             nodes: engine.nodes,
+            stats: engine.stats,
         },
         Ok(false) => {
+            // Capture before witness extraction, which re-probes the
+            // engine and would otherwise pollute the accounting.
             let nodes = engine.nodes;
+            let stats = engine.stats;
             let witness = engine.extract_witness(&exec, &lin);
             StrongOutcome {
                 outcome: Outcome::Refuted(witness),
                 nodes,
+                stats,
             }
         }
     }
@@ -736,6 +775,7 @@ struct Engine<'a, A: Algorithm> {
     memo: Memo<A>,
     nodes: usize,
     node_limit: usize,
+    stats: SearchStats,
 }
 
 impl<'a, A: Algorithm> Engine<'a, A> {
@@ -751,6 +791,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             },
             nodes: 0,
             node_limit: options.node_limit,
+            stats: SearchStats::default(),
         }
     }
 
@@ -798,6 +839,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             Memo::Canonical(map) => {
                 let k = self.state_key(&exec, &lin);
                 if let Some(&cached) = map.get(&k) {
+                    self.stats.memo_hits += 1;
                     return Ok(Entered::Done(cached));
                 }
                 Some(FrameKey::Canonical(k))
@@ -805,12 +847,14 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             Memo::HashOnly(map) => {
                 let h = self.hash_key(&exec, &lin);
                 if let Some(&cached) = map.get(&h) {
+                    self.stats.memo_hits += 1;
                     return Ok(Entered::Done(cached));
                 }
                 Some(FrameKey::Hash(h))
             }
             Memo::Off => None,
         };
+        self.stats.memo_misses += 1;
         self.nodes += 1;
         if self.nodes > self.node_limit {
             return Err(BudgetExhausted);
@@ -852,6 +896,9 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     },
                     SpawnTask::Ext(c, l, m) => stack.push(Frame::Ext(ExtFrame::new(c, l, m))),
                 }
+                // Every push flows through here, so this is the one
+                // place the stack high-water needs sampling.
+                self.stats.max_depth = self.stats.max_depth.max(stack.len());
             }
             let Some(top) = stack.last_mut() else {
                 return Ok(result.expect("root task resolved"));

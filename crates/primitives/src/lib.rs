@@ -8,7 +8,7 @@
 //! | level | objects here |
 //! |-------|--------------|
 //! | 1     | [`Register`], [`BoolRegister`] |
-//! | 2     | [`TestAndSet`], [`ReadableTestAndSet`], [`TwoProcessTestAndSet`], [`FetchAdd`], [`FetchAdd128`], [`Swap`], wide fetch&add ([`sl2_bignum::WideFaa`]) |
+//! | 2     | [`TestAndSet`], [`ReadableTestAndSet`], [`TwoProcessTestAndSet`], [`FetchAdd`], [`Swap`] (plus the wide registers `sl2_bignum::{FetchAdd128, WideFaa}`, annotated from their own crate) |
 //! | ∞     | [`CompareAndSwap`] |
 //!
 //! All operations are sequentially consistent (`Ordering::SeqCst`): the
@@ -39,6 +39,7 @@
 
 mod arrays;
 mod consensus;
+pub mod labeled;
 mod register;
 mod rmw;
 mod sharding;
@@ -47,10 +48,6 @@ mod tas;
 pub use arrays::ChunkedArray;
 pub use consensus::{BaseObject, ConsensusNumber};
 pub use register::{BoolRegister, Register};
-pub use rmw::{CompareAndSwap, FetchAdd, FetchAdd128, Swap};
+pub use rmw::{CompareAndSwap, FetchAdd, Swap};
 pub use sharding::{CachePadded, Sharding, MAX_SHARDS};
 pub use tas::{ReadableTestAndSet, TestAndSet, TwoProcessTestAndSet};
-
-// Re-export the wide fetch&add register so the full level-2 toolkit is
-// importable from one place.
-pub use sl2_bignum::WideFaa;

@@ -32,7 +32,8 @@
 
 use sl2_bignum::BigNat;
 use sl2_bignum::Layout;
-use sl2_primitives::{CachePadded, Sharding, WideFaa};
+use sl2_bignum::WideFaa;
+use sl2_primitives::{CachePadded, Sharding};
 
 /// A unique increment receipt: shard-dense, not globally ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,6 +101,7 @@ impl ShardedFetchInc {
     /// length is stable across the two steps).
     pub fn inc(&self, process: usize) -> ShardTicket {
         let shard = self.sharding.of_process(process);
+        sl2_obs::count(crate::probes::shard_ops(shard));
         let reg = &self.shards[shard];
         let mine = reg.probe_unary(&self.layout, process);
         // Chaos: the probe-then-adjust window. A crash-stop between

@@ -3,7 +3,7 @@
 //! Every §3 object funnels all processes through **one** wide
 //! fetch&add register, so under real contention every operation
 //! serializes on one cache line. This crate stripes each object across
-//! `S` independent, cache-line-padded [`sl2_primitives::WideFaa`]
+//! `S` independent, cache-line-padded [`sl2_bignum::WideFaa`]
 //! registers — staying inside the consensus-number-2 budget the paper
 //! insists on (cf. Khanchandani & Wattenhofer, *Is Compare-and-Swap
 //! Really Necessary?*: combining cn-2 primitives never requires CAS).
@@ -50,6 +50,36 @@ pub mod counter;
 pub mod machines;
 pub mod max_register;
 pub mod snapshot;
+
+/// Static label plumbing for the sl2_obs skew probes: obs counters key
+/// by `&'static str`, so per-shard op counts use a fixed label family
+/// (exact for the first 16 shards, one overflow bucket past that —
+/// enough to see skew at every shard count the benches run).
+pub(crate) mod probes {
+    const SHARD_OPS: [&str; 16] = [
+        "sharded.shard.00.ops",
+        "sharded.shard.01.ops",
+        "sharded.shard.02.ops",
+        "sharded.shard.03.ops",
+        "sharded.shard.04.ops",
+        "sharded.shard.05.ops",
+        "sharded.shard.06.ops",
+        "sharded.shard.07.ops",
+        "sharded.shard.08.ops",
+        "sharded.shard.09.ops",
+        "sharded.shard.10.ops",
+        "sharded.shard.11.ops",
+        "sharded.shard.12.ops",
+        "sharded.shard.13.ops",
+        "sharded.shard.14.ops",
+        "sharded.shard.15.ops",
+    ];
+
+    /// The op-count label of shard `s`.
+    pub(crate) fn shard_ops(s: usize) -> &'static str {
+        SHARD_OPS.get(s).copied().unwrap_or("sharded.shard.hi.ops")
+    }
+}
 
 pub use counter::{RelaxedShardedCounter, ShardTicket, ShardedFetchInc};
 pub use machines::{

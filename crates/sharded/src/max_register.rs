@@ -48,9 +48,10 @@
 //! collect frontier. DESIGN.md §6 states the boundary precisely;
 //! `sl2_sharded::machines` + `check_strong` adjudicate it.
 
+use sl2_bignum::WideFaa;
 use sl2_bignum::{BinaryLayout, LaneEncoding, Layout};
 use sl2_core::algos::MaxRegister;
-use sl2_primitives::{CachePadded, Sharding, WideFaa};
+use sl2_primitives::{CachePadded, Sharding};
 
 /// A max register striped over `S` per-residue-class Theorem-1
 /// registers.
@@ -158,6 +159,7 @@ impl ShardedMaxRegister {
     /// (0 = the shard has never been written).
     fn shard_fold(&self, s: usize) -> u64 {
         self.shards[s].read_with(|image| {
+            sl2_obs::record("sharded.probe_bits", image.bit_len() as u64);
             (0..self.layout.processes())
                 .map(|i| self.decode_lane(i, image))
                 .max()
@@ -178,6 +180,7 @@ impl ShardedMaxRegister {
 impl MaxRegister for ShardedMaxRegister {
     fn write_max(&self, process: usize, v: u64) {
         let shards = self.sharding.shards() as u64;
+        sl2_obs::count(crate::probes::shard_ops(self.sharding.of_value(v)));
         let shard = &self.shards[self.sharding.of_value(v)];
         // Quotient encoding of v in its residue class.
         let count = v / shards + 1;

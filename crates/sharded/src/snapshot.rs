@@ -24,9 +24,10 @@
 //!   (the sharded-counter witness of `tests/non_sl_witnesses.rs` is
 //!   this effect on a 1-bit-per-shard object).
 
+use sl2_bignum::WideFaa;
 use sl2_bignum::{BigNat, Layout};
 use sl2_core::algos::Snapshot;
-use sl2_primitives::{CachePadded, Sharding, WideFaa};
+use sl2_primitives::{CachePadded, Sharding};
 
 /// A snapshot whose components are partitioned into lane groups, one
 /// Theorem-2 register per group.

@@ -41,6 +41,11 @@
 //!   published whole-object fold giving reads a 1-load fast path — all
 //!   from consensus-number-2 primitives, with the cached read's
 //!   staleness adjudicated by the checker (DESIGN.md §8).
+//! * [`sl2_obs`] — feature-gated observability: per-thread sharded
+//!   counters, gauges, and log₂ histograms behind labeled probes that
+//!   compile to nothing by default and arm under `--features obs`
+//!   (DESIGN.md §11); `SL2_METRICS_JSON` exports snapshots as
+//!   JSON lines.
 //!
 //! ## Quick start
 //!
@@ -134,6 +139,7 @@ pub use sl2_bignum as bignum;
 pub use sl2_combine as combine;
 pub use sl2_core as core;
 pub use sl2_exec as exec;
+pub use sl2_obs as obs;
 pub use sl2_primitives as primitives;
 pub use sl2_sharded as sharded;
 pub use sl2_spec as spec;
@@ -180,8 +186,9 @@ pub mod prelude {
         is_linearizable, linearize, symmetric, tower, validate_witness, Algorithm, BurstSched,
         CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, CrashPlan, MemoMode, OpMachine,
         Outcome, RandomSched, RecordReport, Recorder, RoundRobin, Scenario, ScenarioCorpus,
-        SimMemory, Step, StrongOptions, StrongOutcome, Witness,
+        SearchStats, SimMemory, Step, StrongOptions, StrongOutcome, Witness,
     };
+    pub use sl2_obs::{Histogram, MetricsSnapshot};
     pub use sl2_primitives::{
         BaseObject, CachePadded, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Sharding,
         Swap, TestAndSet,

@@ -340,6 +340,51 @@ fn combined_snapshot_cached_scan_into_buffer_is_allocation_free() {
     assert_eq!(buf, [1, 2, 3, 4]);
 }
 
+#[cfg(not(feature = "obs"))]
+#[test]
+fn disarmed_obs_probes_are_free() {
+    // The PR-8 pin: with the `obs` feature off, every probe flavor is
+    // an empty inline stub — no allocation, no registry, no effect.
+    // This is what makes it sound to leave probes in the §3 hot paths
+    // permanently (DESIGN.md §11).
+    let (n, _) = allocs_during(|| {
+        for i in 0..1_000u64 {
+            sl2::obs::count("alloc.probe");
+            sl2::obs::add("alloc.probe", i);
+            sl2::obs::gauge("alloc.gauge", i);
+            sl2::obs::record("alloc.hist", i);
+            let _t = sl2::obs::time("alloc.timer");
+        }
+    });
+    assert_eq!(n, 0, "disarmed probes must not allocate");
+    assert!(!sl2::obs::armed());
+    let (n, snap) = allocs_during(sl2::obs::snapshot);
+    assert_eq!(n, 0, "the disarmed snapshot is empty and allocation-free");
+    assert!(snap.is_empty());
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn armed_scalar_probes_are_allocation_free() {
+    // Armed counters/gauges/histograms are relaxed atomics against
+    // static shard arrays — still no heap traffic, so arming `obs` on
+    // top of the zero-alloc pins above cannot break them. (Snapshots
+    // allocate; they are off the hot path by construction.)
+    sl2::obs::count("alloc.armed.warm"); // label-table claim is one-time
+    sl2::obs::gauge("alloc.armed.gauge", 1);
+    sl2::obs::record("alloc.armed.hist", 1);
+    let (n, _) = allocs_during(|| {
+        for i in 0..1_000u64 {
+            sl2::obs::count("alloc.armed.warm");
+            sl2::obs::add("alloc.armed.warm", i);
+            sl2::obs::gauge("alloc.armed.gauge", i);
+            sl2::obs::record("alloc.armed.hist", i);
+        }
+    });
+    assert_eq!(n, 0, "armed scalar probes must not allocate");
+    assert!(sl2::obs::armed());
+}
+
 #[test]
 fn heap_path_still_works_under_the_counter() {
     // Sanity check that the counter itself observes heap traffic, so

@@ -423,6 +423,11 @@ fn corpus_recertifies_every_shipped_verdict() {
             "parallel vs serial node counts differ on {}",
             a.name
         );
+        assert_eq!(
+            a.stats, s.stats,
+            "parallel vs serial search stats differ on {}",
+            a.name
+        );
         assert_eq!(a.name, b.name);
         if b.verdict == CorpusVerdict::Bounded {
             assert!(
@@ -473,6 +478,44 @@ fn corpus_recertifies_every_shipped_verdict() {
         if rec.verdict == CorpusVerdict::Refuted {
             assert!(rec.witness_steps > 0, "{}: empty witness", rec.name);
         }
+    }
+
+    // PR-8: the search-shape accounting is sound on every row. The
+    // engine counts a node exactly when a feasible entry misses the
+    // memo, so `nodes == memo_misses` is an invariant, the hit rate is
+    // a probability, and any decided scenario pushed at least one
+    // frame.
+    for rec in &on.records {
+        assert_eq!(
+            rec.nodes, rec.stats.memo_misses,
+            "{}: explored nodes must equal memo misses",
+            rec.name
+        );
+        let rate = rec.memo_hit_rate();
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "{}: hit rate {rate} out of range",
+            rec.name
+        );
+        assert!(
+            rec.stats.max_depth > 0,
+            "{}: decided a scenario without pushing a frame",
+            rec.name
+        );
+    }
+    // The canonical-key DAG actually shares states (DESIGN.md §5): the
+    // memo-on pass must see hits somewhere, and the memo-off pass can
+    // never see any.
+    assert!(
+        on.records.iter().any(|r| r.stats.memo_hits > 0),
+        "memo-on pass recorded zero hits across the whole corpus"
+    );
+    for rec in &off.records {
+        assert_eq!(
+            rec.stats.memo_hits, 0,
+            "{}: memo-off pass cannot hit a memo table",
+            rec.name
+        );
     }
 
     // The S = 4 acceptance anchor certified within the shared budget.

@@ -36,6 +36,7 @@ const EXPECTED_TESTS: &[&str] = &[
     "corpus",
     "figure1",
     "non_sl_witnesses",
+    "obs",
     "recorder",
     "sharded_stress",
     "sweeps",
@@ -80,6 +81,29 @@ fn integration_test_suites_match_the_documented_set() {
         found, expected,
         "tests/ drifted from the documented set; update EXPECTED_TESTS and the \
          CI workflow together"
+    );
+}
+
+#[test]
+fn obs_probe_layer_stays_feature_gated() {
+    // The PR-8 counterpart of the chaos gate: the armed registry must
+    // only compile under `--features obs`, and the disarmed stubs must
+    // remain `#[inline(always)]` empty bodies — that pair is what
+    // licenses probes in the §3 hot paths (DESIGN.md §11). CI has
+    // dedicated `obs` and `obs,chaos` legs.
+    let src = std::fs::read_to_string(repo_root().join("crates/obs/src/lib.rs"))
+        .expect("obs lib.rs readable");
+    assert!(
+        src.contains("#[cfg(feature = \"obs\")]\nmod armed;"),
+        "crates/obs lost the feature gate on its armed registry"
+    );
+    assert!(
+        src.contains("pub fn count(_label: &'static str) {}"),
+        "the disarmed count stub must stay an empty body"
+    );
+    assert!(
+        src.contains("pub struct Timer(());"),
+        "the disarmed Timer must stay a ZST"
     );
 }
 

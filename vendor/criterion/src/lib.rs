@@ -159,7 +159,7 @@ impl Bencher {
             s => (s[0], s[s.len() / 2], s[s.len() - 1]),
         };
         eprintln!("{id:<60} {med:>12.3?}   ({min:.3?} … {max:.3?})");
-        record_json(id, min, med, max);
+        record_json(id, min, med, max, self.samples.len());
     }
 }
 
@@ -193,10 +193,11 @@ fn calibrate_batch<O, R: FnMut() -> O>(routine: &mut R) -> u32 {
 }
 
 /// When `SL2_BENCH_JSON` names a file, appends one JSON object per
-/// finished benchmark (`{"id":…,"median_ns":…,"min_ns":…,"max_ns":…}`,
-/// JSON-lines format) so CI and scripts can track medians without
-/// scraping stderr.
-fn record_json(id: &str, min: Duration, med: Duration, max: Duration) {
+/// finished benchmark
+/// (`{"id":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…}`,
+/// JSON-lines format) so CI and scripts can track medians — and judge
+/// how many samples stand behind them — without scraping stderr.
+fn record_json(id: &str, min: Duration, med: Duration, max: Duration, samples: usize) {
     let Ok(path) = std::env::var("SL2_BENCH_JSON") else {
         return;
     };
@@ -211,11 +212,12 @@ fn record_json(id: &str, min: Duration, med: Duration, max: Duration) {
     {
         let _ = writeln!(
             f,
-            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
             id.escape_default(),
             med.as_nanos(),
             min.as_nanos(),
-            max.as_nanos()
+            max.as_nanos(),
+            samples
         );
     }
 }
@@ -392,6 +394,11 @@ mod tests {
             .collect();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].ends_with('}'));
+        assert!(
+            lines[0].contains(&format!("\"samples\":{MAX_SAMPLES}}}")),
+            "sample count must ride along: {}",
+            lines[0]
+        );
     }
 
     #[test]
