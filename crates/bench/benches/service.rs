@@ -1,0 +1,102 @@
+//! Experiment E42 — the keyed service tier under open-loop load.
+//!
+//! The single-object benches (`sharded`, `combining`, `wide_faa`)
+//! measure 16 threads contending on *one* register, closed-loop. This
+//! bench measures the other production axis: a [`Registry`]-backed
+//! [`Service`] over a ≥1M-key namespace, driven by the `sl2_bench`
+//! open-loop generator — Poisson arrivals at a fixed offered rate,
+//! zipf key popularity, latency stamped from the **scheduled** arrival
+//! so queue wait is inside every sample (no coordinated omission;
+//! DESIGN.md §12).
+//!
+//! Series (all land in `SL2_BENCH_JSON` as `"kind":"latency"` rows
+//! tagged `"loop":"open"`):
+//!
+//! * `service_open_loop/<backend>/<rate>` — scheduled→completion
+//!   percentiles for a keyed `inc` workload at three offered rates
+//!   per backend. As the rate approaches what the worker pool can
+//!   absorb, p999 inflates with queueing **before** p50 moves — the
+//!   signature closed-loop medians cannot show.
+//! * `service_registry/solo_get` — criterion median of the steady-state
+//!   registry hit path (hash + probe + lane read), closed-loop: the
+//!   routing overhead a request pays before touching the object.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl2_bench::{record_percentiles_json_as, run_open_loop, LoopKind, OpenLoopPlan};
+use sl2_service::{Backend, Registry, Request, Service, ServiceOp};
+use std::hint::black_box;
+
+/// ≥1M keys: scale lives in the key dimension (ISSUE 9's acceptance
+/// floor). Only arrived-at keys materialize, so memory stays
+/// proportional to the zipf head actually touched.
+const KEYSPACE: u64 = 1 << 20;
+
+/// Arrivals per (backend, rate) cell — enough for stable p99 with a
+/// p999 that is at least resolved to its bucket.
+const OPS: u64 = 20_000;
+
+/// Serving lanes. Modest on purpose: the interesting regime is the
+/// offered rate crossing the pool's absorption rate, and a small pool
+/// crosses it within deterministic, CI-friendly rates.
+const WORKERS: usize = 4;
+
+fn bench_service_open_loop(_c: &mut Criterion) {
+    eprintln!("\nE42 open-loop service latency ({KEYSPACE}-key registry, {WORKERS} workers):");
+    let backends: [(&str, Backend); 2] = [
+        ("sharded2", Backend::Sharded { shards: 2 }),
+        ("combining2", Backend::Combining { shards: 2 }),
+    ];
+    for (tag, backend) in backends {
+        for rate in [50_000u64, 200_000, 800_000] {
+            let svc = Service::new(KEYSPACE as usize, WORKERS, backend);
+            let plan = OpenLoopPlan {
+                rate_per_sec: rate,
+                ops: OPS,
+                keyspace: KEYSPACE,
+                seed: 0xE42,
+            };
+            let stats = run_open_loop(&plan, |key, scheduled| {
+                svc.submit_timed(
+                    Request {
+                        key,
+                        op: ServiceOp::Inc,
+                    },
+                    scheduled,
+                );
+            });
+            svc.drain();
+            let h = svc.latency_histogram();
+            assert_eq!(h.count(), OPS, "every arrival must be measured");
+            let id = format!("service_open_loop/{tag}/{rate}");
+            eprintln!(
+                "{id:<44} p50 {:>9} ns   p99 {:>9} ns   p999 {:>9} ns   max {:>10} ns   late {:>5}",
+                h.p50(),
+                h.p99(),
+                h.p999(),
+                h.max(),
+                stats.late
+            );
+            record_percentiles_json_as(&id, &h, LoopKind::Open);
+        }
+    }
+    eprintln!();
+}
+
+/// Closed-loop criterion median of the registry's steady-state hit
+/// path: the routing cost in front of every dispatched op.
+fn bench_registry_get(c: &mut Criterion) {
+    let reg: Registry<u64> = Registry::new(1 << 16, 1, Backend::Global);
+    for k in 0..1024u64 {
+        reg.get_or_insert(&k).inc(0);
+    }
+    c.bench_function("service_registry/solo_get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) & 1023;
+            black_box(reg.get(&k).expect("materialized above").read_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_service_open_loop, bench_registry_get);
+criterion_main!(benches);

@@ -11,6 +11,9 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+pub mod open_loop;
+
+pub use open_loop::{run_open_loop, Arrival, OpenLoopPlan, OpenLoopStats};
 pub use sl2_obs::Histogram;
 
 /// Runs `f(thread_id)` on `threads` OS threads after a common barrier
@@ -129,6 +132,17 @@ pub fn ratio_mix<V, W, R>(
 /// thread count in `counts`, returning `(threads, makespan)` pairs —
 /// the scaling series shape used by E19's sweeps.
 ///
+/// **Closed-loop caveat (coordinated omission):** every worker here
+/// issues its next operation only after the previous one returns, so
+/// a stall slows the *load* down along with the system — the queue of
+/// requests that *would* have piled up behind the stall is never
+/// issued, and throughput/latency derived from these rows
+/// systematically flatters tail behavior. Rows derived from this
+/// driver are tagged `"loop":"closed"` in `SL2_BENCH_JSON`; compare
+/// them only against other closed-loop rows, and use the
+/// [`open_loop`] generator (experiment E42) when tail latency under a
+/// fixed offered rate is the question.
+///
 /// Threads are barrier-released but not CPU-pinned: affinity syscalls
 /// need `libc`, which the offline vendor set does not include. On the
 /// multi-socket machines where pinning matters, re-pointing the vendor
@@ -155,6 +169,12 @@ where
 /// Each sample pays one `Instant::now()` pair (~tens of ns), so
 /// medians here run *above* criterion's batched medians — compare
 /// percentile series against each other, not against `median_ns`.
+///
+/// This is still a **closed-loop** measurement (each worker waits for
+/// its own previous call): per-op service time under contention, not
+/// latency under a fixed offered rate. See [`sweep_threads`]'s
+/// coordinated-omission caveat and the [`open_loop`] generator for
+/// the open-loop complement.
 pub fn parallel_latency<F>(threads: usize, ops: u64, f: F) -> Histogram
 where
     F: Fn(usize, u64) + Sync,
@@ -191,14 +211,40 @@ fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// How the load that produced a measurement was generated — every
+/// `SL2_BENCH_JSON` row carries this as `"loop":"open"|"closed"` so
+/// downstream comparisons never mix the two regimes: closed-loop rows
+/// under-report tails (coordinated omission, see [`sweep_threads`]),
+/// open-loop rows do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Arrivals were scheduled in advance at a fixed offered rate
+    /// ([`open_loop`]); latency includes queue wait behind stalls.
+    Open,
+    /// Each issuer waited for its previous operation to return
+    /// (criterion batches, [`parallel_latency`], [`sweep_threads`]).
+    Closed,
+}
+
+impl LoopKind {
+    /// The JSON tag value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoopKind::Open => "open",
+            LoopKind::Closed => "closed",
+        }
+    }
+}
+
 /// Appends one JSON line of percentile data for `id` to the file named
 /// by `SL2_BENCH_JSON` (the same sink the criterion shim's medians go
 /// to), shaped
-/// `{"id":…,"kind":"latency","samples":…,"p50_ns":…,"p99_ns":…,"p999_ns":…,"max_ns":…}`.
+/// `{"id":…,"kind":"latency","loop":…,"samples":…,"p50_ns":…,"p99_ns":…,"p999_ns":…,"max_ns":…}`.
 /// The `kind` key keeps percentile rows distinguishable from the
-/// shim's median rows in one mixed stream. No-op when the variable is
+/// shim's median rows in one mixed stream; the `loop` key records the
+/// load-generation regime ([`LoopKind`]). No-op when the variable is
 /// unset or empty; empty histograms report all-zero percentiles.
-pub fn record_percentiles_json(id: &str, h: &Histogram) {
+pub fn record_percentiles_json_as(id: &str, h: &Histogram, lk: LoopKind) {
     let Ok(path) = std::env::var("SL2_BENCH_JSON") else {
         return;
     };
@@ -213,9 +259,10 @@ pub fn record_percentiles_json(id: &str, h: &Histogram) {
     {
         let _ = writeln!(
             f,
-            "{{\"id\":\"{}\",\"kind\":\"latency\",\"samples\":{},\
+            "{{\"id\":\"{}\",\"kind\":\"latency\",\"loop\":\"{}\",\"samples\":{},\
              \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
             id.escape_default(),
+            lk.as_str(),
             h.count(),
             h.p50(),
             h.p99(),
@@ -223,6 +270,13 @@ pub fn record_percentiles_json(id: &str, h: &Histogram) {
             h.max()
         );
     }
+}
+
+/// [`record_percentiles_json_as`] with `"loop":"closed"` — the tag for
+/// the [`parallel_latency`]-driven percentile series (E38), which are
+/// closed-loop by construction.
+pub fn record_percentiles_json(id: &str, h: &Histogram) {
+    record_percentiles_json_as(id, h, LoopKind::Closed);
 }
 
 #[cfg(test)]
@@ -304,7 +358,7 @@ mod tests {
     }
 
     #[test]
-    fn percentile_json_lines_carry_the_latency_kind() {
+    fn percentile_json_lines_carry_the_latency_kind_and_loop_tag() {
         let path = std::env::temp_dir().join(format!("sl2_lat_json_{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         std::env::set_var("SL2_BENCH_JSON", &path);
@@ -313,17 +367,25 @@ mod tests {
             h.record(v);
         }
         record_percentiles_json("harness/percentiles", &h);
+        record_percentiles_json_as("harness/open", &h, LoopKind::Open);
         std::env::remove_var("SL2_BENCH_JSON");
         let body = std::fs::read_to_string(&path).expect("json file written");
         let _ = std::fs::remove_file(&path);
-        let lines: Vec<&str> = body
+        let closed: Vec<&str> = body
             .lines()
             .filter(|l| l.starts_with("{\"id\":\"harness/percentiles\""))
             .collect();
-        assert_eq!(lines.len(), 1);
-        assert!(lines[0].contains("\"kind\":\"latency\""));
-        assert!(lines[0].contains("\"samples\":3"));
-        assert!(lines[0].contains("\"max_ns\":4000"));
-        assert!(lines[0].ends_with('}'));
+        assert_eq!(closed.len(), 1);
+        assert!(closed[0].contains("\"kind\":\"latency\""));
+        assert!(closed[0].contains("\"loop\":\"closed\""));
+        assert!(closed[0].contains("\"samples\":3"));
+        assert!(closed[0].contains("\"max_ns\":4000"));
+        assert!(closed[0].ends_with('}'));
+        let open: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("{\"id\":\"harness/open\""))
+            .collect();
+        assert_eq!(open.len(), 1);
+        assert!(open[0].contains("\"loop\":\"open\""));
     }
 }

@@ -1,0 +1,212 @@
+//! Open-loop load generation: deterministic arrival schedules at a
+//! fixed target rate, decoupled from service completion.
+//!
+//! A closed-loop driver ([`crate::parallel_latency`],
+//! [`crate::sweep_threads`]) only issues the next operation after the
+//! previous one returns, so a slow response *delays the load* — the
+//! stall that should have produced a queue of late requests instead
+//! produces one slow sample, and p999 flatters the system
+//! (coordinated omission). An open-loop driver fixes the arrival
+//! times **in advance**: request `k` is due at `start + offset_k`
+//! whether or not the service kept up, and its latency is measured
+//! from the *scheduled* arrival, so queue wait lands inside the
+//! sample (DESIGN.md §12, experiment E42).
+//!
+//! The schedule is deterministic: a seeded [`ValueStream`] drives
+//! exponential (Poisson) interarrivals via the inverse CDF and a
+//! seeded [`ZipfStream`] picks keys, so one `(seed, rate, ops,
+//! keyspace)` tuple replays the identical arrival sequence — the same
+//! reproducibility discipline as the rest of the harness.
+
+use std::time::{Duration, Instant};
+
+use crate::{ValueStream, ZipfStream};
+
+/// One planned arrival: the `k`-th request targets `key` at
+/// `start + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival index (0-based, schedule order).
+    pub k: u64,
+    /// Zipf-popular key in `0..keyspace` (0 is the hottest).
+    pub key: u64,
+    /// Scheduled offset from the run's start instant.
+    pub offset: Duration,
+}
+
+/// A deterministic open-loop arrival plan: `ops` Poisson arrivals at
+/// `rate_per_sec` over a zipf-skewed `keyspace`.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopPlan {
+    /// Target mean arrival rate (requests per second).
+    pub rate_per_sec: u64,
+    /// Total arrivals in the schedule.
+    pub ops: u64,
+    /// Keys are drawn zipf-skewed from `0..keyspace`.
+    pub keyspace: u64,
+    /// Seed for both the interarrival and the key stream.
+    pub seed: u64,
+}
+
+impl OpenLoopPlan {
+    /// The schedule as an iterator — same plan, same arrivals, every
+    /// time. Offsets are non-decreasing; keys lie in `0..keyspace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec == 0` or `keyspace == 0`.
+    pub fn arrivals(&self) -> impl Iterator<Item = Arrival> {
+        assert!(self.rate_per_sec > 0, "open loop needs a positive rate");
+        let mut gaps = ValueStream::new(self.seed);
+        let mut keys =
+            ZipfStream::new(self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15), self.keyspace);
+        let mean_ns = 1_000_000_000.0 / self.rate_per_sec as f64;
+        let mut clock_ns = 0.0f64;
+        (0..self.ops).map(move |k| {
+            // Exponential interarrival by inverse CDF: gap = −ln(u)·mean
+            // for u ∈ (0, 1]. 53-bit mantissa resolution; u is nudged
+            // off zero so ln is finite.
+            let u = ((gaps.next_value() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            clock_ns += -u.ln() * mean_ns;
+            Arrival {
+                k,
+                key: keys.next_value(),
+                offset: Duration::from_nanos(clock_ns as u64),
+            }
+        })
+    }
+
+    /// Mean interarrival gap the schedule targets.
+    pub fn mean_gap(&self) -> Duration {
+        Duration::from_nanos(1_000_000_000 / self.rate_per_sec.max(1))
+    }
+}
+
+/// What [`run_open_loop`] observed while pacing the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopStats {
+    /// Arrivals submitted (always the plan's `ops`).
+    pub submitted: u64,
+    /// Arrivals that fired *late* — the generator reached them after
+    /// their scheduled instant (the service, or the generator itself,
+    /// fell behind the target rate). Latencies stay honest either way
+    /// because they are measured from the scheduled instant, but a
+    /// large `late` count means the requested rate exceeds what this
+    /// machine can even *offer*, so the percentiles describe a lower
+    /// effective rate.
+    pub late: u64,
+    /// Wall-clock duration of the generating loop.
+    pub elapsed: Duration,
+}
+
+/// Paces `plan`'s schedule in real time: waits (spin + yield) until
+/// each arrival's scheduled instant, then calls
+/// `submit(key, scheduled)`. When the loop is behind schedule it does
+/// **not** wait — it fires immediately but still hands `submit` the
+/// *scheduled* instant, so a latency measured from that instant
+/// includes the backlog. This is the anti-coordinated-omission
+/// contract: the load does not slow down because the service did.
+pub fn run_open_loop<F>(plan: &OpenLoopPlan, mut submit: F) -> OpenLoopStats
+where
+    F: FnMut(u64, Instant),
+{
+    let start = Instant::now();
+    let mut late = 0u64;
+    let mut submitted = 0u64;
+    for a in plan.arrivals() {
+        let scheduled = start + a.offset;
+        loop {
+            let now = Instant::now();
+            if now >= scheduled {
+                if now.duration_since(scheduled) > plan.mean_gap() {
+                    late += 1;
+                }
+                break;
+            }
+            // Yield on coarse waits, spin the final stretch: the
+            // schedule's gaps at high rates are shorter than a
+            // sleep()'s resolution.
+            if scheduled - now > Duration::from_micros(50) {
+                std::thread::yield_now();
+            }
+        }
+        submit(a.key, scheduled);
+        submitted += 1;
+    }
+    OpenLoopStats {
+        submitted,
+        late,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_deterministically() {
+        let plan = OpenLoopPlan {
+            rate_per_sec: 100_000,
+            ops: 200,
+            keyspace: 1 << 20,
+            seed: 42,
+        };
+        let a: Vec<Arrival> = plan.arrivals().collect();
+        let b: Vec<Arrival> = plan.arrivals().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn offsets_are_nondecreasing_and_keys_bounded() {
+        let plan = OpenLoopPlan {
+            rate_per_sec: 1_000_000,
+            ops: 500,
+            keyspace: 64,
+            seed: 7,
+        };
+        let mut prev = Duration::ZERO;
+        for a in plan.arrivals() {
+            assert!(a.offset >= prev, "arrival {} went backwards", a.k);
+            assert!(a.key < 64);
+            prev = a.offset;
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_target_rate() {
+        let plan = OpenLoopPlan {
+            rate_per_sec: 50_000,
+            ops: 4_000,
+            keyspace: 8,
+            seed: 3,
+        };
+        let last = plan.arrivals().last().expect("nonempty").offset;
+        let mean_ns = last.as_nanos() as f64 / plan.ops as f64;
+        let target_ns = 1e9 / plan.rate_per_sec as f64;
+        // Poisson sample mean over 4k gaps sits well within ±20%.
+        assert!(
+            (mean_ns - target_ns).abs() < 0.2 * target_ns,
+            "mean gap {mean_ns}ns vs target {target_ns}ns"
+        );
+    }
+
+    #[test]
+    fn run_open_loop_submits_everything_with_scheduled_stamps() {
+        let plan = OpenLoopPlan {
+            rate_per_sec: 2_000_000,
+            ops: 100,
+            keyspace: 16,
+            seed: 9,
+        };
+        let mut stamps = Vec::new();
+        let stats = run_open_loop(&plan, |key, scheduled| {
+            assert!(key < 16);
+            stamps.push(scheduled);
+        });
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stamps.len(), 100);
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

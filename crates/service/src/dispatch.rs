@@ -1,0 +1,493 @@
+//! The request/dispatch layer: typed requests routed worker-pool
+//! style onto the [`Registry`].
+//!
+//! A [`Service`] owns a `u64`-keyed registry and `W` worker threads,
+//! each with its own FIFO queue. Requests are routed by **key
+//! affinity** — `mix(key) mod W` — so all operations on one key
+//! execute on one worker in submission order, and distinct keys spread
+//! across the pool. Worker `w` drives the per-key objects as serving
+//! lane (process) `w`, which is exactly the single-writer-per-lane
+//! discipline the §3 registers require.
+//!
+//! Latency is measured **open-loop honestly**: a job carries the
+//! instant it was *scheduled to arrive* (not the instant the submitter
+//! got around to it), and the worker records `scheduled → completion`
+//! into its own [`Histogram`] after executing. Queue wait is inside
+//! the measurement, so saturation shows up in p999 instead of being
+//! coordinated-omitted away (DESIGN.md §12; the generator half lives
+//! in `sl2_bench::open_loop`).
+//!
+//! Instrumentation (PR-7/PR-8 pattern — empty inline stubs by
+//! default, armed under `chaos`/`obs`):
+//!
+//! * chaos points `service.enqueue` (submitter side, pre-publish) and
+//!   `service.dispatch` (worker side, pre-execute) — a crash-stopped
+//!   worker parks mid-dispatch and its queue goes dark, which is the
+//!   fault `tests/service_stress.rs` checks leaves *other* keys live;
+//! * obs probes `service.route` (requests routed), `service.dispatch`
+//!   (execution timer), `service.queue_depth` (enqueue-time depth
+//!   gauge, i.e. a high-watermark under the gauge's max semantics),
+//!   and the registry's `service.registry.*` counters.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use std::sync::{Condvar, Mutex};
+
+use sl2_obs::Histogram;
+use sl2_primitives::labeled::mix;
+
+use crate::registry::{Backend, Registry};
+
+/// Probe labels of the dispatch layer (DESIGN.md §12).
+pub(crate) mod probes {
+    /// Submitter side: a request is about to be published to a queue.
+    pub const ENQUEUE: &str = "service.enqueue";
+    /// Worker side: a request is about to execute on the registry.
+    pub const DISPATCH: &str = "service.dispatch";
+    /// One request routed to a worker queue.
+    pub const ROUTE: &str = "service.route";
+    /// Queue depth observed at enqueue time (gauge keeps the max).
+    pub const QUEUE_DEPTH: &str = "service.queue_depth";
+}
+
+/// One operation on a keyed object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceOp {
+    /// `write_max(key, v)`.
+    WriteMax(u64),
+    /// Exact `read_max(key)`.
+    ReadMax,
+    /// Cached `read_max(key)` (combining backend; exact elsewhere).
+    ReadMaxCached,
+    /// `inc(key)`.
+    Inc,
+    /// Exact `read_count(key)`.
+    ReadCount,
+    /// Cached `read_count(key)`.
+    ReadCountCached,
+    /// `update(key, component, v)` on the key's snapshot.
+    Update {
+        /// Component to set.
+        component: usize,
+        /// New component value.
+        v: u64,
+    },
+    /// Exact `scan(key)`.
+    Scan,
+}
+
+/// A request: an operation aimed at a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Key naming the per-key object.
+    pub key: u64,
+    /// The operation.
+    pub op: ServiceOp,
+}
+
+/// A response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Response {
+    /// The operation completed with no value.
+    Ok,
+    /// A scalar read result.
+    Value(u64),
+    /// A snapshot view.
+    View(Vec<u64>),
+}
+
+/// Completion cell for the blocking [`Service::call`] path.
+#[derive(Debug, Default)]
+struct Completion {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct Job {
+    req: Request,
+    /// When this request was scheduled to arrive (open-loop clock).
+    scheduled: Instant,
+    /// Record scheduled→completion latency into the worker histogram?
+    track: bool,
+    /// Blocking caller to notify, if any.
+    done: Option<Arc<Completion>>,
+}
+
+#[derive(Debug)]
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct Shared {
+    registry: Registry<u64>,
+    queues: Box<[WorkerQueue]>,
+    latency: Box<[Mutex<Histogram>]>,
+    closing: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl Shared {
+    fn execute(&self, worker: usize, req: &Request) -> Response {
+        let obj = self.registry.get_or_insert(&req.key);
+        match req.op {
+            ServiceOp::WriteMax(v) => {
+                obj.write_max(worker, v);
+                Response::Ok
+            }
+            ServiceOp::ReadMax => Response::Value(obj.read_max()),
+            ServiceOp::ReadMaxCached => Response::Value(obj.read_max_cached()),
+            ServiceOp::Inc => {
+                obj.inc(worker);
+                Response::Ok
+            }
+            ServiceOp::ReadCount => Response::Value(obj.read_count()),
+            ServiceOp::ReadCountCached => Response::Value(obj.read_count_cached()),
+            ServiceOp::Update { component, v } => {
+                obj.update(component, v);
+                Response::Ok
+            }
+            ServiceOp::Scan => Response::View(obj.scan()),
+        }
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            let job = {
+                let q = &self.queues[worker];
+                let mut jobs = q.jobs.lock().unwrap();
+                loop {
+                    if let Some(job) = jobs.pop_front() {
+                        break job;
+                    }
+                    if self.closing.load(Ordering::Acquire) {
+                        return;
+                    }
+                    jobs = q.cv.wait(jobs).unwrap();
+                }
+            };
+            // The crash-stop seam: a chaos plan targeting this point
+            // parks the worker here with the job unexecuted — its
+            // queue goes dark while the rest of the pool keeps
+            // serving (tests/service_stress.rs).
+            sl2_chaos::point(probes::DISPATCH);
+            let resp = {
+                let _dispatch_timer = sl2_obs::time(probes::DISPATCH);
+                self.execute(worker, &job.req)
+            };
+            if job.track {
+                let ns = job.scheduled.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.latency[worker].lock().unwrap().record(ns);
+            }
+            if let Some(done) = job.done {
+                *done.slot.lock().unwrap() = Some(resp);
+                done.cv.notify_all();
+            }
+            self.completed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A running keyed service: registry + worker pool. See module docs.
+#[derive(Debug)]
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service with `workers` serving lanes over a registry
+    /// of up to `capacity` distinct keys, every key on `backend`.
+    pub fn new(capacity: usize, workers: usize, backend: Backend) -> Self {
+        Self::with_policy(capacity, workers, move |_: &u64| backend)
+    }
+
+    /// As [`Service::new`] with a per-key backend policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` (the registry panics on
+    /// `capacity == 0`).
+    pub fn with_policy(
+        capacity: usize,
+        workers: usize,
+        policy: impl Fn(&u64) -> Backend + Send + Sync + 'static,
+    ) -> Self {
+        assert!(workers > 0, "service needs at least one worker");
+        let shared = Arc::new(Shared {
+            registry: Registry::with_policy(capacity, workers, policy),
+            queues: (0..workers)
+                .map(|_| WorkerQueue {
+                    jobs: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            latency: (0..workers).map(|_| Mutex::new(Histogram::new())).collect(),
+            closing: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    // One mechanism under chaos + obs: the worker's
+                    // logical id is its lane, so fault plans target
+                    // and metrics attribute the same thread.
+                    sl2_primitives::labeled::enroll(w);
+                    #[cfg(feature = "chaos")]
+                    {
+                        // Absorb a crash-stop unwind: the worker dies
+                        // silently (crash-stop semantics), it does not
+                        // poison the process with a panic.
+                        let _ = sl2_chaos::catch_crash(|| shared.worker_loop(w));
+                    }
+                    #[cfg(not(feature = "chaos"))]
+                    shared.worker_loop(w);
+                })
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// The worker (serving-lane) count.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// The underlying registry (direct read access for tests and
+    /// post-drain audits; going around the dispatch order is the
+    /// caller's responsibility).
+    pub fn registry(&self) -> &Registry<u64> {
+        &self.shared.registry
+    }
+
+    /// Which worker serves `key` (key-affinity routing).
+    pub fn route_of(&self, key: u64) -> usize {
+        (mix(key) % self.shared.queues.len() as u64) as usize
+    }
+
+    fn push(&self, job: Job) {
+        let w = self.route_of(job.req.key);
+        sl2_chaos::point(probes::ENQUEUE);
+        sl2_obs::count(probes::ROUTE);
+        let q = &self.shared.queues[w];
+        let depth = {
+            let mut jobs = q.jobs.lock().unwrap();
+            jobs.push_back(job);
+            jobs.len()
+        };
+        sl2_obs::gauge(probes::QUEUE_DEPTH, depth as u64);
+        self.shared.submitted.fetch_add(1, Ordering::AcqRel);
+        q.cv.notify_one();
+    }
+
+    /// Fire-and-forget submission stamped with its scheduled arrival
+    /// instant; the serving worker records `scheduled → completion`
+    /// (queue wait included) into the service latency histogram.
+    pub fn submit_timed(&self, req: Request, scheduled: Instant) {
+        self.push(Job {
+            req,
+            scheduled,
+            track: true,
+            done: None,
+        });
+    }
+
+    /// Fire-and-forget submission without latency tracking.
+    pub fn submit(&self, req: Request) {
+        self.push(Job {
+            req,
+            scheduled: Instant::now(),
+            track: false,
+            done: None,
+        });
+    }
+
+    /// Blocking request: routes like any submission, waits for the
+    /// serving worker's response.
+    ///
+    /// A request routed to a crash-stopped worker never completes;
+    /// callers under chaos use keys they know route to live workers
+    /// (crash-stop is a *stopping* failure, DESIGN.md §10).
+    pub fn call(&self, req: Request) -> Response {
+        let done = Arc::new(Completion::default());
+        self.push(Job {
+            req,
+            scheduled: Instant::now(),
+            track: false,
+            done: Some(Arc::clone(&done)),
+        });
+        let mut slot = done.slot.lock().unwrap();
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            slot = done.cv.wait(slot).unwrap();
+        }
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Acquire)
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Waits until every submitted request has completed (spin +
+    /// yield; submission is expected to have stopped). Under chaos a
+    /// crash-stopped worker strands its queue — callers bound their
+    /// own wait instead.
+    pub fn drain(&self) {
+        while self.completed() < self.submitted() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Merged scheduled→completion latency histogram across workers.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for h in self.shared.latency.iter() {
+            out.merge(&h.lock().unwrap());
+        }
+        out
+    }
+
+    /// Stops accepting work, drains the queues' remaining jobs, and
+    /// joins the workers. Called by `Drop`; explicit calls make the
+    /// join point visible in tests.
+    ///
+    /// Under chaos: a crash-stopped worker must have been released
+    /// (`sl2_chaos::release_crashed`) before shutdown, or the join
+    /// blocks forever — the documented stopping-failure trade.
+    pub fn shutdown(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.shared.closing.store(true, Ordering::Release);
+        for q in self.shared.queues.iter() {
+            q.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            // A worker that unwound (absorbed crash-stop) is already
+            // accounted for by the chaos layer; join errors are not
+            // possible because the unwind is caught inside the thread.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_round_trips_each_op() {
+        let mut svc = Service::new(64, 2, Backend::Sharded { shards: 2 });
+        assert_eq!(
+            svc.call(Request {
+                key: 7,
+                op: ServiceOp::WriteMax(41)
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            svc.call(Request {
+                key: 7,
+                op: ServiceOp::ReadMax
+            }),
+            Response::Value(41)
+        );
+        assert_eq!(
+            svc.call(Request {
+                key: 9,
+                op: ServiceOp::Inc
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            svc.call(Request {
+                key: 9,
+                op: ServiceOp::ReadCount
+            }),
+            Response::Value(1)
+        );
+        assert_eq!(
+            svc.call(Request {
+                key: 7,
+                op: ServiceOp::ReadCount
+            }),
+            Response::Value(0),
+            "no cross-key bleed"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_then_drain_lands_everything() {
+        let svc = Service::new(1024, 4, Backend::Combining { shards: 2 });
+        for k in 0..100u64 {
+            for _ in 0..5 {
+                svc.submit(Request {
+                    key: k,
+                    op: ServiceOp::Inc,
+                });
+            }
+        }
+        svc.drain();
+        for k in 0..100u64 {
+            assert_eq!(svc.registry().get_or_insert(&k).read_count(), 5, "key {k}");
+        }
+    }
+
+    #[test]
+    fn per_key_fifo_order_is_preserved() {
+        let svc = Service::new(16, 3, Backend::Global);
+        // Monotone writes through the dispatch path: the final max is
+        // the largest, and every intermediate state was monotone
+        // because one worker serves the key in FIFO order.
+        for v in 1..=50u64 {
+            svc.submit(Request {
+                key: 3,
+                op: ServiceOp::WriteMax(v),
+            });
+        }
+        svc.drain();
+        assert_eq!(svc.registry().get_or_insert(&3).read_max(), 50);
+    }
+
+    #[test]
+    fn timed_submissions_record_latency() {
+        let svc = Service::new(64, 2, Backend::Global);
+        let t0 = Instant::now();
+        for k in 0..32u64 {
+            svc.submit_timed(
+                Request {
+                    key: k,
+                    op: ServiceOp::Inc,
+                },
+                t0,
+            );
+        }
+        svc.drain();
+        let h = svc.latency_histogram();
+        assert_eq!(h.count(), 32);
+        assert!(h.p50() > 0, "scheduled→completion is never zero");
+    }
+}

@@ -1,0 +1,225 @@
+//! Keyed (multi-object) specifications for the service tier.
+//!
+//! The `sl2_service` registry serves *many* independent objects behind
+//! one handle: a request names a key, and the per-key object is a §3
+//! max register (or §4 counter). The composed service is itself a
+//! sequential object — a map from keys to object states — and these
+//! specs make that composition explicit so the modelled dispatch twin
+//! (`sl2_service::machines`) can flow through the same
+//! `check_strong_outcome`/corpus machinery as the single-object
+//! algorithms.
+//!
+//! Two polarities, mirroring the single-object pair:
+//!
+//! * [`KeyedMaxSpec`] — exact: every read returns the current per-key
+//!   maximum. The locality of strong linearizability (it is closed
+//!   under composition of disjoint objects) says a keyed service whose
+//!   per-key path is the Theorem-1 register should certify here; the
+//!   checker confirms it *including* the shared dispatch steps
+//!   (enqueue ticket, route read) the service threads through every
+//!   request.
+//! * [`LaggingKeyedMaxSpec`] — the per-key analogue of
+//!   [`crate::relaxed::LaggingMaxSpec`]: reads may return the per-key
+//!   running maximum as it stood up to `k` *writes to that key* ago.
+//!   Cached-read routing (the service answers reads from a per-key
+//!   published fold, and writes that lose the publication election
+//!   complete unpublished) is refuted against [`KeyedMaxSpec`] and
+//!   certified here — the §8 law, resurfacing one layer up.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::max_register::MaxResp;
+use crate::{Spec, Value};
+
+/// Operations on a keyed max-register namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyedMaxOp {
+    /// `write_max(key, v)`.
+    Write {
+        /// Key naming the per-key register.
+        key: Value,
+        /// Value to fold into that register's maximum.
+        v: Value,
+    },
+    /// `read_max(key)`.
+    Read {
+        /// Key naming the per-key register.
+        key: Value,
+    },
+}
+
+/// Exact keyed max register: a map from keys to running maxima.
+/// Untouched keys read 0 (lazy instantiation is invisible to the
+/// specification — a fresh register holds 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyedMaxSpec;
+
+impl Spec for KeyedMaxSpec {
+    type State = BTreeMap<Value, Value>;
+    type Op = KeyedMaxOp;
+    type Resp = MaxResp;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn step(&self, s: &Self::State, op: &KeyedMaxOp) -> Vec<(Self::State, MaxResp)> {
+        match op {
+            KeyedMaxOp::Write { key, v } => {
+                let cur = s.get(key).copied().unwrap_or(0);
+                let mut next = s.clone();
+                next.insert(*key, cur.max(*v));
+                vec![(next, MaxResp::Ok)]
+            }
+            KeyedMaxOp::Read { key } => {
+                vec![(s.clone(), MaxResp::Value(s.get(key).copied().unwrap_or(0)))]
+            }
+        }
+    }
+}
+
+/// k-stale keyed max register: `Write` is exact per key, but `Read`
+/// may return the keyed maximum as it stood up to `k` writes *to that
+/// key* ago. Writes to other keys do not age a key's window — the
+/// relaxation is per object, exactly as composing `k`-stale registers
+/// key-wise would give. A 0-stale keyed register is [`KeyedMaxSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaggingKeyedMaxSpec {
+    /// Maximum number of same-key writes a `Read` may trail by.
+    pub k: usize,
+}
+
+/// State of a [`LaggingKeyedMaxSpec`]: per key, the running maximum
+/// after each of the last `k` writes plus the current one, oldest
+/// first (absent key ⇔ window `[0]`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct LaggingKeyedMaxState {
+    /// Per-key windows of recent running maxima; last entry current.
+    pub recent: BTreeMap<Value, VecDeque<Value>>,
+}
+
+impl Spec for LaggingKeyedMaxSpec {
+    type State = LaggingKeyedMaxState;
+    type Op = KeyedMaxOp;
+    type Resp = MaxResp;
+
+    fn initial(&self) -> LaggingKeyedMaxState {
+        LaggingKeyedMaxState::default()
+    }
+
+    fn step(
+        &self,
+        s: &LaggingKeyedMaxState,
+        op: &KeyedMaxOp,
+    ) -> Vec<(LaggingKeyedMaxState, MaxResp)> {
+        match op {
+            KeyedMaxOp::Write { key, v } => {
+                let mut next = s.clone();
+                let window = next.recent.entry(*key).or_insert_with(|| {
+                    VecDeque::from([0]) // fresh key: current maximum 0
+                });
+                let cur = *window.back().expect("window is never empty");
+                window.push_back(cur.max(*v));
+                while window.len() > self.k + 1 {
+                    window.pop_front();
+                }
+                vec![(next, MaxResp::Ok)]
+            }
+            KeyedMaxOp::Read { key } => {
+                let mut out: Vec<(LaggingKeyedMaxState, MaxResp)> = Vec::new();
+                let fresh = VecDeque::from([0]);
+                let window = s.recent.get(key).unwrap_or(&fresh);
+                for &v in window {
+                    if !out.iter().any(|(_, r)| *r == MaxResp::Value(v)) {
+                        out.push((s.clone(), MaxResp::Value(v)));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_legal;
+
+    #[test]
+    fn keyed_max_keys_are_independent() {
+        let spec = KeyedMaxSpec;
+        let seq = vec![
+            (KeyedMaxOp::Write { key: 7, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Write { key: 9, v: 3 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 7 }, MaxResp::Value(5)),
+            (KeyedMaxOp::Read { key: 9 }, MaxResp::Value(3)),
+            (KeyedMaxOp::Read { key: 11 }, MaxResp::Value(0)),
+        ];
+        assert!(is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn keyed_max_folds_per_key() {
+        let spec = KeyedMaxSpec;
+        let mut s = spec.initial();
+        assert_eq!(
+            spec.apply(&mut s, &KeyedMaxOp::Write { key: 1, v: 5 }),
+            MaxResp::Ok
+        );
+        assert_eq!(
+            spec.apply(&mut s, &KeyedMaxOp::Write { key: 1, v: 3 }),
+            MaxResp::Ok
+        );
+        assert_eq!(
+            spec.apply(&mut s, &KeyedMaxOp::Read { key: 1 }),
+            MaxResp::Value(5)
+        );
+    }
+
+    #[test]
+    fn keyed_max_rejects_cross_key_bleed() {
+        let spec = KeyedMaxSpec;
+        let seq = vec![
+            (KeyedMaxOp::Write { key: 1, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 2 }, MaxResp::Value(5)), // wrong key
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+
+    #[test]
+    fn lagging_keyed_allows_per_key_stale_reads_only() {
+        let spec = LaggingKeyedMaxSpec { k: 1 };
+        // One write to key 1; a read may still see the pre-write 0.
+        let stale = vec![
+            (KeyedMaxOp::Write { key: 1, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 1 }, MaxResp::Value(0)),
+        ];
+        assert!(is_legal(&spec, &stale));
+        // Two writes to key 1: with k = 1 the pre-both value is gone.
+        let too_stale = vec![
+            (KeyedMaxOp::Write { key: 1, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Write { key: 1, v: 6 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 1 }, MaxResp::Value(0)),
+        ];
+        assert!(!is_legal(&spec, &too_stale));
+        // Writes to *other* keys do not age key 1's window.
+        let other_keys = vec![
+            (KeyedMaxOp::Write { key: 1, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Write { key: 2, v: 7 }, MaxResp::Ok),
+            (KeyedMaxOp::Write { key: 3, v: 8 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 1 }, MaxResp::Value(0)),
+        ];
+        assert!(is_legal(&spec, &other_keys));
+    }
+
+    #[test]
+    fn lagging_keyed_never_invents_values() {
+        let spec = LaggingKeyedMaxSpec { k: 2 };
+        let seq = vec![
+            (KeyedMaxOp::Write { key: 1, v: 5 }, MaxResp::Ok),
+            (KeyedMaxOp::Read { key: 1 }, MaxResp::Value(4)),
+        ];
+        assert!(!is_legal(&spec, &seq));
+    }
+}

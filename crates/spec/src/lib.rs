@@ -33,6 +33,7 @@ use std::hash::Hash;
 
 pub mod counters;
 pub mod fifo;
+pub mod keyed;
 pub mod max_register;
 pub mod put_take;
 pub mod relaxed;

@@ -46,6 +46,13 @@
 //!   compile to nothing by default and arm under `--features obs`
 //!   (DESIGN.md §11); `SL2_METRICS_JSON` exports snapshots as
 //!   JSON lines.
+//! * [`sl2_service`] — the keyed service tier: a lock-free object
+//!   [`Registry`](sl2_service::Registry) (millions of keys, lazy
+//!   materialization, per-key backend policy), a worker-pool
+//!   request/dispatch layer with key-affinity routing, and the
+//!   modelled dispatch twin the checker adjudicates — exact routing
+//!   certifies by locality, cached routing is refuted exact and
+//!   certified per-key-lagging (DESIGN.md §12).
 //!
 //! ## Quick start
 //!
@@ -114,6 +121,28 @@
 //! assert_eq!(max.read_cached(), 100); // 1 load
 //! ```
 //!
+//! At service scale the object count, not the thread count, is the
+//! axis: a [`Registry`](sl2_service::Registry)-backed
+//! [`Service`](sl2_service::Service) routes typed requests by key
+//! affinity onto a worker pool — each key a disjoint
+//! strongly-linearizable object, materialized on first touch:
+//!
+//! ```
+//! use sl2::prelude::*;
+//!
+//! let mut svc = Service::new(1024, 2, Backend::Sharded { shards: 2 });
+//! svc.call(Request { key: 7, op: ServiceOp::WriteMax(41) });
+//! assert_eq!(
+//!     svc.call(Request { key: 7, op: ServiceOp::ReadMax }),
+//!     Response::Value(41),
+//! );
+//! assert_eq!(
+//!     svc.call(Request { key: 8, op: ServiceOp::ReadMax }),
+//!     Response::Value(0), // keys are disjoint objects
+//! );
+//! svc.shutdown();
+//! ```
+//!
 //! ## Verifying strong linearizability yourself
 //!
 //! ```
@@ -141,6 +170,7 @@ pub use sl2_core as core;
 pub use sl2_exec as exec;
 pub use sl2_obs as obs;
 pub use sl2_primitives as primitives;
+pub use sl2_service as service;
 pub use sl2_sharded as sharded;
 pub use sl2_spec as spec;
 
@@ -193,11 +223,20 @@ pub mod prelude {
         BaseObject, CachePadded, ConsensusNumber, FetchAdd, ReadableTestAndSet, Register, Sharding,
         Swap, TestAndSet,
     };
+    pub use sl2_service::machines::{
+        cross_key_lagging_scenario, cross_key_scenario, same_key_fan_in_lagging_scenario,
+        same_key_fan_in_scenario, KeyedDispatchAlg, LaggingKeyedDispatchAlg, RouteMode,
+    };
+    pub use sl2_service::{
+        Backend, KeyObject, KeyedCounter, KeyedMax, KeyedSnapshot, Registry, Request, Response,
+        Service, ServiceOp,
+    };
     pub use sl2_sharded::{
         fan_in_max_scenario, frontier_safe_max_scenario, RelaxedShardedCounter, ShardTicket,
         ShardedCounterAlg, ShardedFetchInc, ShardedMaxRegAlg, ShardedMaxRegister, ShardedSnapshot,
         ShardedSnapshotAlg, WholeReadMode,
     };
+    pub use sl2_spec::keyed::{KeyedMaxOp, KeyedMaxSpec, LaggingKeyedMaxSpec};
     pub use sl2_spec::relaxed::{LaggingCounterSpec, LaggingMaxSpec};
     pub use sl2_spec::Spec;
 }

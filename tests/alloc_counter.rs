@@ -340,6 +340,45 @@ fn combined_snapshot_cached_scan_into_buffer_is_allocation_free() {
     assert_eq!(buf, [1, 2, 3, 4]);
 }
 
+#[test]
+fn registry_steady_state_routing_is_allocation_free() {
+    // The ISSUE-9 pin: once a key's object is materialized, routing a
+    // request to it — hash, probe, lane op — must never touch the
+    // heap. Insertion allocates (the entry box, the lazy object);
+    // steady state is `get` + the object's own inline paths.
+    use sl2_service::{Backend, Registry};
+    let reg: Registry<u64> = Registry::new(64, 2, Backend::Global);
+    for k in 0..16u64 {
+        let obj = reg.get_or_insert(&k);
+        obj.inc(0);
+        obj.write_max(0, 4);
+    }
+    let (n, total) = allocs_during(|| {
+        let mut total = 0u64;
+        for round in 0..8u64 {
+            for k in 0..16u64 {
+                let obj = reg.get(&k).expect("materialized above");
+                obj.inc(1);
+                obj.write_max(1, 5 + round);
+                total += obj.read_count() + obj.read_max();
+            }
+        }
+        total
+    });
+    assert_eq!(n, 0, "steady-state registry routing allocated");
+    assert!(total > 0);
+
+    // The hit path of get_or_insert is the same probe loop: a present
+    // key must not cost a speculative entry allocation.
+    let (n, _) = allocs_during(|| {
+        for k in 0..16u64 {
+            let _ = reg.get_or_insert(&k).read_count();
+        }
+    });
+    assert_eq!(n, 0, "get_or_insert allocated on the hit path");
+    assert_eq!(reg.len(), 16, "no phantom keys materialized");
+}
+
 #[cfg(not(feature = "obs"))]
 #[test]
 fn disarmed_obs_probes_are_free() {

@@ -23,8 +23,13 @@ use sl2::prelude::*;
 use sl2_core::baselines::agm_stack::AgmStackAlg;
 use sl2_core::baselines::cas_queue::CasQueueAlg;
 use sl2_core::baselines::treiber_stack::TreiberStackAlg;
+use sl2_service::machines::{
+    cross_key_lagging_scenario, cross_key_scenario, same_key_fan_in_lagging_scenario,
+    same_key_fan_in_scenario, KeyedDispatchAlg, LaggingKeyedDispatchAlg, RouteMode,
+};
 use sl2_spec::counters::{CounterOp, CounterSpec, FetchIncOp, FetchIncSpec};
 use sl2_spec::fifo::{QueueOp, QueueSpec, StackOp, StackSpec};
+use sl2_spec::keyed::{KeyedMaxSpec, LaggingKeyedMaxSpec};
 use sl2_spec::max_register::{MaxOp, MaxRegisterSpec};
 
 /// Global node budget shared by the whole re-certification pass; the
@@ -183,6 +188,27 @@ fn combining_corpus(shards: usize, mode: ReadMode) -> ScenarioCorpus<MaxRegister
     corpus
 }
 
+/// The ISSUE-9 service dispatch twin (E43): the canonical cross-key /
+/// same-key anchors against the exact keyed spec, named per route
+/// mode.
+fn service_corpus(tag: &str) -> ScenarioCorpus<KeyedMaxSpec> {
+    let mut corpus = ScenarioCorpus::new();
+    corpus.push(format!("service_{tag}/cross_key"), cross_key_scenario());
+    corpus.push(format!("service_{tag}/fan_in"), same_key_fan_in_scenario());
+    corpus
+}
+
+/// The cached twin under the per-key lagging spec (window k = 2).
+fn service_lagging_corpus() -> ScenarioCorpus<LaggingKeyedMaxSpec> {
+    let mut corpus = ScenarioCorpus::new();
+    corpus.push("service_lagging_k2/cross_key", cross_key_lagging_scenario());
+    corpus.push(
+        "service_lagging_k2/fan_in",
+        same_key_fan_in_lagging_scenario(),
+    );
+    corpus
+}
+
 /// Treiber answers the *same* stack scenarios as AGM; a newtype keeps
 /// the two runs' algorithms apart.
 #[derive(Debug, Clone)]
@@ -313,6 +339,32 @@ fn run_all(memoize: bool, driver: Driver, report: &mut CorpusReport) {
         driver,
         report,
     );
+    // The ISSUE-9 service dispatch twin (E43): exact routing certifies
+    // (strong linearizability is local, and stays so with the shared
+    // enqueue/route steps interleaved); cached routing is refuted
+    // against the exact keyed spec and certified against the per-key
+    // k = 2 lagging spec — the §8 law one layer up.
+    drive(
+        &service_corpus("exact"),
+        |mem| KeyedDispatchAlg::new(mem, 3, &[1, 2], RouteMode::Exact),
+        &opts,
+        driver,
+        report,
+    );
+    drive(
+        &service_corpus("cached"),
+        |mem| KeyedDispatchAlg::new(mem, 3, &[1, 2], RouteMode::Cached),
+        &opts,
+        driver,
+        report,
+    );
+    drive(
+        &service_lagging_corpus(),
+        |mem| LaggingKeyedDispatchAlg::new(mem, 3, &[1, 2], 2),
+        &opts,
+        driver,
+        report,
+    );
     // The CAS queue (E11, queue side).
     let mut q = ScenarioCorpus::<QueueSpec>::new();
     q.push(
@@ -384,6 +436,21 @@ fn pinned_verdicts() -> Vec<(&'static str, bool)> {
         ("combining_counter_stable/inc_read_pair", true),
         ("combining_counter_cached/fan_in", false),
         ("combining_counter_cached/inc_read_pair", false),
+        // E43: the ISSUE-9 service dispatch twin. Exact routing
+        // certifies both shapes — strong linearizability is local, and
+        // the shared enqueue ticket + routing read do not break the
+        // disjoint composition. Cached routing is refuted on *both*
+        // shapes against the exact keyed spec (a direct-path write
+        // completes unpublished, so even the cross-key reader can be
+        // shown a completed write's absence) and certified against the
+        // per-key k = 2 lagging spec — staleness is bounded per key,
+        // and writes to other keys cannot age a key's window.
+        ("service_exact/cross_key", true),
+        ("service_exact/fan_in", true),
+        ("service_cached/cross_key", false),
+        ("service_cached/fan_in", false),
+        ("service_lagging_k2/cross_key", true),
+        ("service_lagging_k2/fan_in", true),
     ]
 }
 
@@ -567,6 +634,45 @@ fn combining_cached_refutation_witness_replays() {
         );
         let w = out.witness().expect("cached read refuted");
         validate_witness(&alg, mem, &scenario, w).unwrap_or_else(|e| panic!("S={shards}: {e}"));
+    }
+}
+
+#[test]
+fn service_cached_refutation_witness_replays() {
+    // The ISSUE-9 acceptance point: the dispatch twin flows through
+    // the same witness discipline as every other refutation — and the
+    // replay holds in both memo modes (the witness is a complete
+    // branch either way, not truncated at a memo hit).
+    for memo in [true, false] {
+        let scenario = same_key_fan_in_scenario();
+        let mut mem = SimMemory::new();
+        let alg = KeyedDispatchAlg::new(&mut mem, 3, &[1, 2], RouteMode::Cached);
+        let out = check_strong_outcome(
+            &alg,
+            mem.clone(),
+            &scenario,
+            StrongOptions::with_limit(8_000_000).memoize(memo),
+        );
+        let w = out.witness().expect("cached dispatch refuted");
+        validate_witness(&alg, mem, &scenario, w).unwrap_or_else(|e| panic!("memo={memo}: {e}"));
+    }
+}
+
+#[test]
+fn service_exact_certification_replays_memo_off() {
+    // The certified polarity, differentially: the memo-off tree search
+    // agrees with the memo-on DAG verdict on the exact-mode twin.
+    for memo in [true, false] {
+        let scenario = cross_key_scenario();
+        let mut mem = SimMemory::new();
+        let alg = KeyedDispatchAlg::new(&mut mem, 3, &[1, 2], RouteMode::Exact);
+        let out = check_strong_outcome(
+            &alg,
+            mem,
+            &scenario,
+            StrongOptions::with_limit(8_000_000).memoize(memo),
+        );
+        assert!(out.is_certified(), "memo={memo}: exact twin must certify");
     }
 }
 

@@ -1,0 +1,258 @@
+//! Conservation and fault-tolerance stress for the keyed service tier
+//! (ISSUE 9): many submitters, many keys, one registry — per-key
+//! counts must be *exact*, keys must never bleed into each other, and
+//! a crash-stopped worker must only darken its own queues.
+//!
+//! The conservation tests run in every configuration; the crash-stop
+//! test needs `--features chaos` (CI runs it in the release chaos
+//! leg). Locality is the theory behind the assertions: strong
+//! linearizability is closed under disjoint composition, so per-key
+//! exactness across the pool is what the paper's guarantee *means* at
+//! service scale (DESIGN.md §12).
+
+use sl2_service::{Backend, Request, Response, Service, ServiceOp};
+
+/// Submitter threads (on top of the service's own worker pool).
+const SUBMITTERS: usize = 4;
+
+#[test]
+fn per_key_counter_sums_are_exact_across_the_pool() {
+    // 4 submitters × 64 keys × 25 incs each, interleaved across three
+    // backends in one registry via a policy: every key must land on
+    // exactly 100 — nothing lost in queues, nothing double-applied by
+    // routing.
+    const KEYS: u64 = 64;
+    const PER: u64 = 25;
+    let svc = Service::with_policy(256, 4, |k: &u64| match k % 3 {
+        0 => Backend::Global,
+        1 => Backend::Sharded { shards: 2 },
+        _ => Backend::Combining { shards: 2 },
+    });
+    std::thread::scope(|s| {
+        for _ in 0..SUBMITTERS {
+            let svc = &svc;
+            s.spawn(move || {
+                for i in 0..KEYS * PER {
+                    svc.submit(Request {
+                        key: i % KEYS,
+                        op: ServiceOp::Inc,
+                    });
+                }
+            });
+        }
+    });
+    svc.drain();
+    let mut total = 0u64;
+    for k in 0..KEYS {
+        let got = svc
+            .registry()
+            .get(&k)
+            .expect("every key saw traffic")
+            .read_count();
+        assert_eq!(
+            got,
+            SUBMITTERS as u64 * PER,
+            "key {k} lost or double-counted increments"
+        );
+        total += got;
+    }
+    assert_eq!(total, SUBMITTERS as u64 * KEYS * PER);
+    assert_eq!(svc.registry().len(), KEYS as usize, "phantom keys appeared");
+}
+
+#[test]
+fn keys_never_bleed_across_ops_or_backends() {
+    // Writes, increments and snapshot updates aimed at disjoint keys:
+    // each key's object must reflect exactly its own stream. The
+    // cross-key reads go through the dispatch path (`call`), so the
+    // check covers routing, not just registry lookup.
+    let svc = Service::new(64, 3, Backend::Sharded { shards: 2 });
+    std::thread::scope(|s| {
+        let svc = &svc;
+        s.spawn(move || {
+            for v in 1..=40u64 {
+                svc.submit(Request {
+                    key: 1,
+                    op: ServiceOp::WriteMax(v),
+                });
+            }
+        });
+        s.spawn(move || {
+            for _ in 0..30 {
+                svc.submit(Request {
+                    key: 2,
+                    op: ServiceOp::Inc,
+                });
+            }
+        });
+        s.spawn(move || {
+            for v in 1..=20u64 {
+                svc.submit(Request {
+                    key: 3,
+                    op: ServiceOp::Update { component: 1, v },
+                });
+            }
+        });
+    });
+    svc.drain();
+    assert_eq!(
+        svc.call(Request {
+            key: 1,
+            op: ServiceOp::ReadMax
+        }),
+        Response::Value(40)
+    );
+    assert_eq!(
+        svc.call(Request {
+            key: 2,
+            op: ServiceOp::ReadCount
+        }),
+        Response::Value(30)
+    );
+    assert_eq!(
+        svc.call(Request {
+            key: 3,
+            op: ServiceOp::Scan
+        }),
+        Response::View(vec![0, 20, 0])
+    );
+    // The bleed matrix: every key sees zero through every *other*
+    // key's lens.
+    assert_eq!(
+        svc.call(Request {
+            key: 1,
+            op: ServiceOp::ReadCount
+        }),
+        Response::Value(0),
+        "writes to key 1 must not count as increments"
+    );
+    assert_eq!(
+        svc.call(Request {
+            key: 2,
+            op: ServiceOp::ReadMax
+        }),
+        Response::Value(0),
+        "increments on key 2 must not write key 2's max"
+    );
+    assert_eq!(
+        svc.call(Request {
+            key: 3,
+            op: ServiceOp::ReadCount
+        }),
+        Response::Value(0),
+        "snapshot updates on key 3 must not count"
+    );
+}
+
+#[test]
+fn cached_reads_lag_but_never_invent() {
+    // Combining backend: cached reads ride the published fold, so
+    // after a drain + one exact read they converge; mid-stream they
+    // may lag but must never exceed the exact value (the §8 relation,
+    // observed through the service seam).
+    let svc = Service::new(16, 2, Backend::Combining { shards: 2 });
+    for v in 1..=60u64 {
+        svc.submit(Request {
+            key: 5,
+            op: ServiceOp::WriteMax(v),
+        });
+        if v % 10 == 0 {
+            if let Response::Value(cached) = svc.call(Request {
+                key: 5,
+                op: ServiceOp::ReadMaxCached,
+            }) {
+                assert!(cached <= v, "cached read invented a value: {cached} > {v}");
+            } else {
+                panic!("cached read must return a value");
+            }
+        }
+    }
+    svc.drain();
+    assert_eq!(
+        svc.call(Request {
+            key: 5,
+            op: ServiceOp::ReadMax
+        }),
+        Response::Value(60)
+    );
+}
+
+/// Crash-stop a worker mid-dispatch: its queues go dark (the stopping
+/// failure DESIGN.md §10 documents), while every key routed to the
+/// surviving workers stays fully live — locality under failure.
+#[cfg(feature = "chaos")]
+#[test]
+fn crash_stopped_worker_leaves_other_keys_live() {
+    use sl2_chaos::{crashed_count, install, release_crashed, FaultAction, FaultPlan};
+
+    const WORKERS: usize = 4;
+    const VICTIM: usize = 2;
+    let seed = 0x5E41_0009u64;
+    let _session = install(FaultPlan::new(seed).on(
+        "service.dispatch",
+        Some(VICTIM),
+        1,
+        FaultAction::CrashStop,
+    ));
+    let svc = Service::new(256, WORKERS, Backend::Global);
+
+    // Partition a key range by serving worker.
+    let mut victim_key = None;
+    let mut live_keys = Vec::new();
+    for k in 0..64u64 {
+        if svc.route_of(k) == VICTIM {
+            victim_key.get_or_insert(k);
+        } else {
+            live_keys.push(k);
+        }
+    }
+    let victim_key = victim_key.expect("some key routes to the victim");
+    assert!(live_keys.len() >= 16, "routing should spread keys");
+
+    // One sacrificial request: the victim crash-stops at the dispatch
+    // point with the job unexecuted.
+    svc.submit(Request {
+        key: victim_key,
+        op: ServiceOp::Inc,
+    });
+    while crashed_count() == 0 {
+        std::thread::yield_now();
+    }
+
+    // The rest of the pool keeps serving: exact conservation on every
+    // live key, adjudicated through blocking calls (which also proves
+    // the dispatch path itself is live, not just the registry).
+    const PER: u64 = 20;
+    for &k in &live_keys {
+        for _ in 0..PER {
+            svc.submit(Request {
+                key: k,
+                op: ServiceOp::Inc,
+            });
+        }
+    }
+    for &k in &live_keys {
+        assert_eq!(
+            svc.call(Request {
+                key: k,
+                op: ServiceOp::ReadCount
+            }),
+            Response::Value(PER),
+            "chaos[seed={seed}]: live key {k} lost increments after the crash"
+        );
+    }
+
+    // The victim's job was never executed: crash-stop loses in-flight
+    // work (by design), it must not half-apply it.
+    assert!(
+        svc.registry().get(&victim_key).is_none()
+            || svc.registry().get(&victim_key).unwrap().read_count() == 0,
+        "chaos[seed={seed}]: the crashed worker's job must not have half-applied"
+    );
+    assert_eq!(crashed_count(), 1, "chaos[seed={seed}]: exactly one crash");
+
+    // Wake the parked victim so shutdown's join can complete; its
+    // unwind is absorbed inside the worker thread.
+    release_crashed();
+    drop(svc);
+}

@@ -38,6 +38,7 @@ const EXPECTED_TESTS: &[&str] = &[
     "non_sl_witnesses",
     "obs",
     "recorder",
+    "service_stress",
     "sharded_stress",
     "sweeps",
     "target_coverage",
@@ -161,8 +162,8 @@ fn every_bench_file_is_a_registered_bench_target() {
     );
     assert_eq!(
         registered.len(),
-        12,
-        "the suite documents twelve bench targets; update the README and this \
+        13,
+        "the suite documents thirteen bench targets; update the README and this \
          test together if that changes"
     );
 }

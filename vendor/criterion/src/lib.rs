@@ -194,9 +194,13 @@ fn calibrate_batch<O, R: FnMut() -> O>(routine: &mut R) -> u32 {
 
 /// When `SL2_BENCH_JSON` names a file, appends one JSON object per
 /// finished benchmark
-/// (`{"id":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…}`,
+/// (`{"id":…,"median_ns":…,"min_ns":…,"max_ns":…,"loop":"closed","samples":…}`,
 /// JSON-lines format) so CI and scripts can track medians — and judge
 /// how many samples stand behind them — without scraping stderr.
+/// Every row is tagged `"loop":"closed"`: `iter` re-invokes the
+/// routine as soon as the previous call returns, so these medians are
+/// closed-loop by construction and subject to coordinated omission
+/// (the harness's open-loop rows carry `"loop":"open"` instead).
 fn record_json(id: &str, min: Duration, med: Duration, max: Duration, samples: usize) {
     let Ok(path) = std::env::var("SL2_BENCH_JSON") else {
         return;
@@ -212,7 +216,8 @@ fn record_json(id: &str, min: Duration, med: Duration, max: Duration, samples: u
     {
         let _ = writeln!(
             f,
-            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"loop\":\"closed\",\"samples\":{}}}",
             id.escape_default(),
             med.as_nanos(),
             min.as_nanos(),
@@ -394,6 +399,11 @@ mod tests {
             .collect();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].ends_with('}'));
+        assert!(
+            lines[0].contains("\"loop\":\"closed\""),
+            "batched-iter rows are closed-loop: {}",
+            lines[0]
+        );
         assert!(
             lines[0].contains(&format!("\"samples\":{MAX_SAMPLES}}}")),
             "sample count must ride along: {}",
