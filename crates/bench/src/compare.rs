@@ -1,0 +1,382 @@
+//! The bench regression gate: committed floors vs a live run.
+//!
+//! Every PR commits a `BENCH_PRn.json` snapshot whose
+//! `uncontended_floors_ns_default` object records the default-build
+//! single-thread floors (criterion-shim medians, nanoseconds). This
+//! module diffs the floors of the *committed* snapshot against the
+//! `SL2_BENCH_JSON` lines of a *current* run, so drift is caught by
+//! machinery instead of by a human eyeballing two JSON files.
+//!
+//! ## Drift threshold
+//!
+//! The gate is **advisory** (CI runs it `continue-on-error`): these
+//! are medians from a shared 1-CPU container, and the session drift
+//! documented since BENCH_PR6 has reached ~17% on the fold-heavy rows
+//! (`sharded_s16_fold` 1713 → 1998 ns between PR 8 and PR 9) without
+//! any code on those paths changing. The ceiling is therefore
+//!
+//! ```text
+//! ceiling = baseline + max(baseline * DRIFT_PERCENT / 100, ABS_SLACK_NS)
+//! ```
+//!
+//! * [`DRIFT_PERCENT`] = 25 — above every observed same-code excursion,
+//!   far below the 2–10× a real regression (a heap spill, a lost
+//!   inline path, an accidental fold in a read) produces.
+//! * [`ABS_SLACK_NS`] = 8 — tiny floors quantize: the 2 ns cached
+//!   read's next representable median is 3 ns (+50%), which percentage
+//!   alone would flag.
+//!
+//! A floor missing from the current run is reported but is **not** a
+//! regression: partial bench runs (one `--bench` target) are normal.
+
+/// Maximum tolerated drift, percent of the committed floor.
+pub const DRIFT_PERCENT: u64 = 25;
+
+/// Absolute slack floor in nanoseconds, so single-digit floors are not
+/// flagged by one-bucket quantization.
+pub const ABS_SLACK_NS: u64 = 8;
+
+/// One floor: a bench row id and its committed median.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floor {
+    /// Criterion-shim row id, e.g. `"faa_at_width/64"`.
+    pub id: String,
+    /// Median nanoseconds committed in the snapshot.
+    pub ns: u64,
+}
+
+/// Highest ceiling the gate accepts for a committed floor.
+pub fn allowed_ceiling(baseline_ns: u64) -> u64 {
+    baseline_ns + (baseline_ns * DRIFT_PERCENT / 100).max(ABS_SLACK_NS)
+}
+
+/// Length of the object body that starts right *after* an opening
+/// brace: index of the matching `}`. Tracks strings so braces inside
+/// them do not count. `None` when unbalanced.
+fn matched_object_len(s: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in s.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The newest `"prN": value` pair inside one floor entry — snapshots
+/// carry `{"pr9": 20, "pr10": 21}` style before/after pairs, and the
+/// newest PR is the one the snapshot pins.
+fn newest_pr_value(entry: &str) -> Option<u64> {
+    let mut best: Option<(u64, u64)> = None;
+    let mut rest = entry;
+    while let Some(at) = rest.find("\"pr") {
+        let tail = &rest[at + 3..];
+        let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let after = &tail[digits.len()..];
+        if let (Ok(pr), Some(stripped)) = (digits.parse::<u64>(), after.strip_prefix('"')) {
+            if let Some(colon) = stripped.find(':') {
+                let num: String = stripped[colon + 1..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                if let Ok(ns) = num.parse::<u64>() {
+                    if best.is_none_or(|(bpr, _)| pr > bpr) {
+                        best = Some((pr, ns));
+                    }
+                }
+            }
+        }
+        rest = &rest[at + 3..];
+    }
+    best.map(|(_, ns)| ns)
+}
+
+/// Extracts the committed floors from a full `BENCH_PRn.json`
+/// snapshot: every entry of `uncontended_floors_ns_default` except the
+/// free-text `note`, each at its newest `"prN"` value. Returns empty
+/// when the section is absent — the gate then has nothing to assert,
+/// which callers should treat as a configuration error, not a pass.
+pub fn baseline_floors(snapshot: &str) -> Vec<Floor> {
+    let mut out = Vec::new();
+    let Some(key) = snapshot.find("\"uncontended_floors_ns_default\"") else {
+        return out;
+    };
+    let Some(rel) = snapshot[key..].find('{') else {
+        return out;
+    };
+    let body_start = key + rel + 1;
+    let Some(body_len) = matched_object_len(&snapshot[body_start..]) else {
+        return out;
+    };
+    let mut rest = &snapshot[body_start..body_start + body_len];
+    while let Some(qs) = rest.find('"') {
+        let after = &rest[qs + 1..];
+        let Some(qe) = after.find('"') else { break };
+        let id = &after[..qe];
+        let after_key = &after[qe + 1..];
+        let Some(colon) = after_key.find(':') else {
+            break;
+        };
+        let value = after_key[colon + 1..].trim_start();
+        if let Some(v) = value.strip_prefix('{') {
+            let Some(vl) = matched_object_len(v) else {
+                break;
+            };
+            if let Some(ns) = newest_pr_value(&v[..vl]) {
+                out.push(Floor {
+                    id: id.to_string(),
+                    ns,
+                });
+            }
+            rest = &v[vl + 1..];
+        } else if let Some(v) = value.strip_prefix('"') {
+            // String-valued entry (the "note"): skip past it.
+            let Some(vl) = v.find('"') else { break };
+            rest = &v[vl + 1..];
+        } else {
+            rest = value;
+        }
+    }
+    out
+}
+
+/// One `"key":N` numeric field from a JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let num: String = line[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse().ok()
+}
+
+/// One `"key":"value"` string field from a JSON line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let end = line[at..].find('"')?;
+    Some(line[at..at + end].to_string())
+}
+
+/// Extracts `(id, median_ns)` rows from an `SL2_BENCH_JSON` stream.
+/// Percentile rows (`"kind":"latency"`) have no `median_ns` and are
+/// skipped; repeated ids keep the **last** row (a rerun supersedes).
+pub fn current_medians(jsonl: &str) -> Vec<Floor> {
+    let mut out: Vec<Floor> = Vec::new();
+    for line in jsonl.lines() {
+        let (Some(id), Some(ns)) = (field_str(line, "id"), field_u64(line, "median_ns")) else {
+            continue;
+        };
+        if let Some(existing) = out.iter_mut().find(|f| f.id == id) {
+            existing.ns = ns;
+        } else {
+            out.push(Floor { id, ns });
+        }
+    }
+    out
+}
+
+/// Verdict for one gated floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Current median is at or under the drift ceiling.
+    Ok,
+    /// Current median exceeds the ceiling — a real candidate
+    /// regression (or a very bad scheduling day; the gate is advisory).
+    Regressed,
+    /// The floor's bench did not run — reported, never failing.
+    Missing,
+}
+
+/// One gated floor with both sides and the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateRow {
+    /// Bench row id.
+    pub id: String,
+    /// Committed floor (ns).
+    pub baseline_ns: u64,
+    /// Ceiling the gate allows (ns).
+    pub ceiling_ns: u64,
+    /// Median of the current run (ns), when the bench ran.
+    pub current_ns: Option<u64>,
+    /// The verdict.
+    pub verdict: GateVerdict,
+}
+
+/// The full diff of a current run against a committed snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// One row per committed floor, snapshot order.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// True when no gated floor regressed (missing floors pass).
+    pub fn is_pass(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// The regressed rows.
+    pub fn regressions(&self) -> Vec<&GateRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == GateVerdict::Regressed)
+            .collect()
+    }
+
+    /// JSON lines: one row per floor plus a trailing summary — the
+    /// shape CI uploads next to the raw bench stream.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                GateVerdict::Ok => "ok",
+                GateVerdict::Regressed => "regressed",
+                GateVerdict::Missing => "missing",
+            };
+            let current = r.current_ns.map_or("null".to_string(), |ns| ns.to_string());
+            out.push_str(&format!(
+                "{{\"gate\":\"floor\",\"id\":\"{}\",\"baseline_ns\":{},\
+                 \"ceiling_ns\":{},\"current_ns\":{},\"verdict\":\"{}\"}}\n",
+                r.id, r.baseline_ns, r.ceiling_ns, current, verdict
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"gate\":\"summary\",\"floors\":{},\"regressed\":{},\
+             \"drift_percent\":{},\"abs_slack_ns\":{},\"pass\":{}}}\n",
+            self.rows.len(),
+            self.regressions().len(),
+            DRIFT_PERCENT,
+            ABS_SLACK_NS,
+            self.is_pass()
+        ));
+        out
+    }
+}
+
+/// Diffs a current `SL2_BENCH_JSON` stream against the committed
+/// floors of a `BENCH_PRn.json` snapshot.
+pub fn gate(snapshot: &str, current_jsonl: &str) -> GateReport {
+    let current = current_medians(current_jsonl);
+    let rows = baseline_floors(snapshot)
+        .into_iter()
+        .map(|f| {
+            let ceiling_ns = allowed_ceiling(f.ns);
+            let current_ns = current.iter().find(|c| c.id == f.id).map(|c| c.ns);
+            let verdict = match current_ns {
+                None => GateVerdict::Missing,
+                Some(ns) if ns <= ceiling_ns => GateVerdict::Ok,
+                Some(_) => GateVerdict::Regressed,
+            };
+            GateRow {
+                id: f.id,
+                baseline_ns: f.ns,
+                ceiling_ns,
+                current_ns,
+                verdict,
+            }
+        })
+        .collect();
+    GateReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+      "gate": {
+        "uncontended_floors_ns_default": {
+          "faa_at_width/64": { "pr8": 20, "pr9": 21 },
+          "combining_read/combined_cached": { "pr9": 2 },
+          "note": "free text with a } brace and \"quotes\""
+        }
+      }
+    }"#;
+
+    #[test]
+    fn baseline_parser_takes_the_newest_pr_and_skips_the_note() {
+        let floors = baseline_floors(SNAPSHOT);
+        assert_eq!(
+            floors,
+            vec![
+                Floor {
+                    id: "faa_at_width/64".into(),
+                    ns: 21
+                },
+                Floor {
+                    id: "combining_read/combined_cached".into(),
+                    ns: 2
+                },
+            ]
+        );
+        assert!(baseline_floors("{}").is_empty());
+    }
+
+    #[test]
+    fn median_parser_skips_latency_rows_and_keeps_the_last_rerun() {
+        let jsonl = "\
+            {\"id\":\"faa_at_width/64\",\"median_ns\":20,\"min_ns\":19,\"max_ns\":30}\n\
+            {\"id\":\"svc/open\",\"kind\":\"latency\",\"loop\":\"open\",\"p50_ns\":4095}\n\
+            {\"id\":\"faa_at_width/64\",\"median_ns\":22,\"min_ns\":20,\"max_ns\":31}\n";
+        let medians = current_medians(jsonl);
+        assert_eq!(
+            medians,
+            vec![Floor {
+                id: "faa_at_width/64".into(),
+                ns: 22
+            }]
+        );
+    }
+
+    #[test]
+    fn ceiling_is_percentage_with_an_absolute_slack_floor() {
+        assert_eq!(allowed_ceiling(100), 125); // 25%
+        assert_eq!(allowed_ceiling(2), 10); // quantized floor: +8 abs
+        assert_eq!(allowed_ceiling(0), 8);
+    }
+
+    #[test]
+    fn gate_flags_only_true_excursions() {
+        let current = "\
+            {\"id\":\"faa_at_width/64\",\"median_ns\":26}\n\
+            {\"id\":\"combining_read/combined_cached\",\"median_ns\":40}\n";
+        let report = gate(SNAPSHOT, current);
+        assert!(!report.is_pass());
+        // 26 ≤ 21 + max(5, 8) = 29: within slack. 40 > 2 + 8: regressed.
+        assert_eq!(report.rows[0].verdict, GateVerdict::Ok);
+        assert_eq!(report.rows[1].verdict, GateVerdict::Regressed);
+        let lines = report.to_json_lines();
+        assert!(lines.contains("\"verdict\":\"regressed\""));
+        assert!(lines.contains("\"pass\":false"));
+    }
+
+    #[test]
+    fn missing_floors_report_but_do_not_fail() {
+        let report = gate(SNAPSHOT, "");
+        assert!(report.is_pass(), "an empty run asserts nothing");
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.verdict == GateVerdict::Missing));
+        assert!(report.to_json_lines().contains("\"verdict\":\"missing\""));
+    }
+}

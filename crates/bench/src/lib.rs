@@ -11,8 +11,10 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+pub mod compare;
 pub mod open_loop;
 
+pub use compare::{baseline_floors, current_medians, gate, Floor, GateReport, GateVerdict};
 pub use open_loop::{run_open_loop, Arrival, OpenLoopPlan, OpenLoopStats};
 pub use sl2_obs::Histogram;
 

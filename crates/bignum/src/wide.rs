@@ -187,6 +187,9 @@ impl WideFaa {
         let _guard = self.lock.acquire();
         sl2_chaos::point("wfaa.migrate");
         sl2_obs::count("faa.migrate");
+        // Attribute the inline→heap regime change to the request that
+        // forced it (ambient span; 0 outside the service tier).
+        sl2_trace::event("faa.migrate", 0);
         let mut cur = self.cell.load();
         while !is_tagged(cur) {
             match self.cell.compare_exchange(cur, MIGRATED) {
@@ -240,6 +243,7 @@ impl WideFaa {
                                 Ok(prev) => return f(&BigNat::from(prev)),
                                 Err(actual) => {
                                     sl2_obs::count("faa.dwcas_retry");
+                                    sl2_trace::event("faa.dwcas_retry", actual as u64);
                                     cur = actual;
                                     confirmed = true;
                                 }
@@ -339,6 +343,7 @@ impl WideFaa {
                             Ok(prev) => return f(&BigNat::from(prev)),
                             Err(actual) => {
                                 sl2_obs::count("faa.dwcas_retry");
+                                sl2_trace::event("faa.dwcas_retry", actual as u64);
                                 cur = actual;
                                 confirmed = true;
                             }

@@ -307,11 +307,17 @@ impl<O: Combinable> Combiner<O> {
     pub fn apply(&self, process: usize, op: O::Op) -> ApplyPath {
         self.slots.publish(process, O::encode(op));
         sl2_chaos::point("combine.announced");
+        // Trace instants attribute to the ambient request span (the
+        // serving worker re-entered it), so a traced service run can
+        // say *which request's* election this was: payload 0 = lost,
+        // 1 = won, 2 = reclaimed a dead holder's lock.
+        sl2_trace::event("combine.announce", process as u64);
         let Some(lease) = self.lock.try_acquire() else {
             // Lost the election: the plain wait-free path, then retire
             // the announcement (a combiner that already claimed it
             // re-applies harmlessly — `apply` is idempotent).
             sl2_obs::count("combine.election_lost");
+            sl2_trace::event("combine.elect", 0);
             self.inner.apply(process, op);
             self.slots.withdraw(process);
             if let Some(lease) = self.suspect_then_reclaim(process) {
@@ -320,6 +326,7 @@ impl<O: Combinable> Combiner<O> {
                 // cache merge — the dead combiner may have applied
                 // claimed operations without reaching its
                 // publication, and the fold re-covers them.
+                sl2_trace::event("combine.elect", 2);
                 let applied = self.combine(process, lease, Some(self.inner.fold_relaxed()));
                 return ApplyPath::Reclaimed { applied };
             }
@@ -329,6 +336,7 @@ impl<O: Combinable> Combiner<O> {
         self.clear_suspicion(process);
         sl2_chaos::point("combine.won");
         sl2_obs::count("combine.election_won");
+        sl2_trace::event("combine.elect", 1);
         // Won: read the published fold, sweep (each claim applied
         // through this process's own lanes — see the Combinable docs)
         // while merging every applied operation into the fold, then
@@ -372,9 +380,11 @@ impl<O: Combinable> Combiner<O> {
             }
         }
         sl2_obs::record("combine.batch_size", applied as u64);
+        sl2_trace::event("combine.fold", applied as u64);
         if publish_always || applied > 0 {
             sl2_chaos::point("combine.pre_publish");
             self.publish_fold(fold);
+            sl2_trace::event("combine.publish", fold);
         }
         sl2_chaos::point("combine.pre_release");
         drop(tenure);

@@ -57,7 +57,7 @@ pub use history::{History, OpId};
 pub use lin::{is_linearizable, linearize};
 pub use machine::{Algorithm, OpMachine, Step};
 pub use mem::{ArrayLoc, Cell, Loc, SimMemory, Word};
-pub use record::{RecordReport, RecordRun, Recorder};
+pub use record::{history_from_spans, RecordReport, RecordRun, Recorder};
 pub use scenarios::{fan_in, symmetric, tower};
 pub use sched::{BurstSched, CrashPlan, Execution, RandomSched, RoundRobin, Scenario, Scheduler};
 pub use strong::{

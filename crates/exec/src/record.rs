@@ -42,6 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use sl2_spec::Spec;
+use sl2_trace::bridge::SpanRecord;
 
 use crate::corpus::json_escape;
 use crate::history::{History, OpId};
@@ -177,6 +178,70 @@ impl<S: Spec> Recorder<S> {
 enum Event<S: Spec> {
     Invoke { id: OpId, process: usize, op: S::Op },
     Return { id: OpId, resp: S::Resp },
+}
+
+/// Builds a [`History`] from bridged trace spans
+/// (`sl2_trace::bridge::request_spans`): each span becomes one
+/// operation of its dense process — invoked at its begin stamp,
+/// returned at its end stamp, or **pending forever** if the span
+/// never completed (the crash-stop convention, exactly as
+/// [`Recorder::run_op`] treats an unwound body).
+///
+/// `decode_op` translates a span's encoded operation word into the
+/// spec's op (return `None` to skip spans outside the spec's
+/// vocabulary); `decode_resp` translates the response word (`None`
+/// demotes the span to pending — dropping a response only removes
+/// constraints, which is the sound direction).
+///
+/// Soundness (DESIGN.md §13): span Begin is emitted *before* the
+/// request is published and End *after* its response is observed, so
+/// every bridged interval contains the real one. Stamp slack
+/// therefore only shrinks recorded precedence: a refutation of the
+/// bridged history refutes the real run, while a certification is
+/// exact only modulo that slack.
+pub fn history_from_spans<S, FO, FR>(
+    spans: &[SpanRecord],
+    mut decode_op: FO,
+    mut decode_resp: FR,
+) -> History<S>
+where
+    S: Spec,
+    FO: FnMut(&SpanRecord) -> Option<S::Op>,
+    FR: FnMut(&SpanRecord, u64) -> Option<S::Resp>,
+{
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| s.invoke_stamp);
+    let mut next: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut events: Vec<(u64, Option<Event<S>>)> = Vec::new();
+    for s in ordered {
+        let Some(op) = decode_op(s) else { continue };
+        let k = next.entry(s.process).or_insert(0);
+        assert!(*k < OP_STRIDE, "process {}: too many operations", s.process);
+        let id = OpId(s.process * OP_STRIDE + *k);
+        *k += 1;
+        events.push((
+            s.invoke_stamp,
+            Some(Event::Invoke {
+                id,
+                process: s.process,
+                op,
+            }),
+        ));
+        if let Some((stamp, word)) = s.response {
+            if let Some(resp) = decode_resp(s, word) {
+                events.push((stamp, Some(Event::Return { id, resp })));
+            }
+        }
+    }
+    events.sort_by_key(|(stamp, _)| *stamp);
+    let mut history = History::new();
+    for (_, ev) in &mut events {
+        match ev.take().expect("event taken twice") {
+            Event::Invoke { id, process, op } => history.invoke(id, process, op),
+            Event::Return { id, resp } => history.ret(id, resp),
+        }
+    }
+    history
 }
 
 /// One adjudicated recorded run in a [`RecordReport`].

@@ -17,8 +17,8 @@
 //! coordinated-omitted away (DESIGN.md §12; the generator half lives
 //! in `sl2_bench::open_loop`).
 //!
-//! Instrumentation (PR-7/PR-8 pattern — empty inline stubs by
-//! default, armed under `chaos`/`obs`):
+//! Instrumentation (PR-7/PR-8/PR-10 pattern — empty inline stubs by
+//! default, armed under `chaos`/`obs`/`trace`):
 //!
 //! * chaos points `service.enqueue` (submitter side, pre-publish) and
 //!   `service.dispatch` (worker side, pre-execute) — a crash-stopped
@@ -27,7 +27,19 @@
 //! * obs probes `service.route` (requests routed), `service.dispatch`
 //!   (execution timer), `service.queue_depth` (enqueue-time depth
 //!   gauge, i.e. a high-watermark under the gauge's max semantics),
-//!   and the registry's `service.registry.*` counters.
+//!   `service.dequeue` / `service.queue_depth.dequeue` (the drain
+//!   side of the same queue, so armed runs see both edges), and the
+//!   registry's `service.registry.*` counters;
+//! * trace spans: every submission mints one span id and marks it
+//!   `service.request` Begin (client side, pre-publish) with the
+//!   encoded request as payload. The id rides through the FIFO; the
+//!   serving worker re-enters it ambiently and emits
+//!   `service.enqueue → service.route → service.execute →
+//!   service.respond` instants along the way. The End edge is
+//!   client-side for [`Service::call`] (the response the caller
+//!   observed) and worker-side for fire-and-forget submissions
+//!   (worker completion is the only completion there) — the boundary
+//!   placement the bridge's soundness argument needs (DESIGN.md §13).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,6 +51,8 @@ use std::sync::{Condvar, Mutex};
 
 use sl2_obs::Histogram;
 use sl2_primitives::labeled::mix;
+use sl2_spec::keyed::KeyedMaxOp;
+use sl2_spec::max_register::MaxResp;
 
 use crate::registry::{Backend, Registry};
 
@@ -52,6 +66,18 @@ pub(crate) mod probes {
     pub const ROUTE: &str = "service.route";
     /// Queue depth observed at enqueue time (gauge keeps the max).
     pub const QUEUE_DEPTH: &str = "service.queue_depth";
+    /// One request dequeued by its serving worker.
+    pub const DEQUEUE: &str = "service.dequeue";
+    /// Queue depth observed just after a dequeue (gauge keeps the
+    /// max) — the drain edge of `QUEUE_DEPTH`, so armed runs see the
+    /// queue empty out instead of a ratcheting watermark.
+    pub const QUEUE_DEPTH_DEQUEUE: &str = "service.queue_depth.dequeue";
+    /// Span label of one request through the service (trace).
+    pub const REQUEST: &str = "service.request";
+    /// Trace instant: a request starts executing on the registry.
+    pub const EXECUTE: &str = "service.execute";
+    /// Trace instant: a response was produced by the worker.
+    pub const RESPOND: &str = "service.respond";
 }
 
 /// One operation on a keyed object.
@@ -100,6 +126,72 @@ pub enum Response {
     View(Vec<u64>),
 }
 
+/// Tag/field layout of the one-word trace encodings: `tag << 56`,
+/// then a 28-bit key and a 28-bit operand for requests, or a 56-bit
+/// value for responses. Wide keys/values truncate (the payload is
+/// evidence, not the data path); the max-register subset — the ops
+/// the keyed specs speak — round-trips exactly for test-sized values.
+const TAG_SHIFT: u32 = 56;
+const KEY_SHIFT: u32 = 28;
+const FIELD_MASK: u64 = (1 << 28) - 1;
+const VALUE_MASK: u64 = (1 << 56) - 1;
+
+impl Request {
+    /// Encodes this request into one trace-payload word.
+    pub fn trace_word(&self) -> u64 {
+        let (tag, operand) = match self.op {
+            ServiceOp::WriteMax(v) => (1u64, v),
+            ServiceOp::ReadMax => (2, 0),
+            ServiceOp::ReadMaxCached => (3, 0),
+            ServiceOp::Inc => (4, 0),
+            ServiceOp::ReadCount => (5, 0),
+            ServiceOp::ReadCountCached => (6, 0),
+            ServiceOp::Update { component, v } => (7, ((component as u64) << 20) | (v & 0xF_FFFF)),
+            ServiceOp::Scan => (8, 0),
+        };
+        (tag << TAG_SHIFT) | ((self.key & FIELD_MASK) << KEY_SHIFT) | (operand & FIELD_MASK)
+    }
+
+    /// Decodes a request trace word into the keyed max-register op it
+    /// denotes, or `None` for ops outside the keyed-max vocabulary.
+    /// Both read flavours (exact and cached) decode to `Read` — the
+    /// *spec* chosen at adjudication time decides what a cached read
+    /// is allowed to return, not the encoding.
+    pub fn keyed_max_op_of(word: u64) -> Option<KeyedMaxOp> {
+        let key = (word >> KEY_SHIFT) & FIELD_MASK;
+        match word >> TAG_SHIFT {
+            1 => Some(KeyedMaxOp::Write {
+                key,
+                v: word & FIELD_MASK,
+            }),
+            2 | 3 => Some(KeyedMaxOp::Read { key }),
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    /// Encodes this response into one trace-payload word (a `View`
+    /// records only its length).
+    pub fn trace_word(&self) -> u64 {
+        match self {
+            Response::Ok => 1 << TAG_SHIFT,
+            Response::Value(v) => (2 << TAG_SHIFT) | (v & VALUE_MASK),
+            Response::View(view) => (3 << TAG_SHIFT) | (view.len() as u64 & VALUE_MASK),
+        }
+    }
+
+    /// Decodes a response trace word into a max-register response, or
+    /// `None` for views.
+    pub fn max_resp_of(word: u64) -> Option<MaxResp> {
+        match word >> TAG_SHIFT {
+            1 => Some(MaxResp::Ok),
+            2 => Some(MaxResp::Value(word & VALUE_MASK)),
+            _ => None,
+        }
+    }
+}
+
 /// Completion cell for the blocking [`Service::call`] path.
 #[derive(Debug, Default)]
 struct Completion {
@@ -116,6 +208,12 @@ struct Job {
     track: bool,
     /// Blocking caller to notify, if any.
     done: Option<Arc<Completion>>,
+    /// Trace span the request carries through the FIFO (0 disarmed).
+    span: u64,
+    /// Emit the span's End edge worker-side after executing?
+    /// (Fire-and-forget jobs: yes. Blocking calls: no — the caller
+    /// marks End when it observes the response.)
+    end_span: bool,
 }
 
 #[derive(Debug)]
@@ -160,12 +258,12 @@ impl Shared {
 
     fn worker_loop(&self, worker: usize) {
         loop {
-            let job = {
+            let (job, depth_after) = {
                 let q = &self.queues[worker];
                 let mut jobs = q.jobs.lock().unwrap();
                 loop {
                     if let Some(job) = jobs.pop_front() {
-                        break job;
+                        break (job, jobs.len());
                     }
                     if self.closing.load(Ordering::Acquire) {
                         return;
@@ -173,15 +271,25 @@ impl Shared {
                     jobs = q.cv.wait(jobs).unwrap();
                 }
             };
+            sl2_obs::count(probes::DEQUEUE);
+            sl2_obs::gauge(probes::QUEUE_DEPTH_DEQUEUE, depth_after as u64);
             // The crash-stop seam: a chaos plan targeting this point
             // parks the worker here with the job unexecuted — its
             // queue goes dark while the rest of the pool keeps
-            // serving (tests/service_stress.rs).
+            // serving (tests/service_stress.rs). The request's span
+            // never sees an End edge: the bridge carries it as
+            // pending forever.
+            let _span = sl2_trace::enter_span(job.span);
             sl2_chaos::point(probes::DISPATCH);
+            sl2_trace::event(probes::EXECUTE, job.req.trace_word());
             let resp = {
                 let _dispatch_timer = sl2_obs::time(probes::DISPATCH);
                 self.execute(worker, &job.req)
             };
+            sl2_trace::event(probes::RESPOND, resp.trace_word());
+            if job.end_span {
+                sl2_trace::span_end(probes::REQUEST, job.span, resp.trace_word());
+            }
             if job.track {
                 let ns = job.scheduled.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.latency[worker].lock().unwrap().record(ns);
@@ -274,10 +382,19 @@ impl Service {
         (mix(key) % self.shared.queues.len() as u64) as usize
     }
 
+    /// Marks the request span's Begin edge (client side, before the
+    /// job is visible to anyone) and routes the job to its worker.
+    /// Begin-before-publish is the soundness half the bridge needs:
+    /// the recorded invocation can only be *earlier* than the real
+    /// one, which widens the interval and shrinks recorded precedence
+    /// (DESIGN.md §13).
     fn push(&self, job: Job) {
         let w = self.route_of(job.req.key);
         sl2_chaos::point(probes::ENQUEUE);
         sl2_obs::count(probes::ROUTE);
+        sl2_trace::span_begin(probes::REQUEST, job.span, job.req.trace_word());
+        sl2_trace::event_in(probes::ENQUEUE, job.span, job.req.trace_word());
+        sl2_trace::event_in(probes::ROUTE, job.span, w as u64);
         let q = &self.shared.queues[w];
         let depth = {
             let mut jobs = q.jobs.lock().unwrap();
@@ -298,6 +415,8 @@ impl Service {
             scheduled,
             track: true,
             done: None,
+            span: sl2_trace::next_span(),
+            end_span: true,
         });
     }
 
@@ -308,6 +427,8 @@ impl Service {
             scheduled: Instant::now(),
             track: false,
             done: None,
+            span: sl2_trace::next_span(),
+            end_span: true,
         });
     }
 
@@ -319,19 +440,30 @@ impl Service {
     /// (crash-stop is a *stopping* failure, DESIGN.md §10).
     pub fn call(&self, req: Request) -> Response {
         let done = Arc::new(Completion::default());
+        let span = sl2_trace::next_span();
         self.push(Job {
             req,
             scheduled: Instant::now(),
             track: false,
             done: Some(Arc::clone(&done)),
+            span,
+            // The caller marks End below, *after* it observed the
+            // response — a worker-side End would stamp completions
+            // earlier than the client saw them, manufacturing
+            // precedence the run never exhibited (DESIGN.md §13).
+            end_span: false,
         });
-        let mut slot = done.slot.lock().unwrap();
-        loop {
-            if let Some(resp) = slot.take() {
-                return resp;
+        let resp = {
+            let mut slot = done.slot.lock().unwrap();
+            loop {
+                if let Some(resp) = slot.take() {
+                    break resp;
+                }
+                slot = done.cv.wait(slot).unwrap();
             }
-            slot = done.cv.wait(slot).unwrap();
-        }
+        };
+        sl2_trace::span_end(probes::REQUEST, span, resp.trace_word());
+        resp
     }
 
     /// Requests submitted so far.

@@ -46,6 +46,15 @@
 //!   compile to nothing by default and arm under `--features obs`
 //!   (DESIGN.md §11); `SL2_METRICS_JSON` exports snapshots as
 //!   JSON lines.
+//! * [`sl2_trace`] — feature-gated causal request tracing: fixed-size
+//!   binary events in per-thread lock-free rings (zero allocation
+//!   steady-state, empty stubs by default, armed under `--features
+//!   trace`), a crash-safe flight recorder that dumps the last events
+//!   per thread on panic or chaos crash-stop
+//!   (`SL2_TRACE_JSON`), and the
+//!   [`bridge`](sl2_trace::bridge) that converts drained traces into
+//!   [`History`](sl2_exec::History)s the checker adjudicates
+//!   (DESIGN.md §13).
 //! * [`sl2_service`] — the keyed service tier: a lock-free object
 //!   [`Registry`](sl2_service::Registry) (millions of keys, lazy
 //!   materialization, per-key backend policy), a worker-pool
@@ -173,6 +182,7 @@ pub use sl2_primitives as primitives;
 pub use sl2_service as service;
 pub use sl2_sharded as sharded;
 pub use sl2_spec as spec;
+pub use sl2_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -213,10 +223,11 @@ pub mod prelude {
     pub use sl2_core::universal::{CodedOp, PaxosRace, UniversalAlg};
     pub use sl2_exec::{
         check_strong, check_strong_outcome, check_strong_with, fan_in, for_each_history,
-        is_linearizable, linearize, symmetric, tower, validate_witness, Algorithm, BurstSched,
-        CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, CrashPlan, MemoMode, OpMachine,
-        Outcome, RandomSched, RecordReport, Recorder, RoundRobin, Scenario, ScenarioCorpus,
-        SearchStats, SimMemory, Step, StrongOptions, StrongOutcome, Witness,
+        history_from_spans, is_linearizable, linearize, symmetric, tower, validate_witness,
+        Algorithm, BurstSched, CorpusOptions, CorpusRecord, CorpusReport, CorpusVerdict, CrashPlan,
+        History, MemoMode, OpMachine, Outcome, RandomSched, RecordReport, Recorder, RoundRobin,
+        Scenario, ScenarioCorpus, SearchStats, SimMemory, Step, StrongOptions, StrongOutcome,
+        Witness,
     };
     pub use sl2_obs::{Histogram, MetricsSnapshot};
     pub use sl2_primitives::{
@@ -239,4 +250,6 @@ pub mod prelude {
     pub use sl2_spec::keyed::{KeyedMaxOp, KeyedMaxSpec, LaggingKeyedMaxSpec};
     pub use sl2_spec::relaxed::{LaggingCounterSpec, LaggingMaxSpec};
     pub use sl2_spec::Spec;
+    pub use sl2_trace::bridge::{request_spans, SpanRecord};
+    pub use sl2_trace::{EventKind, TraceEvent, TraceLog};
 }

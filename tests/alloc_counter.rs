@@ -402,6 +402,52 @@ fn disarmed_obs_probes_are_free() {
     assert!(snap.is_empty());
 }
 
+#[cfg(not(feature = "trace"))]
+#[test]
+fn disarmed_trace_points_are_free() {
+    // The PR-10 pin: with the `trace` feature off, every trace entry
+    // point — span mint, span boundaries, instants, the ambient-span
+    // guard — is an empty inline stub: no allocation, no rings, no
+    // effect. This is what makes it sound to leave the service,
+    // combine, and bignum hot paths permanently instrumented
+    // (DESIGN.md §13).
+    let (n, _) = allocs_during(|| {
+        for i in 0..1_000u64 {
+            let span = sl2::trace::next_span();
+            sl2::trace::span_begin("alloc.trace.req", span, i);
+            let _g = sl2::trace::enter_span(span);
+            sl2::trace::event("alloc.trace.step", i);
+            sl2::trace::event_in("alloc.trace.step", span, i);
+            sl2::trace::span_end("alloc.trace.req", span, i);
+        }
+    });
+    assert_eq!(n, 0, "disarmed trace points must not allocate");
+    assert!(!sl2::trace::armed());
+    let (n, log) = allocs_during(sl2::trace::drain);
+    assert_eq!(n, 0, "the disarmed drain is empty and allocation-free");
+    assert!(log.is_empty());
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn armed_trace_emission_is_allocation_free() {
+    // Armed emission is a seqlock publish into static per-thread rings
+    // plus two atomic tickets — steady state never touches the heap.
+    // (Draining allocates the log; it is off the hot path by design.)
+    let span = sl2::trace::next_span();
+    sl2::trace::event("alloc.trace.armed.warm", 0); // label claim is one-time
+    let (n, _) = allocs_during(|| {
+        for i in 0..1_000u64 {
+            sl2::trace::span_begin("alloc.trace.armed.warm", span, i);
+            let _g = sl2::trace::enter_span(span);
+            sl2::trace::event("alloc.trace.armed.warm", i);
+            sl2::trace::span_end("alloc.trace.armed.warm", span, i);
+        }
+    });
+    assert_eq!(n, 0, "armed trace emission must not allocate");
+    assert!(sl2::trace::armed());
+}
+
 #[cfg(feature = "obs")]
 #[test]
 fn armed_scalar_probes_are_allocation_free() {

@@ -1,0 +1,119 @@
+//! The bench regression gate wired to the *committed* snapshots: the
+//! floors in `BENCH_PR9.json` must parse, self-gate, and — when CI
+//! hands over a fresh `SL2_BENCH_JSON` stream — diff clean against the
+//! current run. The diff step is **advisory** (`continue-on-error` in
+//! CI): see `sl2_bench::compare` for the drift-threshold rationale.
+
+use sl2_bench::compare::{allowed_ceiling, GateVerdict};
+use sl2_bench::{baseline_floors, gate};
+
+const PR9_SNAPSHOT: &str = include_str!("../BENCH_PR9.json");
+
+#[test]
+fn committed_pr9_floors_parse_completely() {
+    let floors = baseline_floors(PR9_SNAPSHOT);
+    let ids: Vec<&str> = floors.iter().map(|f| f.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        vec![
+            "faa_at_width/64",
+            "faa_at_width/1024",
+            "faa_at_width/16384",
+            "read_at_width/64",
+            "read_at_width/1024",
+            "combining_read/combined_cached",
+            "combining_read/global",
+            "combining_read/combined_stable",
+            "combining_read/sharded_s16_fold",
+        ],
+        "every committed floor must be extracted, the note skipped"
+    );
+    // Newest-PR selection: the pr9 column, not pr8.
+    assert_eq!(floors[0].ns, 20);
+    assert_eq!(floors[8].ns, 1998);
+}
+
+#[test]
+fn committed_floors_self_gate() {
+    // A run that reproduces the committed medians exactly must pass —
+    // the identity check that pins the id plumbing end to end.
+    let replay: String = baseline_floors(PR9_SNAPSHOT)
+        .iter()
+        .map(|f| format!("{{\"id\":\"{}\",\"median_ns\":{}}}\n", f.id, f.ns))
+        .collect();
+    let report = gate(PR9_SNAPSHOT, &replay);
+    assert!(report.is_pass());
+    assert!(report
+        .rows
+        .iter()
+        .all(|r| r.verdict == GateVerdict::Ok && r.current_ns == Some(r.baseline_ns)));
+}
+
+#[test]
+fn gate_rejects_a_lost_inline_path_but_tolerates_session_drift() {
+    let floors = baseline_floors(PR9_SNAPSHOT);
+    // Worst observed same-code drift (~17% on the fold rows) passes…
+    let drifted: String = floors
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"id\":\"{}\",\"median_ns\":{}}}\n",
+                f.id,
+                f.ns + f.ns * 17 / 100
+            )
+        })
+        .collect();
+    assert!(gate(PR9_SNAPSHOT, &drifted).is_pass());
+
+    // …while a 3× blowup on one floor — the shape a heap spill or a
+    // lost inline path produces — is flagged.
+    let regressed: String = floors
+        .iter()
+        .map(|f| {
+            let ns = if f.id == "faa_at_width/64" {
+                f.ns * 3
+            } else {
+                f.ns
+            };
+            format!("{{\"id\":\"{}\",\"median_ns\":{ns}}}\n", f.id)
+        })
+        .collect();
+    let report = gate(PR9_SNAPSHOT, &regressed);
+    assert!(!report.is_pass());
+    let bad = report.regressions();
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].id, "faa_at_width/64");
+    assert_eq!(bad[0].ceiling_ns, allowed_ceiling(20));
+}
+
+/// The advisory CI step: after the bench smoke run writes
+/// `SL2_BENCH_JSON`, CI re-runs this test with `SL2_BENCH_GATE_CURRENT`
+/// pointing at that stream. Locally (variable unset) the test is a
+/// no-op. A failure here is a *signal*, not a merge blocker — the step
+/// runs `continue-on-error` and uploads `bench-gate.jsonl` for triage.
+#[test]
+fn current_run_gates_against_committed_floors_when_provided() {
+    let Ok(path) = std::env::var("SL2_BENCH_GATE_CURRENT") else {
+        return;
+    };
+    let current = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("SL2_BENCH_GATE_CURRENT={path} unreadable: {e}"));
+    let report = gate(PR9_SNAPSHOT, &current);
+    if let Ok(out) = std::env::var("SL2_BENCH_GATE_REPORT") {
+        std::fs::write(&out, report.to_json_lines())
+            .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    }
+    print!("{}", report.to_json_lines());
+    assert!(
+        report.is_pass(),
+        "bench floors drifted past the advisory ceiling: {:?}",
+        report
+            .regressions()
+            .iter()
+            .map(|r| format!(
+                "{} {} -> {:?} (ceiling {})",
+                r.id, r.baseline_ns, r.current_ns, r.ceiling_ns
+            ))
+            .collect::<Vec<_>>()
+    );
+}

@@ -216,6 +216,55 @@ mod armed {
     }
 
     #[test]
+    fn queue_depth_gauges_cover_both_edges() {
+        use sl2::prelude::*;
+
+        // The PR-10 fix: `service.queue_depth` used to be an
+        // enqueue-only gauge — a queue that filled and then drained
+        // looked permanently deep. Both edges must now report:
+        // enqueue-side depth (after push) and dequeue-side depth
+        // (after pop), each a high-watermark, plus a dequeue counter
+        // balancing `service.enqueue`'s chaos point.
+        let mut svc = Service::new(64, 2, Backend::Global);
+        for k in 0..16u64 {
+            svc.submit(Request {
+                key: k,
+                op: ServiceOp::Inc,
+            });
+        }
+        // A blocking call per worker queue drains everything ahead of
+        // it, so by return both workers have popped at least once.
+        for k in 0..16u64 {
+            let _ = svc.call(Request {
+                key: k,
+                op: ServiceOp::ReadCount,
+            });
+        }
+        svc.shutdown();
+
+        let snap = obs::snapshot();
+        let gauge = |label: &str| {
+            snap.gauges
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+        };
+        let enq_peak = gauge("service.queue_depth").expect("enqueue edge reported");
+        let deq_peak = gauge("service.queue_depth.dequeue").expect("dequeue edge reported");
+        assert!(enq_peak >= 1, "pushes must register depth");
+        assert!(
+            deq_peak < enq_peak,
+            "depth-after-pop must sit strictly below depth-after-push \
+             (dequeue {deq_peak} vs enqueue {enq_peak})"
+        );
+        let dequeues = snap.counter("service.dequeue").expect("dequeue counter");
+        assert!(
+            dequeues >= 32,
+            "every executed request pops exactly once (saw {dequeues})"
+        );
+    }
+
+    #[test]
     fn production_probes_fire_from_the_hot_paths() {
         use sl2::prelude::*;
 

@@ -30,6 +30,7 @@ const EXPECTED_EXAMPLES: &[&str] = &[
 const EXPECTED_TESTS: &[&str] = &[
     "agreement_e2e",
     "alloc_counter",
+    "bench_gate",
     "chaos_stress",
     "checker_props",
     "combine_stress",
@@ -43,6 +44,7 @@ const EXPECTED_TESTS: &[&str] = &[
     "sweeps",
     "target_coverage",
     "towers",
+    "trace",
 ];
 
 fn repo_root() -> &'static Path {
@@ -105,6 +107,37 @@ fn obs_probe_layer_stays_feature_gated() {
     assert!(
         src.contains("pub struct Timer(());"),
         "the disarmed Timer must stay a ZST"
+    );
+}
+
+#[test]
+fn trace_layer_stays_feature_gated() {
+    // The PR-10 member of the disarmed-instrumentation triad: the
+    // armed rings must only compile under `--features trace`, the
+    // disarmed entry points must remain empty `#[inline(always)]`
+    // bodies (tests/alloc_counter.rs pins them allocation-free), and
+    // the trace suite itself must never run in a default build. CI has
+    // dedicated `trace` and `trace,chaos` legs.
+    let root = repo_root();
+    let lib = std::fs::read_to_string(root.join("crates/trace/src/lib.rs"))
+        .expect("trace lib.rs readable");
+    assert!(
+        lib.contains("#[cfg(feature = \"trace\")]\nmod armed;"),
+        "crates/trace lost the feature gate on its armed rings"
+    );
+    assert!(
+        lib.contains("pub fn event(_label: &'static str, _payload: u64) {}"),
+        "the disarmed event stub must stay an empty body"
+    );
+    assert!(
+        lib.contains("pub struct SpanGuard(());"),
+        "the disarmed SpanGuard must stay a ZST"
+    );
+    let suite =
+        std::fs::read_to_string(root.join("tests/trace.rs")).expect("tests/trace.rs readable");
+    assert!(
+        suite.contains("#![cfg(feature = \"trace\")]"),
+        "tests/trace.rs lost its trace feature gate"
     );
 }
 
